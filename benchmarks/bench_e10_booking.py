@@ -1,0 +1,12 @@
+"""E10 — Example 3.2 / Appendix C: the booking-agency case study."""
+
+from repro.harness.experiments import experiment_e10_booking
+from repro.harness.reporting import print_experiment
+
+
+def test_e10_booking(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e10_booking)
+    print_experiment("E10", "Booking agency (Appendix C) bounded analysis", rows)
+    values = {row["quantity"]: row["value"] for row in rows}
+    assert values["an offer becomes available"] is True
+    assert values["a booking reaches drafting"] is True

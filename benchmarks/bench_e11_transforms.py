@@ -1,0 +1,10 @@
+"""E11 — Appendix F.1–F.3: sizes of the relaxation constructions."""
+
+from repro.harness.experiments import experiment_e11_transforms
+from repro.harness.reporting import print_experiment
+
+
+def test_e11_transforms(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e11_transforms)
+    print_experiment("E11", "Model-transformation blow-ups (Appendix F.1-F.3)", rows)
+    assert len(rows) == 3

@@ -1,0 +1,11 @@
+"""E12 — Appendix F.4: simulating bulk operations with standard actions."""
+
+from repro.harness.experiments import experiment_e12_bulk
+from repro.harness.reporting import print_experiment
+
+
+def test_e12_bulk(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e12_bulk)
+    print_experiment("E12", "Bulk-operation simulation (warehouse, Example F.4/F.5)", rows)
+    assert all(row["bulk_flush_found"] for row in rows)
+    assert all(row["protocol_steps"] == row["expected_protocol_steps"] for row in rows)

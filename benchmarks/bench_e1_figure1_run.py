@@ -1,0 +1,10 @@
+"""E1 — Example 3.1 / Figure 1: replay the paper's concrete run."""
+
+from repro.harness.experiments import experiment_e1_figure1_run
+from repro.harness.reporting import print_experiment
+
+
+def test_e1_figure1_run(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e1_figure1_run)
+    print_experiment("E1", "Figure 1 run of Example 3.1", rows)
+    assert all(row["matches_paper"] for row in rows)

@@ -1,0 +1,10 @@
+"""E2 — Example 5.1: the Figure 1 run is 2-recency-bounded."""
+
+from repro.harness.experiments import experiment_e2_recency_bound
+from repro.harness.reporting import print_experiment
+
+
+def test_e2_recency_bound(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e2_recency_bound)
+    print_experiment("E2", "Recency bound of the Figure 1 run", rows)
+    assert all(row["value"] == row["paper"] for row in rows)

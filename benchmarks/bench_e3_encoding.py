@@ -1,0 +1,10 @@
+"""E3 — Example 6.1 / Figure 2: abstraction and nested-word encoding."""
+
+from repro.harness.experiments import experiment_e3_encoding
+from repro.harness.reporting import print_experiment
+
+
+def test_e3_encoding(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e3_encoding)
+    print_experiment("E3", "Nested-word encoding of the Figure 1 run (Figure 2)", rows)
+    assert all(row["matches_figure_2"] for row in rows)

@@ -1,0 +1,10 @@
+"""E4 — Section 6.1 / Appendix E: Abstr/Concr round trip on random systems."""
+
+from repro.harness.experiments import experiment_e4_abstraction_roundtrip
+from repro.harness.reporting import print_experiment
+
+
+def test_e4_abstraction_roundtrip(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e4_abstraction_roundtrip)
+    print_experiment("E4", "Abstraction/concretisation round trip (Lemma E.1)", rows)
+    assert all(row["all_equivalent"] for row in rows)

@@ -1,0 +1,11 @@
+"""E5 — Section 6.3.1/6.4: validity of encodings (phi_valid, word-level)."""
+
+from repro.harness.experiments import experiment_e5_validity
+from repro.harness.reporting import print_experiment
+
+
+def test_e5_validity(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e5_validity)
+    print_experiment("E5", "Validity of encodings vs mutated encodings", rows)
+    assert rows[0]["rejected"] == 0
+    assert rows[1]["accepted"] == 0

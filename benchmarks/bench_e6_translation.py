@@ -1,0 +1,10 @@
+"""E6 — Section 6.5: MSO-FO vs its translation over nested-word encodings."""
+
+from repro.harness.experiments import experiment_e6_translation
+from repro.harness.reporting import print_experiment
+
+
+def test_e6_translation(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e6_translation)
+    print_experiment("E6", "Direct vs encoding-based evaluation of specifications", rows)
+    assert all(row["all_agree"] for row in rows)

@@ -1,0 +1,11 @@
+"""E7 — Section 6.6: size of the reduction formula phi_valid ∧ ¬⌊psi⌋."""
+
+from repro.harness.experiments import experiment_e7_formula_size
+from repro.harness.reporting import print_experiment
+
+
+def test_e7_formula_size(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e7_formula_size)
+    print_experiment("E7", "Reduction-formula size vs recency bound", rows)
+    sizes = [row["size(reduction)"] for row in rows]
+    assert sizes == sorted(sizes) and sizes[0] > 0

@@ -1,0 +1,10 @@
+"""E8 — Theorem 4.1 / Appendix D: the two counter-machine reductions."""
+
+from repro.harness.experiments import experiment_e8_counter_reductions
+from repro.harness.reporting import print_experiment
+
+
+def test_e8_counter_reductions(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e8_counter_reductions)
+    print_experiment("E8", "Counter machines vs their DMS encodings", rows)
+    assert all(row["agree"] for row in rows)

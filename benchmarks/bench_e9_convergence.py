@@ -1,0 +1,12 @@
+"""E9 — Section 5: verdicts and state space as the recency bound grows."""
+
+from repro.harness.experiments import experiment_e9_convergence
+from repro.harness.reporting import print_experiment
+
+
+def test_e9_convergence(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e9_convergence)
+    print_experiment("E9", "Convergence in the recency bound", rows)
+    state_rows = [row for row in rows if row["property"] == "state-space size"]
+    counts = [row["configurations"] for row in state_rows]
+    assert counts == sorted(counts)

@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark targets.
+
+Every benchmark runs its experiment exactly once inside pytest-benchmark's
+timer (rounds=1) — the experiments are end-to-end pipelines, not
+micro-kernels — and prints the rows recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once():
+    """Return a helper that benchmarks a callable with a single round."""
+
+    def runner(benchmark, function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,54 @@
+"""repro — Recency-bounded verification of dynamic database-driven systems.
+
+A from-scratch Python implementation of the framework of
+*Recency-Bounded Verification of Dynamic Database-Driven Systems*
+(Abdulla, Aiswarya, Atig, Montali, Rezine; PODS 2016):
+
+* relational databases and FOL(R) queries (:mod:`repro.database`, :mod:`repro.fol`),
+* database-manipulating systems and their execution semantics (:mod:`repro.dms`),
+* the recency-bounded semantics, abstraction and canonical runs (:mod:`repro.recency`),
+* MSO-FO over runs and FO-LTL sugar (:mod:`repro.msofo`),
+* nested words, MSO over nested words and visibly pushdown automata
+  (:mod:`repro.nestedwords`),
+* the nested-word encoding of b-bounded runs, its validity conditions and
+  the MSO-FO -> MSONW translation (:mod:`repro.encoding`),
+* reachability and recency-bounded model checking (:mod:`repro.modelcheck`),
+* the Appendix D undecidability reductions (:mod:`repro.counter`),
+* the Appendix F model transformations (:mod:`repro.transforms`),
+* case studies, workload generators and the experiment harness
+  (:mod:`repro.casestudies`, :mod:`repro.workloads`, :mod:`repro.harness`).
+"""
+
+from repro.database import DatabaseInstance, Fact, Schema, Substitution, VariableDatabase
+from repro.dms import DMS, Action, DMSBuilder
+from repro.modelcheck import (
+    RecencyBoundedModelChecker,
+    Verdict,
+    check_recency_bounded,
+    proposition_reachable,
+    proposition_reachable_bounded,
+)
+from repro.recency import RecencyBoundedRun, SymbolicLabel, abstract_run, concretize_word
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "DMS",
+    "DMSBuilder",
+    "DatabaseInstance",
+    "Fact",
+    "RecencyBoundedModelChecker",
+    "RecencyBoundedRun",
+    "Schema",
+    "Substitution",
+    "SymbolicLabel",
+    "Verdict",
+    "VariableDatabase",
+    "__version__",
+    "abstract_run",
+    "check_recency_bounded",
+    "concretize_word",
+    "proposition_reachable",
+    "proposition_reachable_bounded",
+]

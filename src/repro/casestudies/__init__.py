@@ -1,0 +1,34 @@
+"""Case studies: the paper's running example, the booking agency, the warehouse and students."""
+
+from repro.casestudies.booking import (
+    BOOKING_STATES,
+    OFFER_STATES,
+    booking_agency_system,
+    gold_customer_query,
+)
+from repro.casestudies.simple import (
+    example_31_system,
+    figure_1_expected_instances,
+    figure_1_labels,
+)
+from repro.casestudies.students import students_progression_property, students_system
+from repro.casestudies.warehouse import (
+    new_order_bulk_action,
+    warehouse_base_system,
+    warehouse_system,
+)
+
+__all__ = [
+    "BOOKING_STATES",
+    "OFFER_STATES",
+    "booking_agency_system",
+    "example_31_system",
+    "figure_1_expected_instances",
+    "figure_1_labels",
+    "gold_customer_query",
+    "new_order_bulk_action",
+    "students_progression_property",
+    "students_system",
+    "warehouse_base_system",
+    "warehouse_system",
+]

@@ -1,0 +1,204 @@
+"""The restaurant booking agency case study (paper, Example 3.2 / Appendix C).
+
+The process manages two business artifacts — *offers* and *bookings* —
+through the lifecycles of Figure 5: agents publish restaurant offers
+(putting previous ones on hold), customers open bookings on available
+offers, drafts collect hosts, the agent finalises a proposal, and the
+customer accepts (directly for *gold* customers, via a validation step
+otherwise) or cancels.
+
+The paper's formulation uses state constants (``avail``, ``onhold``,
+...) inside a binary ``OState``/``BState`` relation; since the core DMS
+model is constant-free, the lifecycle states are modelled here by one
+unary relation per state — precisely the shape produced by the
+constant-removal construction of Appendix F.1.  Registries (``Rest``,
+``Ag``, ``Cust``) are populated by explicit registration actions so that
+the initial active domain stays empty, as the model requires.
+"""
+
+from __future__ import annotations
+
+from repro.dms.builder import DMSBuilder
+from repro.dms.system import DMS
+from repro.fol.syntax import And, Atom, Equals, Exists, Not, Query, conjunction, exists
+
+__all__ = ["gold_customer_query", "booking_agency_system", "OFFER_STATES", "BOOKING_STATES"]
+
+#: Offer lifecycle states (Figure 5), each modelled as a unary relation.
+OFFER_STATES = ("OAvail", "OOnHold", "OClosed", "OBooking")
+
+#: Booking lifecycle states (Figure 5), each modelled as a unary relation.
+BOOKING_STATES = ("BDrafting", "BSubmitted", "BFinalized", "BCanceled", "BToValidate", "BAccepted")
+
+
+def gold_customer_query(customer: str, restaurant: str, threshold: int = 1) -> Query:
+    """``Gold_k(c, r)``: the customer completed at least ``k`` accepted bookings at ``r``.
+
+    Follows the query of Appendix C; distinctness constraints between the
+    witnessing bookings/offers are added for ``k > 1``.
+    """
+    offer_vars = [f"go{i}" for i in range(1, threshold + 1)]
+    booking_vars = [f"gb{i}" for i in range(1, threshold + 1)]
+    agent_vars = [f"ga{i}" for i in range(1, threshold + 1)]
+    conjuncts: list[Query] = []
+    for i in range(threshold):
+        conjuncts.append(Atom("Booking", (booking_vars[i], offer_vars[i], customer)))
+        conjuncts.append(Atom("BAccepted", (booking_vars[i],)))
+        conjuncts.append(Atom("Offer", (offer_vars[i], restaurant, agent_vars[i])))
+    for i in range(threshold):
+        for j in range(i + 1, threshold):
+            conjuncts.append(Not(Equals(offer_vars[i], offer_vars[j])))
+            conjuncts.append(Not(Equals(booking_vars[i], booking_vars[j])))
+    return exists(tuple(offer_vars + booking_vars + agent_vars), conjunction(*conjuncts))
+
+
+def booking_agency_system(gold_threshold: int = 1) -> DMS:
+    """The full booking-agency DMS of Appendix C.
+
+    Args:
+        gold_threshold: the ``k`` of the gold-customer query (the paper's
+            fixed number of past accepted bookings).
+    """
+    builder = DMSBuilder("booking-agency")
+    builder.relations(
+        ("Rest", 1),
+        ("Ag", 1),
+        ("Cust", 1),
+        ("Offer", 3),
+        ("Booking", 3),
+        ("Hosts", 2),
+        ("Prop", 2),
+        ("open", 0),
+    )
+    for state in OFFER_STATES + BOOKING_STATES:
+        builder.relation(state, 1)
+    builder.initially("open")
+
+    # Registries: restaurants, agents and customers enter the system.
+    builder.action("regRestaurant", fresh=("r",), guard="open", add=[("Rest", "r")])
+    builder.action("regAgent", fresh=("a",), guard="open", add=[("Ag", "a")])
+    builder.action("regCustomer", fresh=("c",), guard="open", add=[("Cust", "c")])
+
+    # newO1: an idle agent publishes a new available offer.
+    builder.action(
+        "newO1",
+        parameters=("r", "a"),
+        fresh=("o",),
+        guard="Rest(r) & Ag(a) & !exists oo, rr. Offer(oo, rr, a)",
+        add=[("Offer", "o", "r", "a"), ("OAvail", "o")],
+    )
+    # newO2: an agent holding an available offer puts it on hold and publishes a new one.
+    builder.action(
+        "newO2",
+        parameters=("r", "a", "oold"),
+        fresh=("o",),
+        guard="Rest(r) & Ag(a) & (exists rr. Offer(oold, rr, a)) & OAvail(oold)",
+        delete=[("OAvail", "oold")],
+        add=[("Offer", "o", "r", "a"), ("OAvail", "o"), ("OOnHold", "oold")],
+    )
+    # resume: an idle agent picks up an on-hold offer.
+    builder.action(
+        "resume",
+        parameters=("a", "o", "r", "aold"),
+        fresh=(),
+        guard=(
+            "Ag(a) & Offer(o, r, aold) & OOnHold(o) & !exists oo, rr. Offer(oo, rr, a)"
+        ),
+        delete=[("Offer", "o", "r", "aold"), ("OOnHold", "o")],
+        add=[("Offer", "o", "r", "a"), ("OAvail", "o")],
+    )
+    # closeO: an available offer expires.
+    builder.action(
+        "closeO",
+        parameters=("o",),
+        guard="(exists rr, aa. Offer(o, rr, aa)) & OAvail(o)",
+        delete=[("OAvail", "o")],
+        add=[("OClosed", "o")],
+    )
+    # newB: a customer opens a booking on an available offer.
+    builder.action(
+        "newB",
+        parameters=("c", "o"),
+        fresh=("bk",),
+        guard="Cust(c) & (exists rr, aa. Offer(o, rr, aa)) & OAvail(o)",
+        delete=[("OAvail", "o")],
+        add=[("OBooking", "o"), ("Booking", "bk", "o", "c"), ("BDrafting", "bk")],
+    )
+    # addP1 / addP2: the customer adds hosts (registered customer or external person).
+    builder.action(
+        "addP1",
+        parameters=("bk", "h"),
+        guard="(exists oo, cc. Booking(bk, oo, cc)) & BDrafting(bk) & Cust(h)",
+        add=[("Hosts", "bk", "h")],
+    )
+    builder.action(
+        "addP2",
+        parameters=("bk",),
+        fresh=("h",),
+        guard="(exists oo, cc. Booking(bk, oo, cc)) & BDrafting(bk)",
+        add=[("Hosts", "bk", "h")],
+    )
+    # checkP: the agent checks hosts one by one (the F.4-style loop).
+    builder.action(
+        "checkP",
+        parameters=("bk", "h"),
+        guard="(exists oo, cc. Booking(bk, oo, cc)) & BDrafting(bk) & Hosts(bk, h)",
+        delete=[("Hosts", "bk", "h")],
+    )
+    # reject: the agent rejects a fully-checked draft; the offer becomes available again.
+    builder.action(
+        "reject",
+        parameters=("bk", "o"),
+        guard="(exists cc. Booking(bk, o, cc)) & BDrafting(bk) & !exists hh. Hosts(bk, hh)",
+        delete=[("BDrafting", "bk"), ("OBooking", "o")],
+        add=[("BCanceled", "bk"), ("OAvail", "o")],
+    )
+    # detProp: the agent finalises the draft with a proposal URL.
+    builder.action(
+        "detProp",
+        parameters=("bk",),
+        fresh=("url",),
+        guard="(exists oo, cc. Booking(bk, oo, cc)) & BDrafting(bk) & !exists hh. Hosts(bk, hh)",
+        delete=[("BDrafting", "bk")],
+        add=[("BFinalized", "bk"), ("Prop", "bk", "url")],
+    )
+    # cancel: the customer cancels a finalized booking.
+    builder.action(
+        "cancel",
+        parameters=("bk", "o"),
+        guard="(exists cc. Booking(bk, o, cc)) & BFinalized(bk)",
+        delete=[("BFinalized", "bk"), ("OBooking", "o")],
+        add=[("BCanceled", "bk"), ("OAvail", "o")],
+    )
+    builder_schema = builder.schema()
+
+    # accept1 / accept2: conditional acceptance based on the gold-customer history query.
+    gold = gold_customer_query("c", "r", gold_threshold)
+    accept_guard_common = And(
+        And(Atom("Booking", ("bk", "o", "c")), Atom("BFinalized", ("bk",))),
+        Exists("aa", Atom("Offer", ("o", "r", "aa"))),
+    )
+    builder.action(
+        "accept1",
+        parameters=("bk", "o", "c", "r"),
+        guard=And(accept_guard_common, gold),
+        delete=[("BFinalized", "bk"), ("OBooking", "o")],
+        add=[("BAccepted", "bk"), ("OClosed", "o")],
+    )
+    builder.action(
+        "accept2",
+        parameters=("bk", "o", "c", "r"),
+        guard=And(accept_guard_common, Not(gold)),
+        delete=[("BFinalized", "bk")],
+        add=[("BToValidate", "bk")],
+    )
+    # confirm: final validation for non-gold customers.
+    builder.action(
+        "confirm",
+        parameters=("bk", "o"),
+        guard="(exists cc. Booking(bk, o, cc)) & BToValidate(bk)",
+        delete=[("BToValidate", "bk"), ("OBooking", "o")],
+        add=[("BAccepted", "bk"), ("OClosed", "o")],
+    )
+    _ = builder_schema
+    return builder.build()

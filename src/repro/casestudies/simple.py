@@ -1,0 +1,80 @@
+"""The running example of the paper (Example 3.1, Figures 1 and 2).
+
+Schema ``{p/0, R/1, Q/1}`` and the four actions ``α, β, γ, δ``; the
+module also exports the exact generating sequence of the Figure 1 run,
+which is 2-recency-bounded (Example 5.1) and whose abstraction and
+nested-word encoding are the paper's Example 6.1 and Figure 2.
+"""
+
+from __future__ import annotations
+
+from repro.dms.builder import DMSBuilder
+from repro.dms.system import DMS
+
+__all__ = ["example_31_system", "figure_1_labels", "figure_1_expected_instances"]
+
+
+def example_31_system() -> DMS:
+    """The DMS of Example 3.1."""
+    builder = DMSBuilder("example-3.1")
+    builder.relations(("p", 0), ("R", 1), ("Q", 1))
+    builder.initially("p")
+    builder.action(
+        "alpha",
+        fresh=("v1", "v2", "v3"),
+        guard="true",
+        add=[("R", "v1"), ("R", "v2"), ("Q", "v3"), ("p",)],
+    )
+    builder.action(
+        "beta",
+        parameters=("u",),
+        fresh=("v1", "v2"),
+        guard="p & R(u)",
+        delete=[("p",), ("R", "u")],
+        add=[("Q", "v1"), ("Q", "v2")],
+    )
+    builder.action(
+        "gamma",
+        parameters=("u",),
+        guard="p & !Q(u)",
+        delete=[("p",), ("R", "u")],
+    )
+    builder.action(
+        "delta",
+        parameters=("u1", "u2"),
+        guard="!p & Q(u1) & (R(u2) | Q(u2))",
+        delete=[("Q", "u1"), ("R", "u2")],
+    )
+    return builder.build()
+
+
+def figure_1_labels() -> tuple:
+    """The generating sequence of the run depicted in Figure 1."""
+    return (
+        ("alpha", {"v1": "e1", "v2": "e2", "v3": "e3"}),
+        ("beta", {"u": "e2", "v1": "e4", "v2": "e5"}),
+        ("alpha", {"v1": "e6", "v2": "e7", "v3": "e8"}),
+        ("gamma", {"u": "e7"}),
+        ("delta", {"u1": "e8", "u2": "e6"}),
+        ("delta", {"u1": "e4", "u2": "e5"}),
+        ("delta", {"u1": "e3", "u2": "e3"}),
+        ("alpha", {"v1": "e9", "v2": "e10", "v3": "e11"}),
+    )
+
+
+def figure_1_expected_instances() -> tuple:
+    """The database contents of Figure 1 as ``{relation: rows}`` dictionaries.
+
+    Propositions map to booleans, unary relations to sets of element names.
+    """
+    return (
+        {"p": True, "R": set(), "Q": set()},
+        {"p": True, "R": {"e1", "e2"}, "Q": {"e3"}},
+        {"p": False, "R": {"e1"}, "Q": {"e3", "e4", "e5"}},
+        {"p": True, "R": {"e1", "e6", "e7"}, "Q": {"e3", "e4", "e5", "e8"}},
+        {"p": False, "R": {"e1", "e6"}, "Q": {"e3", "e4", "e5", "e8"}},
+        {"p": False, "R": {"e1"}, "Q": {"e3", "e4", "e5"}},
+        {"p": False, "R": {"e1"}, "Q": {"e3", "e5"}},
+        {"p": False, "R": {"e1"}, "Q": {"e5"}},
+        {"p": True, "R": {"e1", "e9", "e10"}, "Q": {"e5", "e11"}},
+    )

@@ -1,0 +1,61 @@
+"""The introduction's student enrolment example.
+
+A tiny DMS over ``{Enrolled/1, Graduated/1, Dropped/1}`` where students
+enrol (fresh values), may graduate or drop out, used to illustrate the
+MSO-FO property "every enrolled student eventually graduates" —
+``∀x ∀g u. Enrolled(u)@x ⇒ ∃y. y > x ∧ Graduated(u)@y``.
+
+Two variants are provided: one where graduation is the only exit
+(the property holds on complete runs) and one where students may drop
+out (the property is violated and the model checker produces a
+counterexample).
+"""
+
+from __future__ import annotations
+
+from repro.dms.builder import DMSBuilder
+from repro.dms.system import DMS
+from repro.msofo.patterns import student_progression_formula
+from repro.msofo.syntax import Formula
+
+__all__ = ["students_system", "students_progression_property"]
+
+
+def students_system(allow_dropout: bool = False) -> DMS:
+    """The student lifecycle DMS.
+
+    Args:
+        allow_dropout: when True a ``drop`` action can remove an enrolled
+            student without graduating them, violating the progression
+            property.
+    """
+    builder = DMSBuilder("students" + ("-dropout" if allow_dropout else ""))
+    builder.relations(("Enrolled", 1), ("Graduated", 1), ("Dropped", 1), ("open", 0))
+    builder.initially("open")
+    builder.action(
+        "enrol",
+        fresh=("s",),
+        guard="open",
+        add=[("Enrolled", "s")],
+    )
+    builder.action(
+        "graduate",
+        parameters=("s",),
+        guard="Enrolled(s)",
+        delete=[("Enrolled", "s")],
+        add=[("Graduated", "s")],
+    )
+    if allow_dropout:
+        builder.action(
+            "drop",
+            parameters=("s",),
+            guard="Enrolled(s)",
+            delete=[("Enrolled", "s")],
+            add=[("Dropped", "s")],
+        )
+    return builder.build()
+
+
+def students_progression_property() -> Formula:
+    """``∀x ∀g u. Enrolled(u)@x ⇒ ∃y. y > x ∧ Graduated(u)@y``."""
+    return student_progression_formula("Enrolled", "Graduated")

@@ -1,0 +1,52 @@
+"""The warehouse replenishment example of Appendix F.4 (Examples F.4 and F.5).
+
+The DMS operates over ``TBO/1`` (products to be ordered) and
+``InOrder/2`` (products grouped into orders).  Creating a replenishment
+order is naturally a *bulk* operation — every to-be-ordered product must
+move into the new order at once — which the library compiles into
+standard actions via :func:`repro.transforms.bulk.compile_bulk_system`.
+"""
+
+from __future__ import annotations
+
+from repro.database.instance import Fact
+from repro.dms.builder import DMSBuilder
+from repro.dms.system import DMS
+from repro.fol.syntax import Atom
+from repro.transforms.bulk import BulkAction, compile_bulk_system
+
+__all__ = ["warehouse_base_system", "new_order_bulk_action", "warehouse_system"]
+
+
+def warehouse_base_system() -> DMS:
+    """The warehouse DMS without the bulk order action.
+
+    The ``receive`` action registers a new product that needs ordering.
+    """
+    builder = DMSBuilder("warehouse")
+    builder.relations(("TBO", 1), ("InOrder", 2), ("open", 0))
+    builder.initially("open")
+    builder.action("receive", fresh=("pr",), guard="open", add=[("TBO", "pr")])
+    return builder.build()
+
+
+def new_order_bulk_action() -> BulkAction:
+    """The bulk action ``NewO`` of Example F.4.
+
+    Guard ``TBO(p)`` (with ``p`` universally matched), deletions
+    ``{TBO(p)}``, additions ``{InOrder(p, o)}`` with ``o`` a fresh order
+    identifier.
+    """
+    return BulkAction(
+        name="NewO",
+        parameters=("pr",),
+        fresh=("o",),
+        guard=Atom("TBO", ("pr",)),
+        deletions=(Fact("TBO", ("pr",)),),
+        additions=(Fact("InOrder", ("pr", "o")),),
+    )
+
+
+def warehouse_system() -> DMS:
+    """The warehouse DMS with ``NewO`` compiled into standard actions (Example F.5)."""
+    return compile_bulk_system(warehouse_base_system(), [new_order_bulk_action()], name="warehouse-bulk")

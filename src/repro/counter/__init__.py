@@ -1,0 +1,21 @@
+"""Minsky counter machines and the Appendix D undecidability reductions."""
+
+from repro.counter.machine import (
+    CounterMachine,
+    CounterOperation,
+    Instruction,
+    MachineConfiguration,
+    control_state_reachable,
+)
+from repro.counter.reductions import binary_encoding, state_proposition, unary_encoding
+
+__all__ = [
+    "CounterMachine",
+    "CounterOperation",
+    "Instruction",
+    "MachineConfiguration",
+    "binary_encoding",
+    "control_state_reachable",
+    "state_proposition",
+    "unary_encoding",
+]

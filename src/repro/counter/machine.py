@@ -1,0 +1,173 @@
+"""Minsky counter machines (paper, Appendix D).
+
+A counter machine is a tuple ``⟨Q, q0, n, Π⟩`` with instructions
+``⟨q, op, i, q'⟩`` where ``op ∈ {inc, dec, ifz}`` acts on counter ``i``.
+The module provides the machine model, its (bounded) configuration-graph
+exploration and the control-state reachability question used by the
+undecidability reductions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.errors import CounterMachineError
+
+__all__ = ["CounterOperation", "Instruction", "CounterMachine", "MachineConfiguration", "control_state_reachable"]
+
+
+class CounterOperation(Enum):
+    """The three operations of a Minsky machine."""
+
+    INC = "inc"
+    DEC = "dec"
+    IFZ = "ifz"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """An instruction ``⟨source, operation, counter, target⟩``.
+
+    Counters are 1-based, following the paper.
+    """
+
+    source: str
+    operation: CounterOperation
+    counter: int
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.counter < 1:
+            raise CounterMachineError("counters are 1-based")
+
+    def __str__(self) -> str:
+        return f"⟨{self.source}, {self.operation.value}, c{self.counter}, {self.target}⟩"
+
+
+@dataclass(frozen=True)
+class MachineConfiguration:
+    """A configuration ``⟨q, V⟩`` of a counter machine."""
+
+    state: str
+    counters: tuple[int, ...]
+
+    def value(self, counter: int) -> int:
+        """Value of the 1-based counter."""
+        return self.counters[counter - 1]
+
+    def __str__(self) -> str:
+        return f"⟨{self.state}, {list(self.counters)}⟩"
+
+
+@dataclass(frozen=True)
+class CounterMachine:
+    """A Minsky counter machine ``⟨Q, q0, n, Π⟩``."""
+
+    states: frozenset
+    initial_state: str
+    counter_count: int
+    instructions: tuple[Instruction, ...]
+    name: str = "cm"
+
+    def __post_init__(self) -> None:
+        if self.initial_state not in self.states:
+            raise CounterMachineError(f"initial state {self.initial_state!r} is not a state")
+        if self.counter_count < 1:
+            raise CounterMachineError("a counter machine needs at least one counter")
+        for instruction in self.instructions:
+            if instruction.source not in self.states or instruction.target not in self.states:
+                raise CounterMachineError(f"instruction {instruction} uses an undeclared state")
+            if instruction.counter > self.counter_count:
+                raise CounterMachineError(
+                    f"instruction {instruction} uses counter {instruction.counter} > {self.counter_count}"
+                )
+
+    @classmethod
+    def create(
+        cls,
+        states: Iterable[str],
+        initial_state: str,
+        counter_count: int,
+        instructions: Iterable[tuple[str, str, int, str]],
+        name: str = "cm",
+    ) -> "CounterMachine":
+        """Build a machine from ``(source, op, counter, target)`` tuples."""
+        return cls(
+            states=frozenset(states),
+            initial_state=initial_state,
+            counter_count=counter_count,
+            instructions=tuple(
+                Instruction(source, CounterOperation(op), counter, target)
+                for source, op, counter, target in instructions
+            ),
+            name=name,
+        )
+
+    def initial_configuration(self) -> MachineConfiguration:
+        """The initial configuration ``⟨q0, (0, ..., 0)⟩``."""
+        return MachineConfiguration(self.initial_state, (0,) * self.counter_count)
+
+    def successors(self, configuration: MachineConfiguration) -> list[MachineConfiguration]:
+        """All configurations reachable in one step."""
+        result = []
+        for instruction in self.instructions:
+            if instruction.source != configuration.state:
+                continue
+            counters = list(configuration.counters)
+            index = instruction.counter - 1
+            if instruction.operation is CounterOperation.INC:
+                counters[index] += 1
+            elif instruction.operation is CounterOperation.DEC:
+                if counters[index] == 0:
+                    continue
+                counters[index] -= 1
+            else:  # IFZ
+                if counters[index] != 0:
+                    continue
+            result.append(MachineConfiguration(instruction.target, tuple(counters)))
+        return result
+
+    def run_trace(self, choices: Iterable[int]) -> tuple[MachineConfiguration, ...]:
+        """Deterministically follow a sequence of successor indices (for tests)."""
+        trace = [self.initial_configuration()]
+        for choice in choices:
+            successors = self.successors(trace[-1])
+            if not 0 <= choice < len(successors):
+                raise CounterMachineError(f"choice {choice} out of range at {trace[-1]}")
+            trace.append(successors[choice])
+        return tuple(trace)
+
+
+def control_state_reachable(
+    machine: CounterMachine,
+    target_state: str,
+    max_steps: int = 200,
+    max_configurations: int = 100_000,
+) -> bool:
+    """Bounded control-state reachability (``2cm-Reach`` restricted to a step bound).
+
+    The unbounded problem is undecidable; all machines used by the tests
+    and benchmarks reach (or provably cannot reach within the explored
+    counter values) their targets well inside the default limits.
+    """
+    if target_state not in machine.states:
+        raise CounterMachineError(f"target state {target_state!r} is not a state")
+    initial = machine.initial_configuration()
+    seen = {initial}
+    frontier = deque([(initial, 0)])
+    while frontier:
+        configuration, depth = frontier.popleft()
+        if configuration.state == target_state:
+            return True
+        if depth >= max_steps:
+            continue
+        for successor in machine.successors(configuration):
+            if successor not in seen:
+                seen.add(successor)
+                if len(seen) > max_configurations:
+                    return False
+                frontier.append((successor, depth + 1))
+    return False

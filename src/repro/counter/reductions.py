@@ -1,0 +1,158 @@
+"""The undecidability reductions of Appendix D.
+
+Both reductions turn a two-counter machine ``M`` and a target state
+``q_f`` into a DMS ``S⟨M, q_f⟩`` such that ``q_f`` is reachable in ``M``
+iff the proposition ``S_{q_f}`` is reachable in the DMS:
+
+* :func:`unary_encoding` uses **two unary relations** ``C1, C2`` and full
+  FOL guards (counter values are the cardinalities of the relations);
+* :func:`binary_encoding` uses **one binary relation** ``Succ`` plus the
+  unary markers ``Top1, Top2, Zero`` and only UCQ guards (counter values
+  are distances along the ``Succ`` chain, Figure 6).
+
+Note: the paper lists the zero-test action of the unary encoding with a
+parameter ``u`` that does not occur free in its guard; since the model
+requires ``α·free = Free-Vars(guard)``, the reduction here uses the
+equivalent parameterless action.
+"""
+
+from __future__ import annotations
+
+from repro.database.instance import DatabaseInstance, Fact
+from repro.database.schema import Schema
+from repro.dms.action import Action
+from repro.dms.system import DMS
+from repro.counter.machine import CounterMachine, CounterOperation
+from repro.errors import CounterMachineError
+from repro.fol.parser import parse_query
+from repro.fol.syntax import And, Atom, Exists, Not, atom
+
+__all__ = ["state_proposition", "unary_encoding", "binary_encoding"]
+
+
+def state_proposition(state: str) -> str:
+    """The proposition name ``S_q`` tracking control state ``q``."""
+    return f"S_{state}"
+
+
+def _require_two_counters(machine: CounterMachine) -> None:
+    if machine.counter_count != 2:
+        raise CounterMachineError("the Appendix D reductions are stated for two-counter machines")
+
+
+def unary_encoding(machine: CounterMachine) -> DMS:
+    """The reduction with two unary relations and FOL guards (Appendix D)."""
+    _require_two_counters(machine)
+    relations = [("C1", 1), ("C2", 1)] + [(state_proposition(q), 0) for q in sorted(machine.states)]
+    schema = Schema.of(*relations)
+    initial = DatabaseInstance.of(schema, Fact(state_proposition(machine.initial_state)))
+    actions = []
+    for index, instruction in enumerate(machine.instructions):
+        source = state_proposition(instruction.source)
+        target = state_proposition(instruction.target)
+        counter_relation = f"C{instruction.counter}"
+        name = f"t{index}_{instruction.operation.value}_c{instruction.counter}"
+        if instruction.operation is CounterOperation.INC:
+            actions.append(
+                Action.create(
+                    name,
+                    schema,
+                    parameters=(),
+                    fresh=("v",),
+                    guard=atom(source),
+                    delete=[Fact(source)],
+                    add=[Fact(counter_relation, ("v",)), Fact(target)],
+                )
+            )
+        elif instruction.operation is CounterOperation.DEC:
+            actions.append(
+                Action.create(
+                    name,
+                    schema,
+                    parameters=("u",),
+                    fresh=(),
+                    guard=And(atom(source), atom(counter_relation, "u")),
+                    delete=[Fact(counter_relation, ("u",)), Fact(source)],
+                    add=[Fact(target)],
+                )
+            )
+        else:  # IFZ
+            actions.append(
+                Action.create(
+                    name,
+                    schema,
+                    parameters=(),
+                    fresh=(),
+                    guard=And(atom(source), Not(Exists("u", atom(counter_relation, "u")))),
+                    delete=[Fact(source)],
+                    add=[Fact(target)],
+                )
+            )
+    return DMS.create(schema, initial, actions, name=f"unary({machine.name})")
+
+
+def binary_encoding(machine: CounterMachine) -> DMS:
+    """The reduction with one binary relation and UCQ guards (Appendix D, Figure 6)."""
+    _require_two_counters(machine)
+    relations = [("Top1", 1), ("Top2", 1), ("Zero", 1), ("Succ", 2), ("S_init", 0)]
+    relations += [(state_proposition(q), 0) for q in sorted(machine.states)]
+    schema = Schema.of(*relations)
+    initial = DatabaseInstance.of(schema, Fact("S_init"))
+    actions = [
+        Action.create(
+            "init",
+            schema,
+            parameters=(),
+            fresh=("v",),
+            guard=atom("S_init"),
+            delete=[Fact("S_init")],
+            add=[
+                Fact(state_proposition(machine.initial_state)),
+                Fact("Top1", ("v",)),
+                Fact("Top2", ("v",)),
+                Fact("Zero", ("v",)),
+            ],
+        )
+    ]
+    for index, instruction in enumerate(machine.instructions):
+        source = state_proposition(instruction.source)
+        target = state_proposition(instruction.target)
+        top = f"Top{instruction.counter}"
+        name = f"t{index}_{instruction.operation.value}_c{instruction.counter}"
+        if instruction.operation is CounterOperation.INC:
+            actions.append(
+                Action.create(
+                    name,
+                    schema,
+                    parameters=("u",),
+                    fresh=("v",),
+                    guard=And(atom(source), atom(top, "u")),
+                    delete=[Fact(source), Fact(top, ("u",))],
+                    add=[Fact(target), Fact("Succ", ("u", "v")), Fact(top, ("v",))],
+                )
+            )
+        elif instruction.operation is CounterOperation.DEC:
+            actions.append(
+                Action.create(
+                    name,
+                    schema,
+                    parameters=("u1", "u2"),
+                    fresh=(),
+                    guard=And(And(atom(source), atom("Succ", "u1", "u2")), atom(top, "u2")),
+                    delete=[Fact(source), Fact("Succ", ("u1", "u2")), Fact(top, ("u2",))],
+                    add=[Fact(target), Fact(top, ("u1",))],
+                )
+            )
+        else:  # IFZ
+            actions.append(
+                Action.create(
+                    name,
+                    schema,
+                    parameters=("u",),
+                    fresh=(),
+                    guard=And(And(atom(source), atom(top, "u")), atom("Zero", "u")),
+                    delete=[Fact(source)],
+                    add=[Fact(target)],
+                )
+            )
+    return DMS.create(schema, initial, actions, name=f"binary({machine.name})")

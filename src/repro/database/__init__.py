@@ -1,0 +1,42 @@
+"""Relational database substrate (paper, Section 2).
+
+Public surface:
+
+* :class:`Schema`, :class:`RelationSymbol` — relational schemas ``R/a``.
+* :class:`Fact`, :class:`DatabaseInstance` — finite instances with
+  ``adom``, ``+`` (union) and ``-`` (difference).
+* :class:`Substitution`, :class:`VariableDatabase` — substitutions
+  ``σ : V → ∆`` and variable databases used for ``Del``/``Add``.
+* :class:`StandardDomain`, :class:`FreshValueAllocator` — the canonical
+  countable domain ``{e1, e2, ...}``.
+* :class:`ConstraintSet` — FO constraints with blocking semantics
+  (Example 4.3).
+"""
+
+from repro.database.constraints import ConstraintSet
+from repro.database.domain import (
+    FreshValueAllocator,
+    StandardDomain,
+    Value,
+    standard_index,
+    standard_value,
+)
+from repro.database.instance import DatabaseInstance, Fact
+from repro.database.schema import RelationSymbol, Schema
+from repro.database.substitution import Substitution, VariableDatabase, substitute_instance
+
+__all__ = [
+    "ConstraintSet",
+    "DatabaseInstance",
+    "Fact",
+    "FreshValueAllocator",
+    "RelationSymbol",
+    "Schema",
+    "StandardDomain",
+    "Substitution",
+    "Value",
+    "VariableDatabase",
+    "standard_index",
+    "standard_value",
+    "substitute_instance",
+]

@@ -1,0 +1,99 @@
+"""Database constraints.
+
+Example 4.3 of the paper shows how FO constraints can be added to a DMS:
+the application of an action is blocked whenever the resulting instance
+violates one of the constraints.  :class:`ConstraintSet` packages a set of
+boolean FOL(R) sentences and checks them against instances; the DMS
+semantics module consults it when a constrained system is executed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.database.instance import DatabaseInstance
+from repro.errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fol.syntax import Query
+
+__all__ = ["ConstraintSet"]
+
+
+class ConstraintSet:
+    """A finite set of boolean FOL(R) sentences interpreted as constraints.
+
+    Example:
+        >>> from repro.fol import parse_query
+        >>> from repro.database import Schema, DatabaseInstance, Fact
+        >>> schema = Schema.of(("R", 1))
+        >>> constraints = ConstraintSet([parse_query("exists u. R(u)")])
+        >>> constraints.satisfied_by(DatabaseInstance.of(schema, Fact.of("R", "e1")))
+        True
+    """
+
+    __slots__ = ("_constraints",)
+
+    def __init__(self, constraints: Iterable["Query"] = ()) -> None:
+        constraints = tuple(constraints)
+        for constraint in constraints:
+            if constraint.free_variables():
+                raise QueryError(
+                    f"constraint {constraint} must be a sentence (no free variables)"
+                )
+        self._constraints = constraints
+
+    @classmethod
+    def empty(cls) -> "ConstraintSet":
+        """The trivially satisfied constraint set."""
+        return cls(())
+
+    @property
+    def constraints(self) -> tuple:
+        """The constraint sentences."""
+        return self._constraints
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator["Query"]:
+        return iter(self._constraints)
+
+    def __bool__(self) -> bool:
+        return bool(self._constraints)
+
+    def satisfied_by(self, instance: DatabaseInstance) -> bool:
+        """True when every constraint holds in ``instance``."""
+        from repro.fol.evaluator import evaluate_sentence
+
+        return all(evaluate_sentence(constraint, instance) for constraint in self._constraints)
+
+    def violated_by(self, instance: DatabaseInstance) -> tuple:
+        """Return the constraints violated by ``instance`` (empty when satisfied)."""
+        from repro.fol.evaluator import evaluate_sentence
+
+        return tuple(
+            constraint
+            for constraint in self._constraints
+            if not evaluate_sentence(constraint, instance)
+        )
+
+    def add(self, constraint: "Query") -> "ConstraintSet":
+        """Return a new set with one more constraint."""
+        return ConstraintSet(self._constraints + (constraint,))
+
+    def conjunction(self) -> "Query":
+        """The single sentence ``φ_c`` equivalent to the whole set.
+
+        Used by Example 4.3 to reduce constrained model checking to
+        unconstrained model checking with ``(∀x. φ_c@x) ⇒ φ``.
+        """
+        from repro.fol.syntax import And, TrueQuery
+
+        result: "Query" = TrueQuery()
+        for constraint in self._constraints:
+            result = And(result, constraint)
+        return result
+
+    def __repr__(self) -> str:
+        return f"ConstraintSet({list(self._constraints)!r})"

@@ -1,0 +1,119 @@
+"""Data domains.
+
+The paper fixes a countably infinite data domain ``∆`` of standard names.
+For the canonical runs of Section 6.1 the domain is ``{e1, e2, ...}`` with
+the natural order.  :class:`StandardDomain` provides exactly that supply,
+and :class:`FreshValueAllocator` hands out history-fresh values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+__all__ = ["Value", "StandardDomain", "FreshValueAllocator", "standard_value", "standard_index"]
+
+#: A data value.  Any hashable object may be stored in a database instance;
+#: canonical runs use the string values ``"e1"``, ``"e2"``, ... produced by
+#: :func:`standard_value`.
+Value = Hashable
+
+_STANDARD_PREFIX = "e"
+
+
+def standard_value(index: int) -> str:
+    """Return the ``index``-th standard name ``e{index}`` (1-based)."""
+    if index < 1:
+        raise ValueError(f"standard values are 1-based, got index {index}")
+    return f"{_STANDARD_PREFIX}{index}"
+
+
+def standard_index(value: Value) -> int | None:
+    """Return ``i`` when ``value`` is the standard name ``e{i}``, else ``None``."""
+    if not isinstance(value, str) or not value.startswith(_STANDARD_PREFIX):
+        return None
+    suffix = value[len(_STANDARD_PREFIX):]
+    if not suffix.isdigit():
+        return None
+    index = int(suffix)
+    return index if index >= 1 else None
+
+
+@dataclass(frozen=True)
+class StandardDomain:
+    """The countably infinite domain ``{e1 < e2 < e3 < ...}``.
+
+    Used as the canonical domain of Section 6.1; the total order on the
+    domain is the order of the indices.
+    """
+
+    def value(self, index: int) -> str:
+        """The ``index``-th element of the domain (1-based)."""
+        return standard_value(index)
+
+    def index(self, value: Value) -> int:
+        """The position of ``value`` in the canonical order.
+
+        Raises:
+            ValueError: if ``value`` is not a standard name.
+        """
+        idx = standard_index(value)
+        if idx is None:
+            raise ValueError(f"{value!r} is not a standard domain value")
+        return idx
+
+    def first(self, count: int) -> tuple[str, ...]:
+        """The first ``count`` elements ``e1, ..., e{count}``."""
+        return tuple(self.value(i) for i in range(1, count + 1))
+
+    def iterate(self) -> Iterator[str]:
+        """Iterate ``e1, e2, ...`` forever."""
+        index = 1
+        while True:
+            yield self.value(index)
+            index += 1
+
+    def less(self, left: Value, right: Value) -> bool:
+        """The canonical total order on the domain."""
+        return self.index(left) < self.index(right)
+
+
+class FreshValueAllocator:
+    """Allocates values that are fresh with respect to a growing history.
+
+    The allocator mirrors the history-set ``H`` of the execution semantics:
+    every value ever returned (or registered via :meth:`observe`) is never
+    returned again.
+    """
+
+    def __init__(self, used: Iterable[Value] = (), domain: StandardDomain | None = None) -> None:
+        self._domain = domain or StandardDomain()
+        self._used: set[Value] = set(used)
+        self._next_index = 1
+        self._skip_used()
+
+    def _skip_used(self) -> None:
+        while self._domain.value(self._next_index) in self._used:
+            self._next_index += 1
+
+    @property
+    def used(self) -> frozenset:
+        """The set of values that can no longer be allocated."""
+        return frozenset(self._used)
+
+    def observe(self, *values: Value) -> None:
+        """Mark values as used (e.g. values appearing in an initial instance)."""
+        self._used.update(values)
+        self._skip_used()
+
+    def fresh(self) -> str:
+        """Return the least standard name not yet used and mark it used."""
+        value = self._domain.value(self._next_index)
+        self._used.add(value)
+        self._next_index += 1
+        self._skip_used()
+        return value
+
+    def fresh_many(self, count: int) -> tuple[str, ...]:
+        """Return ``count`` pairwise-distinct fresh values, in allocation order."""
+        return tuple(self.fresh() for _ in range(count))

@@ -1,0 +1,161 @@
+"""A fluent builder for DMS models.
+
+:class:`DMSBuilder` removes most of the boilerplate of constructing
+schemas, initial instances and actions, and is used heavily by the case
+studies and by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.database.constraints import ConstraintSet
+from repro.database.instance import DatabaseInstance, Fact
+from repro.database.schema import Schema
+from repro.dms.action import Action
+from repro.dms.system import DMS
+from repro.errors import SystemError_
+from repro.fol.builder import QueryBuilder
+from repro.fol.parser import parse_query
+from repro.fol.syntax import Query
+
+__all__ = ["DMSBuilder"]
+
+
+class DMSBuilder:
+    """Incrementally assemble a DMS.
+
+    Example:
+        >>> builder = DMSBuilder("toy")
+        >>> builder.relation("p", 0).relation("R", 1)           # doctest: +ELLIPSIS
+        <...>
+        >>> builder.initially("p")                              # doctest: +ELLIPSIS
+        <...>
+        >>> builder.action("alpha", fresh=("v",), add=[("R", "v")])   # doctest: +ELLIPSIS
+        <...>
+        >>> system = builder.build()
+        >>> system.action_names()
+        ('alpha',)
+    """
+
+    def __init__(self, name: str = "dms") -> None:
+        self._name = name
+        self._relations: dict[str, int] = {}
+        self._initial_propositions: set[str] = set()
+        self._initial_facts: list[tuple[str, tuple]] = []
+        self._action_specs: list[dict] = []
+        self._constraints: list[Query] = []
+
+    # -- schema ------------------------------------------------------------
+
+    def relation(self, name: str, arity: int) -> "DMSBuilder":
+        """Declare a relation ``name/arity``."""
+        existing = self._relations.get(name)
+        if existing is not None and existing != arity:
+            raise SystemError_(f"relation {name!r} declared with arities {existing} and {arity}")
+        self._relations[name] = arity
+        return self
+
+    def relations(self, *pairs: tuple[str, int]) -> "DMSBuilder":
+        """Declare several relations at once."""
+        for name, arity in pairs:
+            self.relation(name, arity)
+        return self
+
+    def proposition(self, *names: str) -> "DMSBuilder":
+        """Declare nullary relations."""
+        for name in names:
+            self.relation(name, 0)
+        return self
+
+    # -- initial instance -----------------------------------------------------
+
+    def initially(self, *propositions: str) -> "DMSBuilder":
+        """Make the given propositions true in ``I0``."""
+        for proposition in propositions:
+            self._initial_propositions.add(proposition)
+        return self
+
+    def initial_fact(self, relation: str, *values) -> "DMSBuilder":
+        """Add a non-nullary initial fact (relaxed systems only)."""
+        self._initial_facts.append((relation, tuple(values)))
+        return self
+
+    # -- actions -----------------------------------------------------------------
+
+    def action(
+        self,
+        name: str,
+        parameters: Iterable[str] = (),
+        fresh: Iterable[str] = (),
+        guard: Query | str | None = None,
+        delete: Iterable[tuple] = (),
+        add: Iterable[tuple] = (),
+    ) -> "DMSBuilder":
+        """Declare an action.
+
+        ``delete`` and ``add`` are iterables of ``(relation, var1, var2, ...)``
+        tuples over variable names; ``guard`` may be a query object or its
+        textual form.
+        """
+        self._action_specs.append(
+            {
+                "name": name,
+                "parameters": tuple(parameters),
+                "fresh": tuple(fresh),
+                "guard": guard,
+                "delete": tuple(tuple(entry) for entry in delete),
+                "add": tuple(tuple(entry) for entry in add),
+            }
+        )
+        return self
+
+    def constraint(self, constraint: Query | str) -> "DMSBuilder":
+        """Add a database constraint with blocking semantics (Example 4.3)."""
+        if isinstance(constraint, str):
+            constraint = parse_query(constraint)
+        self._constraints.append(constraint)
+        return self
+
+    # -- build -----------------------------------------------------------------------
+
+    def schema(self) -> Schema:
+        """The schema accumulated so far."""
+        return Schema.from_mapping(self._relations)
+
+    def query_builder(self) -> QueryBuilder:
+        """A query builder over the accumulated schema."""
+        return QueryBuilder(self.schema())
+
+    def build(self, require_empty_initial_adom: bool | None = None) -> DMS:
+        """Construct the immutable DMS."""
+        schema = self.schema()
+        initial_facts = [Fact(name) for name in sorted(self._initial_propositions)]
+        initial_facts.extend(Fact(rel, values) for rel, values in self._initial_facts)
+        initial = DatabaseInstance(schema, initial_facts)
+        actions = []
+        for spec in self._action_specs:
+            guard = spec["guard"]
+            if isinstance(guard, str):
+                guard = parse_query(guard)
+            actions.append(
+                Action.create(
+                    name=spec["name"],
+                    schema=schema,
+                    parameters=spec["parameters"],
+                    fresh=spec["fresh"],
+                    guard=guard,
+                    delete=[Fact(entry[0], tuple(entry[1:])) for entry in spec["delete"]],
+                    add=[Fact(entry[0], tuple(entry[1:])) for entry in spec["add"]],
+                )
+            )
+        if require_empty_initial_adom is None:
+            require_empty_initial_adom = not self._initial_facts
+        return DMS.create(
+            schema=schema,
+            initial_instance=initial,
+            actions=actions,
+            constraints=ConstraintSet(self._constraints),
+            name=self._name,
+            require_empty_initial_adom=require_empty_initial_adom,
+        )

@@ -1,0 +1,57 @@
+"""Configurations of the DMS configuration graph.
+
+A configuration is a pair ``⟨I, H⟩`` of a database instance and a
+history-set (paper, Section 3).  The recency-bounded semantics extends
+configurations with a sequence numbering (Section 5); that variant lives
+in :mod:`repro.recency.semantics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.database.domain import Value
+from repro.database.instance import DatabaseInstance
+
+__all__ = ["Configuration"]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A configuration ``⟨I, H⟩`` of the configuration graph ``C_S``.
+
+    Attributes:
+        instance: the current database instance ``I``.
+        history: the history-set ``H`` of all values encountered so far.
+    """
+
+    instance: DatabaseInstance
+    history: frozenset
+
+    @classmethod
+    def initial(cls, instance: DatabaseInstance) -> "Configuration":
+        """The initial configuration ``⟨I0, ∅⟩``.
+
+        The paper requires ``adom(I0) = ∅``; systems with a non-empty
+        initial active domain (obtained e.g. by the constant-removal
+        construction) start with ``H = adom(I0)`` instead, which this
+        constructor also honours.
+        """
+        return cls(instance=instance, history=frozenset(instance.active_domain()))
+
+    @property
+    def active_domain(self) -> frozenset:
+        """``adom(I)`` of the current instance."""
+        return self.instance.active_domain()
+
+    def extend_history(self, values: Iterable[Value]) -> frozenset:
+        """The history-set after observing ``values``."""
+        return self.history | frozenset(values)
+
+    def is_consistent(self) -> bool:
+        """Invariant check: the active domain is always contained in the history."""
+        return self.active_domain <= self.history
+
+    def __str__(self) -> str:
+        return f"⟨{self.instance.pretty()}, |H|={len(self.history)}⟩"

@@ -1,0 +1,189 @@
+"""Bounded exploration of the configuration graph ``C_S``.
+
+The configuration graph of a DMS is in general infinite (both in depth
+and, without canonical fresh values, in branching).  This module provides
+a bounded-depth, canonically-branching explorer that materialises a
+finite fragment of ``C_S`` as an explicit relational transition system,
+usable for reachability analysis and as the unbounded-recency baseline of
+the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.dms.configuration import Configuration
+from repro.dms.run import ExtendedRun, Step
+from repro.dms.semantics import enumerate_successors, initial_configuration
+from repro.dms.system import DMS
+
+__all__ = ["ExplorationLimits", "ExplorationResult", "ConfigurationGraphExplorer", "iterate_runs"]
+
+
+@dataclass(frozen=True)
+class ExplorationLimits:
+    """Limits bounding an exploration of the configuration graph.
+
+    Attributes:
+        max_depth: maximum number of action applications along any path.
+        max_configurations: stop after this many distinct configurations.
+        max_steps: stop after this many edges have been generated.
+    """
+
+    max_depth: int = 6
+    max_configurations: int = 100_000
+    max_steps: int = 500_000
+
+
+@dataclass
+class ExplorationResult:
+    """The explicit fragment of ``C_S`` produced by an exploration."""
+
+    initial: Configuration
+    configurations: set = field(default_factory=set)
+    edges: list = field(default_factory=list)
+    depth_reached: int = 0
+    truncated: bool = False
+
+    @property
+    def configuration_count(self) -> int:
+        """Number of distinct configurations discovered."""
+        return len(self.configurations)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of transition edges discovered."""
+        return len(self.edges)
+
+    def successors_of(self, configuration: Configuration) -> list:
+        """All explored steps leaving ``configuration``."""
+        return [step for step in self.edges if step.source == configuration]
+
+
+class ConfigurationGraphExplorer:
+    """Breadth-first bounded explorer of the (canonical) configuration graph."""
+
+    def __init__(self, system: DMS, limits: ExplorationLimits | None = None) -> None:
+        self._system = system
+        self._limits = limits or ExplorationLimits()
+
+    @property
+    def system(self) -> DMS:
+        """The explored system."""
+        return self._system
+
+    @property
+    def limits(self) -> ExplorationLimits:
+        """The exploration limits."""
+        return self._limits
+
+    def explore(
+        self,
+        on_configuration: Callable[[Configuration, int], None] | None = None,
+    ) -> ExplorationResult:
+        """Run a breadth-first exploration up to the configured limits.
+
+        Args:
+            on_configuration: optional callback invoked with each newly
+                discovered configuration and its depth.
+        """
+        initial = initial_configuration(self._system)
+        result = ExplorationResult(initial=initial)
+        result.configurations.add(initial)
+        if on_configuration:
+            on_configuration(initial, 0)
+        frontier: deque[tuple[Configuration, int]] = deque([(initial, 0)])
+        steps_generated = 0
+        while frontier:
+            configuration, depth = frontier.popleft()
+            result.depth_reached = max(result.depth_reached, depth)
+            if depth >= self._limits.max_depth:
+                continue
+            for step in enumerate_successors(self._system, configuration):
+                steps_generated += 1
+                result.edges.append(step)
+                if step.target not in result.configurations:
+                    result.configurations.add(step.target)
+                    if on_configuration:
+                        on_configuration(step.target, depth + 1)
+                    frontier.append((step.target, depth + 1))
+                if (
+                    len(result.configurations) >= self._limits.max_configurations
+                    or steps_generated >= self._limits.max_steps
+                ):
+                    result.truncated = True
+                    return result
+        return result
+
+    def find_configuration(
+        self, predicate: Callable[[Configuration], bool]
+    ) -> tuple[ExtendedRun | None, ExplorationResult]:
+        """Search for a configuration satisfying ``predicate``.
+
+        Returns the witnessing extended run (or ``None``) together with the
+        exploration statistics.  The search is breadth-first so the witness
+        has minimal length.
+        """
+        initial = initial_configuration(self._system)
+        result = ExplorationResult(initial=initial)
+        result.configurations.add(initial)
+        if predicate(initial):
+            return ExtendedRun(initial), result
+        frontier: deque[tuple[Configuration, int, ExtendedRun]] = deque(
+            [(initial, 0, ExtendedRun(initial))]
+        )
+        steps_generated = 0
+        while frontier:
+            configuration, depth, prefix = frontier.popleft()
+            result.depth_reached = max(result.depth_reached, depth)
+            if depth >= self._limits.max_depth:
+                continue
+            for step in enumerate_successors(self._system, configuration):
+                steps_generated += 1
+                result.edges.append(step)
+                extended = prefix.extend(step)
+                if predicate(step.target):
+                    return extended, result
+                if step.target not in result.configurations:
+                    result.configurations.add(step.target)
+                    frontier.append((step.target, depth + 1, extended))
+                if (
+                    len(result.configurations) >= self._limits.max_configurations
+                    or steps_generated >= self._limits.max_steps
+                ):
+                    result.truncated = True
+                    return None, result
+        return None, result
+
+
+def iterate_runs(system: DMS, depth: int, max_runs: int | None = None) -> Iterator[ExtendedRun]:
+    """Enumerate all canonical extended-run prefixes of exactly ``depth`` steps
+    (or shorter if a configuration is a dead end).
+
+    The enumeration is depth-first and deterministic; ``max_runs`` truncates
+    it.  Used by the cross-validation tests and by the model checker's
+    run-enumeration backend.
+    """
+    count = 0
+
+    def recurse(prefix: ExtendedRun, remaining: int) -> Iterator[ExtendedRun]:
+        nonlocal count
+        if max_runs is not None and count >= max_runs:
+            return
+        if remaining == 0:
+            count += 1
+            yield prefix
+            return
+        steps = list(enumerate_successors(system, prefix.final()))
+        if not steps:
+            count += 1
+            yield prefix
+            return
+        for step in steps:
+            if max_runs is not None and count >= max_runs:
+                return
+            yield from recurse(prefix.extend(step), remaining - 1)
+
+    yield from recurse(ExtendedRun(initial_configuration(system)), depth)

@@ -1,0 +1,167 @@
+"""Runs and extended runs of a DMS.
+
+An extended run is a sequence of configurations connected by
+``action : substitution`` labels; the run it generates is the sequence of
+database instances along it (paper, Section 3).  This library manipulates
+*finite prefixes* of the (infinite) runs of the paper; the model checker
+reports explicitly when a verdict depends on the unexplored suffix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.database.instance import DatabaseInstance
+from repro.database.substitution import Substitution
+from repro.dms.action import Action
+from repro.dms.configuration import Configuration
+from repro.errors import ExecutionError
+
+__all__ = ["Step", "Run", "ExtendedRun"]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One labelled transition ``⟨I, H⟩ --α:σ--> ⟨I', H'⟩``."""
+
+    source: Configuration
+    action: Action
+    substitution: Substitution
+    target: Configuration
+
+    @property
+    def label(self) -> tuple[str, Substitution]:
+        """The ``⟨action : substitution⟩`` pair labelling the edge."""
+        return (self.action.name, self.substitution)
+
+    def fresh_values(self) -> tuple:
+        """The values injected by the fresh-input variables, in ``v⃗`` order."""
+        return tuple(self.substitution[v] for v in self.action.fresh)
+
+    def __str__(self) -> str:
+        return f"--{self.action.name}:{self.substitution}-->"
+
+
+class Run:
+    """A finite prefix ``I0, I1, ..., Ik`` of a run (sequence of instances)."""
+
+    __slots__ = ("_instances",)
+
+    def __init__(self, instances: Sequence[DatabaseInstance]) -> None:
+        if not instances:
+            raise ExecutionError("a run must contain at least the initial instance")
+        self._instances = tuple(instances)
+
+    @property
+    def instances(self) -> tuple[DatabaseInstance, ...]:
+        """The database instances along the run prefix."""
+        return self._instances
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[DatabaseInstance]:
+        return iter(self._instances)
+
+    def __getitem__(self, position: int) -> DatabaseInstance:
+        return self._instances[position]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Run):
+            return NotImplemented
+        return self._instances == other._instances
+
+    def __hash__(self) -> int:
+        return hash(self._instances)
+
+    def global_active_domain(self) -> frozenset:
+        """``Gadom(ρ)``: the union of the active domains along the run."""
+        result: set = set()
+        for instance in self._instances:
+            result |= instance.active_domain()
+        return frozenset(result)
+
+    def positions(self) -> range:
+        """The positions ``0 .. len-1`` of the prefix."""
+        return range(len(self._instances))
+
+    def __repr__(self) -> str:
+        return f"Run(length={len(self._instances)})"
+
+
+class ExtendedRun:
+    """A finite prefix of an extended run: configurations plus labelled steps."""
+
+    __slots__ = ("_initial", "_steps")
+
+    def __init__(self, initial: Configuration, steps: Sequence[Step] = ()) -> None:
+        self._initial = initial
+        steps = tuple(steps)
+        previous = initial
+        for index, step in enumerate(steps):
+            if step.source != previous:
+                raise ExecutionError(
+                    f"step {index} does not start at the configuration reached by step {index - 1}"
+                )
+            previous = step.target
+        self._steps = steps
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def initial(self) -> Configuration:
+        """The initial configuration ``⟨I0, ∅⟩``."""
+        return self._initial
+
+    @property
+    def steps(self) -> tuple[Step, ...]:
+        """The labelled steps of the prefix."""
+        return self._steps
+
+    def __len__(self) -> int:
+        """Number of steps (the run prefix has ``len + 1`` instances)."""
+        return len(self._steps)
+
+    def configurations(self) -> tuple[Configuration, ...]:
+        """All configurations ``⟨I0,H0⟩, ..., ⟨Ik,Hk⟩``."""
+        return (self._initial,) + tuple(step.target for step in self._steps)
+
+    def final(self) -> Configuration:
+        """The last configuration of the prefix."""
+        return self._steps[-1].target if self._steps else self._initial
+
+    def labels(self) -> tuple[tuple[str, Substitution], ...]:
+        """The generating sequence of ``⟨action : substitution⟩`` labels."""
+        return tuple(step.label for step in self._steps)
+
+    def to_run(self) -> Run:
+        """Project the extended run onto its sequence of database instances."""
+        return Run([conf.instance for conf in self.configurations()])
+
+    def extend(self, step: Step) -> "ExtendedRun":
+        """Return the extended run with one more step appended."""
+        return ExtendedRun(self._initial, self._steps + (step,))
+
+    def history(self) -> frozenset:
+        """The final history-set ``H_k``."""
+        return self.final().history
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExtendedRun):
+            return NotImplemented
+        return self._initial == other._initial and self._steps == other._steps
+
+    def __hash__(self) -> int:
+        return hash((self._initial, self._steps))
+
+    def __repr__(self) -> str:
+        return f"ExtendedRun(steps={len(self._steps)})"
+
+    def pretty(self) -> str:
+        """A human-readable rendering of the prefix in the style of Figure 1."""
+        parts = [self._initial.instance.pretty()]
+        for step in self._steps:
+            parts.append(f" --{step.action.name}:{step.substitution}--> ")
+            parts.append(step.target.instance.pretty())
+        return "".join(parts)

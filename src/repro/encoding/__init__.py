@@ -1,0 +1,56 @@
+"""Nested-word encoding of b-bounded runs and the MSONW reduction (paper, Section 6.3–6.6)."""
+
+from repro.encoding.alphabet import (
+    HeadLetter,
+    InitialLetter,
+    PopLetter,
+    PushLetter,
+    encoding_alphabet,
+    head_letters,
+)
+from repro.encoding.analyzer import EncodingAnalyzer, ValidityReport
+from repro.encoding.blocks import Block, block_letters, parse_blocks
+from repro.encoding.encoder import (
+    block_for_step,
+    encode_run,
+    encode_symbolic_word,
+    encoding_length,
+)
+from repro.encoding.mso_builder import (
+    MSONWBuilder,
+    valid_encoding_formula,
+    valid_encoding_formula_size,
+)
+from repro.encoding.translate import (
+    evaluate_specification_via_encoding,
+    reduction_formula,
+    reduction_formula_size,
+    translate_guard,
+    translate_specification,
+)
+
+__all__ = [
+    "Block",
+    "EncodingAnalyzer",
+    "HeadLetter",
+    "InitialLetter",
+    "MSONWBuilder",
+    "PopLetter",
+    "PushLetter",
+    "ValidityReport",
+    "block_for_step",
+    "block_letters",
+    "encode_run",
+    "encode_symbolic_word",
+    "encoding_alphabet",
+    "encoding_length",
+    "evaluate_specification_via_encoding",
+    "head_letters",
+    "parse_blocks",
+    "reduction_formula",
+    "reduction_formula_size",
+    "translate_guard",
+    "translate_specification",
+    "valid_encoding_formula",
+    "valid_encoding_formula_size",
+]

@@ -1,0 +1,94 @@
+"""The visible alphabet of the run encoding (paper, Section 6.3).
+
+``Σ = Σint ⊎ Σ↑ ⊎ Σ↓`` where
+
+* the internal letters are the symbolic labels ``α : s`` plus the marker
+  ``I0`` for the initial database,
+* the pop letters are ``↑0 ... ↑(b-1)``,
+* the push letters are ``↓-η ... ↓0 ... ↓(b-1)`` with
+  ``η = max_α |α·new|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dms.system import DMS
+from repro.nestedwords.alphabet import VisibleAlphabet
+from repro.recency.abstraction import SymbolicLabel, symbolic_alphabet
+
+__all__ = [
+    "InitialLetter",
+    "HeadLetter",
+    "PopLetter",
+    "PushLetter",
+    "encoding_alphabet",
+    "head_letters",
+]
+
+
+@dataclass(frozen=True)
+class InitialLetter:
+    """The internal letter ``I0`` marking the initial database instance."""
+
+    def __str__(self) -> str:
+        return "I0"
+
+
+@dataclass(frozen=True)
+class HeadLetter:
+    """An internal letter ``α : s`` — the head of a block."""
+
+    label: SymbolicLabel
+
+    @property
+    def action_name(self) -> str:
+        """The action name ``α``."""
+        return self.label.action_name
+
+    def __str__(self) -> str:
+        return str(self.label)
+
+
+@dataclass(frozen=True)
+class PopLetter:
+    """A pop letter ``↑i`` with recency index ``0 ≤ i ≤ b-1``."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"↑{self.index}"
+
+
+@dataclass(frozen=True)
+class PushLetter:
+    """A push letter ``↓i`` with ``-η ≤ i ≤ b-1``.
+
+    Non-negative indices re-push surviving recent elements; negative
+    indices push freshly created elements.
+    """
+
+    index: int
+
+    @property
+    def is_fresh(self) -> bool:
+        """True for fresh-element pushes (negative index)."""
+        return self.index < 0
+
+    def __str__(self) -> str:
+        return f"↓{self.index}"
+
+
+def head_letters(system: DMS, bound: int) -> tuple[HeadLetter, ...]:
+    """All block-head letters ``α : s`` for the system at the given bound."""
+    return tuple(HeadLetter(label) for label in symbolic_alphabet(system, bound))
+
+
+def encoding_alphabet(system: DMS, bound: int) -> VisibleAlphabet:
+    """The visible alphabet ``Σ`` of the encoding of b-bounded runs of the system."""
+    eta = system.max_fresh
+    internal = set(head_letters(system, bound))
+    internal.add(InitialLetter())
+    pops = {PopLetter(index) for index in range(bound)}
+    pushes = {PushLetter(index) for index in range(-eta, bound)}
+    return VisibleAlphabet.of(push=pushes, pop=pops, internal=internal)

@@ -1,0 +1,375 @@
+"""Word-level analysis of run encodings (paper, Sections 6.3.1 and 6.4).
+
+:class:`EncodingAnalyzer` interprets a word over the encoding alphabet
+*without* running the DMS semantics: it reconstructs, purely from the
+letters and the nesting structure, everything that the MSONW formula
+``ϕ_valid`` talks about —
+
+* the blocks and their heads,
+* the identity of elements across blocks (the zig-zag closure of the
+  ``step`` relation of Figure 3, computed here with a union-find over the
+  push/pop positions),
+* the symbolic database before/after every block (tuples over element
+  classes, obtained by replaying the ``Add``/``Del`` specifications of
+  the block heads),
+* the predicates ``Eq``, ``Rel-R @ ⊖/⊕``, ``live`` and ``ϕ^Recent_m``,
+* the three validity conditions (consistency of ``m``, of ``J`` and of
+  the action guards) plus block well-formedness.
+
+It is the executable counterpart of ``ϕ_valid``: a word is a valid
+encoding iff :meth:`EncodingAnalyzer.check_validity` reports no failure,
+which the test-suite cross-validates against the independent
+``Concr``-based check of :mod:`repro.recency.concretize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.database.instance import DatabaseInstance, Fact
+from repro.dms.system import DMS
+from repro.encoding.alphabet import HeadLetter, InitialLetter, PopLetter, PushLetter
+from repro.encoding.blocks import Block, parse_blocks
+from repro.errors import EncodingError
+from repro.fol.evaluator import satisfies
+from repro.nestedwords.word import NestedWord
+from repro.recency.abstraction import SymbolicLabel
+
+__all__ = ["ValidityReport", "EncodingAnalyzer"]
+
+
+@dataclass(frozen=True)
+class ValidityReport:
+    """Outcome of the validity check of an encoding.
+
+    Attributes:
+        valid: True when every block is good (Section 6.3.1).
+        failed_block: 1-based index of the first bad block (``None`` if valid).
+        condition: which condition failed (``"well-formedness"``, ``"m"``,
+            ``"J"`` or ``"guard"``).
+        reason: human-readable explanation.
+    """
+
+    valid: bool
+    failed_block: int | None = None
+    condition: str | None = None
+    reason: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+class _UnionFind:
+    """A plain union-find over integer keys."""
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+
+    def add(self, key: int) -> None:
+        self._parent.setdefault(key, key)
+
+    def find(self, key: int) -> int:
+        parent = self._parent.setdefault(key, key)
+        if parent != key:
+            root = self.find(parent)
+            self._parent[key] = root
+            return root
+        return key
+
+    def union(self, left: int, right: int) -> None:
+        self._parent[self.find(left)] = self.find(right)
+
+
+class EncodingAnalyzer:
+    """Interpret a (possibly invalid) word over the encoding alphabet."""
+
+    def __init__(self, system: DMS, bound: int, word: NestedWord | Sequence) -> None:
+        self._system = system
+        self._bound = bound
+        if not isinstance(word, NestedWord):
+            from repro.encoding.alphabet import encoding_alphabet
+
+            word = NestedWord.from_letters(encoding_alphabet(system, bound), word)
+        self._word = word
+        self._blocks = parse_blocks(word.letters)
+        self._classes = _UnionFind()
+        # element class referenced by (block_index, recency_or_fresh_index)
+        self._index_class: dict[tuple[int, int], int] = {}
+        self._databases_before: list[DatabaseInstance] = []
+        self._databases_after: list[DatabaseInstance] = []
+        self._analysis_error: tuple[int, str, str] | None = None
+        self._analyse()
+
+    # -- basic accessors ----------------------------------------------------------
+
+    @property
+    def system(self) -> DMS:
+        """The DMS the encoding refers to."""
+        return self._system
+
+    @property
+    def bound(self) -> int:
+        """The recency bound ``b``."""
+        return self._bound
+
+    @property
+    def word(self) -> NestedWord:
+        """The analysed nested word."""
+        return self._word
+
+    @property
+    def blocks(self) -> tuple[Block, ...]:
+        """The parsed blocks ``B1, B2, ...``."""
+        return self._blocks
+
+    def block_count(self) -> int:
+        """The number of blocks."""
+        return len(self._blocks)
+
+    def symbolic_word(self) -> tuple[SymbolicLabel, ...]:
+        """The Σint projection of the word (the abstract generating sequence)."""
+        return tuple(block.label for block in self._blocks)
+
+    # -- analysis -------------------------------------------------------------------
+
+    def _analyse(self) -> None:
+        """Replay the word, building element classes and symbolic databases."""
+        schema = self._system.schema
+        current = DatabaseInstance(
+            schema, (Fact(name) for name in self._system.initial_instance.true_propositions())
+        )
+        stack: list[int] = []  # positions of unmatched pushes (element identities)
+        cursor = 2  # 1-based position after the I0 letter
+        analyzed_before: list[DatabaseInstance] = []
+        analyzed_after: list[DatabaseInstance] = []
+        for block_number, block in enumerate(self._blocks, start=1):
+            analyzed_before.append(current)
+            head = block.head_position
+            # pops: ↑0 .. ↑(m-1) take the innermost unmatched pushes.
+            popped: dict[int, int] = {}
+            for pop_index in range(block.recent_size):
+                if not stack:
+                    self._analysis_error = (
+                        block_number,
+                        "well-formedness",
+                        f"block {block_number} pops ↑{pop_index} but no unmatched push remains",
+                    )
+                    self._databases_before = analyzed_before
+                    self._databases_after = analyzed_after
+                    return
+                position = stack.pop()
+                popped[pop_index] = self._classes.find(position)
+                self._index_class[(block_number, pop_index)] = self._classes.find(position)
+            # surviving pushes: ↓i re-push the element popped as ↑i (descending order).
+            for push_index in sorted(block.surviving, reverse=True):
+                push_position = self._push_position(block, push_index)
+                self._classes.add(push_position)
+                if push_index in popped:
+                    self._classes.union(push_position, popped[push_index])
+                stack.append(self._classes.find(push_position))
+            # fresh pushes ↓-1 .. ↓-n create new element classes.
+            for offset in range(1, block.fresh_count + 1):
+                push_position = self._push_position(block, -offset)
+                self._classes.add(push_position)
+                self._index_class[(block_number, -offset)] = self._classes.find(push_position)
+                stack.append(self._classes.find(push_position))
+            # apply the Add/Del of the block head to the symbolic database.
+            action = self._system.action(block.action_name)
+            try:
+                binding = self._block_binding(block_number, block, action)
+            except EncodingError as error:
+                self._analysis_error = (block_number, "well-formedness", str(error))
+                self._databases_before = analyzed_before
+                self._databases_after = analyzed_after
+                return
+            deletions = [
+                Fact(fact.relation, tuple(binding[arg] for arg in fact.arguments))
+                for fact in action.deletions
+            ]
+            additions = [
+                Fact(fact.relation, tuple(binding[arg] for arg in fact.arguments))
+                for fact in action.additions
+            ]
+            current = current.apply_update(deletions, additions)
+            analyzed_after.append(current)
+            cursor = head + block.length()
+        self._databases_before = analyzed_before
+        self._databases_after = analyzed_after
+
+    def _push_position(self, block: Block, index: int) -> int:
+        """The 1-based position of the push letter ``↓index`` within the block."""
+        offset = 0
+        for letter_offset, letter in enumerate(block.letters()):
+            if isinstance(letter, PushLetter) and letter.index == index:
+                offset = letter_offset
+                break
+        else:
+            raise EncodingError(f"block {block} has no push letter ↓{index}")
+        return block.head_position + offset
+
+    def _block_binding(self, block_number: int, block: Block, action) -> dict[str, int]:
+        """Bind the action variables of a block to element classes."""
+        binding: dict[str, int] = {}
+        for parameter in action.parameters:
+            index = block.label.substitution[parameter]
+            if index >= block.recent_size:
+                raise EncodingError(
+                    f"block {block_number}: parameter {parameter} uses recency index {index} "
+                    f"≥ m={block.recent_size}"
+                )
+            binding[parameter] = self._index_class[(block_number, index)]
+        for offset, fresh_variable in enumerate(action.fresh, start=1):
+            key = (block_number, -offset)
+            if key not in self._index_class:
+                raise EncodingError(
+                    f"block {block_number}: action {action.name} needs {len(action.fresh)} fresh "
+                    f"pushes but the block provides fewer"
+                )
+            binding[fresh_variable] = self._index_class[key]
+        return binding
+
+    # -- databases and element identity ----------------------------------------------
+
+    def database_before(self, block_number: int) -> DatabaseInstance:
+        """The symbolic database just before executing the given block (1-based)."""
+        return self._databases_before[block_number - 1]
+
+    def database_after(self, block_number: int) -> DatabaseInstance:
+        """The symbolic database just after executing the given block (1-based)."""
+        return self._databases_after[block_number - 1]
+
+    def element_class(self, block_number: int, index: int) -> int | None:
+        """The element class referenced by ``index`` in the given block.
+
+        Non-negative indices refer to pops ``↑index`` (recent elements
+        before the block); negative indices refer to fresh pushes.
+        Returns ``None`` when the block has no such reference.
+        """
+        key = (block_number, index)
+        if key not in self._index_class:
+            return None
+        return self._classes.find(self._index_class[key])
+
+    def equal_elements(
+        self, left_block: int, left_index: int, right_block: int, right_index: int
+    ) -> bool:
+        """The predicate ``Eq_{i,j}(x, y)`` of Section 6.4 (Figure 4)."""
+        left = self.element_class(left_block, left_index)
+        right = self.element_class(right_block, right_index)
+        return left is not None and right is not None and left == right
+
+    def all_element_classes(self) -> frozenset:
+        """Every element class created along the encoding (``Gadom`` analogue)."""
+        return frozenset(
+            self._classes.find(value) for value in self._index_class.values()
+        )
+
+    def live(self, block_number: int, index: int) -> bool:
+        """``live(x, i)``: the element indexed ``i`` in block ``x`` is in the
+        active domain after the block (Section 6.4.2, condition 2)."""
+        element = self.element_class(block_number, index)
+        if element is None:
+            return False
+        return element in self.database_after(block_number).active_domain()
+
+    def recent_size_before(self, block_number: int) -> int:
+        """``|Recent_b|`` before the block, computed from the symbolic database."""
+        return min(self._bound, len(self.database_before(block_number).active_domain()))
+
+    def adom_size_from_nesting(self, block_number: int) -> int:
+        """``|adom|`` before the block via Remark 6.1 (unmatched pushes in the prefix)."""
+        head = self._blocks[block_number - 1].head_position
+        return len(self._word.unmatched_pushes_up_to(head - 1))
+
+    # -- validity ---------------------------------------------------------------------
+
+    def check_validity(self) -> ValidityReport:
+        """Check the conditions of Section 6.3.1 block by block."""
+        if self._analysis_error is not None:
+            block_number, condition, reason = self._analysis_error
+            return ValidityReport(False, block_number, condition, reason)
+        for block_number, block in enumerate(self._blocks, start=1):
+            if block_number > len(self._databases_before):
+                return ValidityReport(
+                    False, block_number, "well-formedness", "analysis stopped before this block"
+                )
+            report = self._check_block(block_number, block)
+            if report is not None:
+                return report
+        return ValidityReport(True)
+
+    def _check_block(self, block_number: int, block: Block) -> ValidityReport | None:
+        action = self._system.action(block.action_name)
+        # Well-formedness: |fresh| must match the action, s must use indices < m.
+        if block.fresh_count != len(action.fresh):
+            return ValidityReport(
+                False,
+                block_number,
+                "well-formedness",
+                f"block pushes {block.fresh_count} fresh elements but |α·new| = {len(action.fresh)}",
+            )
+        for parameter in action.parameters:
+            if block.label.substitution[parameter] >= block.recent_size:
+                return ValidityReport(
+                    False,
+                    block_number,
+                    "well-formedness",
+                    f"parameter {parameter} uses index ≥ m",
+                )
+        # Condition 1: consistency of m.
+        expected_m = self.recent_size_before(block_number)
+        if block.recent_size != expected_m:
+            return ValidityReport(
+                False,
+                block_number,
+                "m",
+                f"block declares m={block.recent_size} but |Recent_b| = {expected_m}",
+            )
+        # Condition 2: consistency of J (pushed back iff live).
+        for index in range(block.recent_size):
+            is_pushed = index in block.surviving
+            is_live = self.live(block_number, index)
+            if is_pushed != is_live:
+                return ValidityReport(
+                    False,
+                    block_number,
+                    "J",
+                    f"recency index {index}: pushed_back={is_pushed} but live={is_live}",
+                )
+        # Condition 3: consistency of the action guard.
+        binding = {
+            parameter: self.element_class(block_number, block.label.substitution[parameter])
+            for parameter in action.parameters
+        }
+        database = self.database_before(block_number)
+        adom = database.active_domain()
+        if any(value not in adom for value in binding.values()):
+            return ValidityReport(
+                False,
+                block_number,
+                "guard",
+                "a parameter refers to an element outside the current active domain",
+            )
+        if not satisfies(database, action.guard, binding):
+            return ValidityReport(
+                False,
+                block_number,
+                "guard",
+                f"guard of {action.name} fails under indices {dict(block.label.substitution)}",
+            )
+        # Constraints (Example 4.3) restrict which successors exist.
+        if self._system.constraints and not self._system.constraints.satisfied_by(
+            self.database_after(block_number)
+        ):
+            return ValidityReport(
+                False,
+                block_number,
+                "guard",
+                "the successor database violates the declared constraints",
+            )
+        return None
+
+    def is_valid(self) -> bool:
+        """Shorthand for ``check_validity().valid``."""
+        return self.check_validity().valid

@@ -1,0 +1,162 @@
+"""Blocks of the nested-word encoding (paper, Section 6.3).
+
+A block ``block(α, s, m, J)`` is the letter sequence::
+
+    α:s  ↑0 ↑1 ... ↑(m-1)  ↓i1 ... ↓iℓ  ↓-1 ... ↓-n
+
+with ``J = {i1 > i2 > ... > iℓ} ⊆ {0..m-1}`` the surviving recency
+indices and ``n = |α·new|``.  Intuitively all recent elements are popped,
+the surviving ones are pushed back (most recent last) and the fresh
+elements are pushed on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.encoding.alphabet import HeadLetter, InitialLetter, PopLetter, PushLetter
+from repro.errors import EncodingError
+from repro.recency.abstraction import SymbolicLabel
+
+__all__ = ["Block", "block_letters", "parse_blocks"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block of the encoding.
+
+    Attributes:
+        label: the symbolic label ``α : s`` heading the block.
+        recent_size: ``m`` — the size of ``Recent_b`` just before the block.
+        surviving: ``J`` — the recency indices pushed back (surviving).
+        fresh_count: ``n = |α·new|`` — the number of fresh pushes.
+        head_position: 1-based position of the head letter within the full
+            encoding word (``0`` when the block is built stand-alone).
+    """
+
+    label: SymbolicLabel
+    recent_size: int
+    surviving: frozenset
+    fresh_count: int
+    head_position: int = 0
+
+    def __post_init__(self) -> None:
+        if self.recent_size < 0:
+            raise EncodingError("block recent_size (m) must be non-negative")
+        if self.fresh_count < 0:
+            raise EncodingError("block fresh_count (n) must be non-negative")
+        bad = {index for index in self.surviving if not 0 <= index < self.recent_size}
+        if bad:
+            raise EncodingError(
+                f"surviving indices {sorted(bad)} outside {{0..{self.recent_size - 1}}}"
+            )
+
+    @property
+    def action_name(self) -> str:
+        """The action name heading the block."""
+        return self.label.action_name
+
+    def letters(self) -> tuple:
+        """The letter sequence of the block."""
+        sequence: list = [HeadLetter(self.label)]
+        sequence.extend(PopLetter(index) for index in range(self.recent_size))
+        sequence.extend(PushLetter(index) for index in sorted(self.surviving, reverse=True))
+        sequence.extend(PushLetter(-offset) for offset in range(1, self.fresh_count + 1))
+        return tuple(sequence)
+
+    def length(self) -> int:
+        """Number of letters in the block."""
+        return 1 + self.recent_size + len(self.surviving) + self.fresh_count
+
+    def pop_indices(self) -> tuple[int, ...]:
+        """The pop indices ``0..m-1`` in order of appearance."""
+        return tuple(range(self.recent_size))
+
+    def push_indices(self) -> tuple[int, ...]:
+        """The push indices in order of appearance (surviving descending, then -1..-n)."""
+        surviving = tuple(sorted(self.surviving, reverse=True))
+        fresh = tuple(-offset for offset in range(1, self.fresh_count + 1))
+        return surviving + fresh
+
+    def __str__(self) -> str:
+        return (
+            f"block({self.label}, m={self.recent_size}, "
+            f"J={sorted(self.surviving)}, n={self.fresh_count})"
+        )
+
+
+def block_letters(
+    label: SymbolicLabel, recent_size: int, surviving: Iterable[int], fresh_count: int
+) -> tuple:
+    """The letter sequence of ``block(α, s, m, J)`` (paper notation)."""
+    return Block(
+        label=label,
+        recent_size=recent_size,
+        surviving=frozenset(surviving),
+        fresh_count=fresh_count,
+    ).letters()
+
+
+def parse_blocks(letters: Sequence) -> tuple[Block, ...]:
+    """Parse a letter sequence (with leading ``I0``) back into blocks.
+
+    The function validates the *shape* of each block (head, then pops
+    ``↑0..↑(m-1)`` in order, then non-negative pushes in strictly
+    decreasing order, then fresh pushes ``↓-1..↓-n`` in order); the deeper
+    validity conditions of Section 6.3.1 are checked by
+    :mod:`repro.encoding.analyzer`.
+
+    Raises:
+        EncodingError: when the sequence is not of the expected shape.
+    """
+    letters = tuple(letters)
+    if not letters or not isinstance(letters[0], InitialLetter):
+        raise EncodingError("an encoding must start with the initial letter I0")
+    blocks: list[Block] = []
+    position = 1
+    while position < len(letters):
+        head = letters[position]
+        if not isinstance(head, HeadLetter):
+            raise EncodingError(f"expected a block head at position {position + 1}, got {head}")
+        head_position = position + 1  # 1-based
+        position += 1
+        pops: list[int] = []
+        while position < len(letters) and isinstance(letters[position], PopLetter):
+            pops.append(letters[position].index)
+            position += 1
+        if pops != list(range(len(pops))):
+            raise EncodingError(
+                f"block at position {head_position}: pops must be ↑0..↑(m-1) in order, got {pops}"
+            )
+        surviving: list[int] = []
+        fresh: list[int] = []
+        while position < len(letters) and isinstance(letters[position], PushLetter):
+            index = letters[position].index
+            if index >= 0:
+                if fresh:
+                    raise EncodingError(
+                        f"block at position {head_position}: surviving pushes must precede fresh pushes"
+                    )
+                if surviving and index >= surviving[-1]:
+                    raise EncodingError(
+                        f"block at position {head_position}: surviving pushes must be strictly decreasing"
+                    )
+                surviving.append(index)
+            else:
+                fresh.append(index)
+            position += 1
+        if fresh != [-offset for offset in range(1, len(fresh) + 1)]:
+            raise EncodingError(
+                f"block at position {head_position}: fresh pushes must be ↓-1..↓-n in order, got {fresh}"
+            )
+        blocks.append(
+            Block(
+                label=head.label,
+                recent_size=len(pops),
+                surviving=frozenset(surviving),
+                fresh_count=len(fresh),
+                head_position=head_position,
+            )
+        )
+    return tuple(blocks)

@@ -1,0 +1,77 @@
+"""Encoding b-bounded runs as nested words (paper, Section 6.3).
+
+``encode_run`` maps a b-bounded extended run prefix to its nested-word
+encoding ``I0 block(α1,s1,m1,J1) block(α2,s2,m2,J2) ...``:
+
+* ``s_i`` is the recency-indexing abstraction of the step's substitution,
+* ``m_i = |Recent_b(I_{i-1}, seq_no_{i-1})|``,
+* ``J_i`` contains the recency indices of the recent elements that are
+  still in the active domain after the step (they get pushed back).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dms.system import DMS
+from repro.encoding.alphabet import InitialLetter, encoding_alphabet
+from repro.encoding.blocks import Block
+from repro.nestedwords.word import NestedWord
+from repro.recency.abstraction import SymbolicLabel, abstract_substitution
+from repro.recency.concretize import concretize_word
+from repro.recency.recent import recency_index
+from repro.recency.semantics import RecencyBoundedRun, RecencyStep
+
+__all__ = ["block_for_step", "encode_run", "encode_symbolic_word", "encoding_length"]
+
+
+def block_for_step(step: RecencyStep, bound: int, head_position: int = 0) -> Block:
+    """The block ``block(α, s, m, J)`` encoding one b-bounded step."""
+    source = step.source
+    label = SymbolicLabel(
+        step.action.name,
+        abstract_substitution(step.action, source, step.substitution, bound),
+    )
+    recent = source.recent(bound)
+    recent_size = len(recent)
+    target_adom = step.target.instance.active_domain()
+    surviving = frozenset(
+        recency_index(source.instance, source.seq_no, element)
+        for element in recent
+        if element in target_adom
+    )
+    return Block(
+        label=label,
+        recent_size=recent_size,
+        surviving=surviving,
+        fresh_count=len(step.action.fresh),
+        head_position=head_position,
+    )
+
+
+def encode_run(system: DMS, run: RecencyBoundedRun) -> NestedWord:
+    """The nested-word encoding of a b-bounded run prefix."""
+    alphabet = encoding_alphabet(system, run.bound)
+    letters: list = [InitialLetter()]
+    for step in run.steps:
+        block = block_for_step(step, run.bound, head_position=len(letters) + 1)
+        letters.extend(block.letters())
+    return NestedWord.from_letters(alphabet, letters)
+
+
+def encode_symbolic_word(
+    system: DMS, word: Sequence[SymbolicLabel], bound: int
+) -> NestedWord:
+    """Encode an abstract generating sequence by first concretising it.
+
+    Raises:
+        repro.recency.concretize.ConcretizationError: if the word is not a
+            valid abstraction.
+    """
+    run = concretize_word(system, word, bound)
+    return encode_run(system, run)
+
+
+def encoding_length(run: RecencyBoundedRun, system: DMS) -> int:
+    """The length (number of letters) of the encoding of ``run``."""
+    return len(encode_run(system, run).letters)

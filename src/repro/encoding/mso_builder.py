@@ -1,0 +1,475 @@
+"""Construction of the MSONW formulae of Section 6.4.
+
+The module builds, as explicit :mod:`repro.nestedwords.mso` ASTs, the
+predicates and conditions used by the paper to characterise valid
+encodings:
+
+* ``Σint(x)``, ``Σ↓(x)``, ``Σ↑(x)`` and ``Block=(x, y)``,
+* ``Del(R(i1..ia))@x`` and ``Add(R(i1..ia))@x``,
+* ``step_{i,j}(x, y)`` and the zig-zag transitive closure ``Eq_{i,j}(x, y)``
+  (Figure 4),
+* ``Rel-R(x1,i1,...,xa,ia)@y⊖`` and ``...@y⊕``,
+* ``live(x, i)`` and ``ϕ^Recent_m(x)``,
+* the three consistency conditions and their conjunction ``ϕ_valid``.
+
+The formulae are *faithful in structure* to the paper and are the objects
+whose size experiment E7 measures against the complexity claim of §6.6.
+Evaluating them on concrete nested words is possible through
+:func:`repro.nestedwords.mso.evaluate_nw` but is exponential in the word
+length because of the second-order quantifiers in ``Eq``; the library's
+executable validity check is the equivalent word-level procedure in
+:mod:`repro.encoding.analyzer`.
+"""
+
+from __future__ import annotations
+
+from repro.database.schema import RelationSymbol
+from repro.dms.system import DMS
+from repro.encoding.alphabet import (
+    HeadLetter,
+    InitialLetter,
+    PopLetter,
+    PushLetter,
+    encoding_alphabet,
+    head_letters,
+)
+from repro.nestedwords.mso import (
+    And,
+    EqualsPos,
+    Exists,
+    ExistsSet,
+    Forall,
+    ForallSet,
+    Implies,
+    InSet,
+    Less,
+    LessEqual,
+    Letter,
+    Matched,
+    Not,
+    NWFormula,
+    Or,
+    TrueFormula,
+    conjunction,
+    disjunction,
+)
+from repro.recency.abstraction import SymbolicLabel
+
+__all__ = ["MSONWBuilder", "valid_encoding_formula", "valid_encoding_formula_size"]
+
+
+class MSONWBuilder:
+    """Builds the Section 6.4 MSONW predicates for one ``(system, bound)`` pair."""
+
+    def __init__(self, system: DMS, bound: int) -> None:
+        self._system = system
+        self._bound = bound
+        self._alphabet = encoding_alphabet(system, bound)
+        self._heads = head_letters(system, bound)
+        self._eta = system.max_fresh
+
+    # -- letter-class predicates ---------------------------------------------------
+
+    @property
+    def system(self) -> DMS:
+        """The system the formulae talk about."""
+        return self._system
+
+    @property
+    def bound(self) -> int:
+        """The recency bound ``b``."""
+        return self._bound
+
+    @property
+    def eta(self) -> int:
+        """``η = max_α |α·new|``."""
+        return self._eta
+
+    def internal(self, x: str) -> NWFormula:
+        """``Σint(x)``."""
+        return disjunction(*[Letter(letter, x) for letter in sorted(self._alphabet.internal_letters, key=str)])
+
+    def head(self, x: str) -> NWFormula:
+        """``x`` is a block head (an ``α : s`` letter, excluding ``I0``)."""
+        return disjunction(*[Letter(letter, x) for letter in sorted(self._heads, key=str)])
+
+    def push(self, x: str) -> NWFormula:
+        """``Σ↓(x)``."""
+        return disjunction(*[Letter(letter, x) for letter in sorted(self._alphabet.push_letters, key=str)])
+
+    def pop(self, x: str) -> NWFormula:
+        """``Σ↑(x)``."""
+        return disjunction(*[Letter(letter, x) for letter in sorted(self._alphabet.pop_letters, key=str)])
+
+    def same_block(self, x: str, y: str) -> NWFormula:
+        """``Block=(x, y)``: no internal letter separates ``x`` and ``y``."""
+        z = f"z_blk_{x}_{y}"
+        return Forall(
+            z,
+            Or(
+                Or(Not(self.internal(z)), And(LessEqual(z, x), LessEqual(z, y))),
+                And(Less(x, z), Less(y, z)),
+            ),
+        )
+
+    # -- Del / Add predicates -----------------------------------------------------------
+
+    def _labels_deleting(self, relation: RelationSymbol, indices: tuple[int, ...]) -> list[SymbolicLabel]:
+        matching = []
+        for head in self._heads:
+            action = self._system.action(head.action_name)
+            substitution = head.label.substitution
+            for fact in action.deletions:
+                if fact.relation != relation.name:
+                    continue
+                if tuple(substitution[arg] for arg in fact.arguments) == indices:
+                    matching.append(head.label)
+                    break
+        return matching
+
+    def _labels_adding(self, relation: RelationSymbol, indices: tuple[int, ...]) -> list[SymbolicLabel]:
+        matching = []
+        for head in self._heads:
+            action = self._system.action(head.action_name)
+            substitution = head.label.substitution
+            fresh_index = {variable: -offset for offset, variable in enumerate(action.fresh, start=1)}
+            for fact in action.additions:
+                if fact.relation != relation.name:
+                    continue
+                resolved = []
+                for argument in fact.arguments:
+                    if argument in fresh_index:
+                        resolved.append(fresh_index[argument])
+                    else:
+                        resolved.append(substitution[argument])
+                if tuple(resolved) == indices:
+                    matching.append(head.label)
+                    break
+        return matching
+
+    def deletes(self, relation: str, indices: tuple[int, ...], x: str) -> NWFormula:
+        """``Del(R(i1..ia))@x``: the block of ``x`` deletes the indexed tuple."""
+        symbol = self._system.schema.relation(relation)
+        labels = self._labels_deleting(symbol, indices)
+        if not labels:
+            return Not(TrueFormula())
+        return disjunction(*[Letter(HeadLetter(label), x) for label in labels])
+
+    def adds(self, relation: str, indices: tuple[int, ...], x: str) -> NWFormula:
+        """``Add(R(i1..ia))@x``: the block of ``x`` adds the indexed tuple."""
+        symbol = self._system.schema.relation(relation)
+        labels = self._labels_adding(symbol, indices)
+        if not labels:
+            return Not(TrueFormula())
+        return disjunction(*[Letter(HeadLetter(label), x) for label in labels])
+
+    # -- element tracking --------------------------------------------------------------------
+
+    def step(self, i: int, j: int, x: str, y: str) -> NWFormula:
+        """``step_{i,j}(x, y)``: a ``↓i`` in the block of ``x`` is ⊿-matched to a ``↑j`` in the block of ``y``."""
+        z1 = f"z1_{x}_{y}"
+        z2 = f"z2_{x}_{y}"
+        return Exists(
+            z1,
+            Exists(
+                z2,
+                conjunction(
+                    self.same_block(z1, x),
+                    self.same_block(z2, y),
+                    Matched(z1, z2),
+                    Letter(PushLetter(i), z1),
+                    Letter(PopLetter(j), z2),
+                ),
+            ),
+        )
+
+    def _index_range(self) -> range:
+        return range(-self._eta, self._bound)
+
+    def equal_elements(self, i: int, j: int, x: str, y: str) -> NWFormula:
+        """``Eq_{i,j}(x, y)`` — the zig-zag transitive closure of Figure 4.
+
+        Uses one universally quantified set variable ``X_k`` per index
+        ``k ∈ {-η, ..., b-1}``.
+        """
+        set_names = {k: f"X_eq_{k}" for k in self._index_range()}
+        x1 = "x1_eq"
+        x2 = "x2_eq"
+        step_closure = []
+        for ell in self._index_range():
+            for m in range(self._bound):
+                step_closure.append(
+                    Implies(
+                        And(self.step(ell, m, x1, x2), InSet(x1, set_names[ell])),
+                        InSet(x2, set_names[m]),
+                    )
+                )
+        block_closure = []
+        for ell in self._index_range():
+            block_closure.append(
+                Implies(
+                    And(self.same_block(x1, x2), InSet(x1, set_names[ell])),
+                    InSet(x2, set_names[ell]),
+                )
+            )
+        closure = Forall(x1, Forall(x2, conjunction(*step_closure, *block_closure)))
+        body = Implies(And(InSet(x, set_names[i]), closure), InSet(y, set_names[j]))
+        formula: NWFormula = body
+        for k in sorted(self._index_range(), reverse=True):
+            formula = ForallSet(set_names[k], formula)
+        return formula
+
+    # -- database-content predicates -------------------------------------------------------------
+
+    def relation_holds_before(
+        self, relation: str, references: tuple[tuple[str, int], ...], y: str
+    ) -> NWFormula:
+        """``Rel-R(x1,i1,...,xa,ia)@y⊖``: the tuple is in the database before the block of ``y``."""
+        arity = self._system.schema.arity_of(relation)
+        x = f"x_rel_{y}"
+        z = f"z_rel_{y}"
+        add_cases = []
+        for added_indices in _index_tuples(arity, -self._eta, self._bound - 1):
+            eq_conjuncts = [
+                self.equal_elements(added_indices[j], references[j][1], x, references[j][0])
+                for j in range(arity)
+            ]
+            delete_cases = []
+            for deleted_indices in _index_tuples(arity, 0, self._bound - 1):
+                delete_cases.append(
+                    And(
+                        self.deletes(relation, deleted_indices, z),
+                        conjunction(
+                            *[
+                                self.equal_elements(added_indices[j], deleted_indices[j], x, z)
+                                for j in range(arity)
+                            ]
+                        ),
+                    )
+                )
+            not_deleted = Forall(
+                z,
+                Not(
+                    conjunction(
+                        LessEqual(x, z),
+                        Less(z, y),
+                        Not(self.same_block(z, y)),
+                        disjunction(*delete_cases) if delete_cases else Not(TrueFormula()),
+                    )
+                ),
+            )
+            add_cases.append(
+                conjunction(self.adds(relation, added_indices, x), *eq_conjuncts, not_deleted)
+            )
+        return Exists(
+            x,
+            conjunction(
+                Less(x, y),
+                Not(self.same_block(x, y)),
+                disjunction(*add_cases) if add_cases else Not(TrueFormula()),
+            ),
+        )
+
+    def relation_holds_after(
+        self, relation: str, references: tuple[tuple[str, int], ...], y: str
+    ) -> NWFormula:
+        """``Rel-R(x1,i1,...,xa,ia)@y⊕``: the tuple is in the database after the block of ``y``."""
+        arity = self._system.schema.arity_of(relation)
+        x = f"x_rel_{y}"
+        z = f"z_rel_{y}"
+        add_cases = []
+        for added_indices in _index_tuples(arity, -self._eta, self._bound - 1):
+            eq_conjuncts = [
+                self.equal_elements(added_indices[j], references[j][1], x, references[j][0])
+                for j in range(arity)
+            ]
+            delete_cases = []
+            for deleted_indices in _index_tuples(arity, 0, self._bound - 1):
+                delete_cases.append(
+                    And(
+                        self.deletes(relation, deleted_indices, z),
+                        conjunction(
+                            *[
+                                self.equal_elements(added_indices[j], deleted_indices[j], x, z)
+                                for j in range(arity)
+                            ]
+                        ),
+                    )
+                )
+            not_deleted = Forall(
+                z,
+                Not(
+                    conjunction(
+                        LessEqual(x, z),
+                        LessEqual(z, y),
+                        disjunction(*delete_cases) if delete_cases else Not(TrueFormula()),
+                    )
+                ),
+            )
+            add_cases.append(
+                conjunction(self.adds(relation, added_indices, x), *eq_conjuncts, not_deleted)
+            )
+        return Exists(
+            x,
+            conjunction(
+                LessEqual(x, y),
+                disjunction(*add_cases) if add_cases else Not(TrueFormula()),
+            ),
+        )
+
+    def live(self, x: str, index: int) -> NWFormula:
+        """``live(x, i)``: the element indexed ``i`` participates in a tuple after the block of ``x``."""
+        cases = []
+        for relation in self._system.schema.non_nullary:
+            for position in range(relation.arity):
+                references = []
+                other_variables = []
+                for j in range(relation.arity):
+                    if j == position:
+                        references.append((x, index))
+                    else:
+                        variable = f"x_live_{j}"
+                        other_variables.append(variable)
+                        references.append((variable, 0))
+                # Disjoin over the indices of the other coordinates.
+                index_choices = _index_tuples(relation.arity - 1, -self._eta, self._bound - 1)
+                for choice in index_choices:
+                    refs = []
+                    choice_iter = iter(choice)
+                    for j in range(relation.arity):
+                        if j == position:
+                            refs.append((x, index))
+                        else:
+                            refs.append((f"x_live_{j}", next(choice_iter)))
+                    inner = self.relation_holds_after(relation.name, tuple(refs), x)
+                    for variable in reversed(other_variables):
+                        inner = Exists(variable, And(LessEqual(variable, x), inner))
+                    cases.append(inner)
+        if not cases:
+            return Not(TrueFormula())
+        return disjunction(*cases)
+
+    def at_least_m_active(self, x: str, m: int) -> NWFormula:
+        """``ϕ^Recent_m(x)``: at least ``m + 1`` unmatched pushes before the block of ``x``."""
+        y = f"y_rec_{x}"
+        witnesses = [f"x_rec_{k}" for k in range(m + 1)]
+        distinct = []
+        for a in range(len(witnesses)):
+            for b in range(a + 1, len(witnesses)):
+                distinct.append(Not(EqualsPos(witnesses[a], witnesses[b])))
+        per_witness = []
+        for witness in witnesses:
+            z = f"z_rec_{witness}"
+            per_witness.append(
+                conjunction(
+                    self.push(witness),
+                    Less(witness, y),
+                    Forall(z, Implies(Matched(witness, z), Less(y, z))),
+                )
+            )
+        body = conjunction(self.same_block(x, y), self.internal(y), *distinct, *per_witness)
+        for witness in reversed(witnesses):
+            body = Exists(witness, body)
+        return Exists(y, body)
+
+    # -- the three consistency conditions --------------------------------------------------------
+
+    def consistency_of_m(self) -> NWFormula:
+        """Condition 1: the declared ``m`` matches ``|Recent_b|`` at every block."""
+        x = "x_m"
+        conjuncts = []
+        for index in range(self._bound):
+            y = f"y_m_{index}"
+            conjuncts.append(
+                Or(
+                    Not(self.at_least_m_active(x, index)),
+                    Exists(y, And(Letter(PopLetter(index), y), self.same_block(x, y))),
+                )
+            )
+        return Forall(x, Implies(self.head(x), conjunction(*conjuncts)))
+
+    def consistency_of_j(self) -> NWFormula:
+        """Condition 2: a recency index is pushed back iff it is live."""
+        x = "x_j"
+        conjuncts = []
+        for index in range(self._bound):
+            y = f"y_j_{index}"
+            pushed = Exists(y, And(Letter(PushLetter(index), y), self.same_block(x, y)))
+            live = self.live(x, index)
+            conjuncts.append(And(Implies(live, pushed), Implies(pushed, live)))
+        return Forall(x, Implies(self.head(x), conjunction(*conjuncts)))
+
+    def consistency_of_guards(self) -> NWFormula:
+        """Condition 3: the guard of every block holds in the database before it."""
+        from repro.encoding.translate import translate_guard
+
+        x = "x_g"
+        conjuncts = []
+        for head in self._heads:
+            action = self._system.action(head.action_name)
+            translated = translate_guard(self, action.guard, head.label, x)
+            conjuncts.append(Implies(Letter(head, x), translated))
+        return Forall(x, conjunction(*conjuncts) if conjuncts else TrueFormula())
+
+    def well_formedness(self) -> NWFormula:
+        """Condition 0 (shape of blocks), stated as in Section 6.4.2.
+
+        The statement captures: pops appear only right after a head or
+        another pop; pop indices increase by one within a block; a
+        non-negative push requires the same index to have been popped in
+        the same block.
+        """
+        x = "x_wf"
+        y = "y_wf"
+        conjuncts: list[NWFormula] = []
+        for index in range(1, self._bound):
+            conjuncts.append(
+                Implies(
+                    Letter(PopLetter(index), x),
+                    Exists(
+                        y,
+                        conjunction(
+                            Letter(PopLetter(index - 1), y), self.same_block(x, y), Less(y, x)
+                        ),
+                    ),
+                )
+            )
+        for index in range(self._bound):
+            conjuncts.append(
+                Implies(
+                    Letter(PushLetter(index), x),
+                    Exists(
+                        y,
+                        conjunction(Letter(PopLetter(index), y), self.same_block(x, y), Less(y, x)),
+                    ),
+                )
+            )
+        return Forall(x, conjunction(*conjuncts) if conjuncts else TrueFormula())
+
+    def valid_encoding(self) -> NWFormula:
+        """``ϕ_valid``: the conjunction of well-formedness and conditions 1–3."""
+        return conjunction(
+            self.well_formedness(),
+            self.consistency_of_m(),
+            self.consistency_of_j(),
+            self.consistency_of_guards(),
+        )
+
+
+def _index_tuples(arity: int, low: int, high: int) -> list[tuple[int, ...]]:
+    """All tuples of ``arity`` indices in ``[low, high]`` (a single empty tuple for arity 0)."""
+    if arity == 0:
+        return [()]
+    from itertools import product
+
+    return [tuple(combo) for combo in product(range(low, high + 1), repeat=arity)]
+
+
+def valid_encoding_formula(system: DMS, bound: int) -> NWFormula:
+    """Build ``ϕ_valid`` for a system and bound."""
+    return MSONWBuilder(system, bound).valid_encoding()
+
+
+def valid_encoding_formula_size(system: DMS, bound: int) -> int:
+    """The size (AST nodes) of ``ϕ_valid`` — the quantity studied by experiment E7."""
+    return valid_encoding_formula(system, bound).size()

@@ -1,0 +1,337 @@
+"""Translating MSO-FO specifications into MSONW (paper, Section 6.5).
+
+Two artefacts are provided:
+
+* a *syntactic* translation ``⌊·⌋`` producing MSONW ASTs, used for the
+  formula-size accounting of §6.6 (experiment E7) and to build the final
+  reduction formula ``ϕ_valid ∧ ¬⌊ψ⌋``;
+* a *semantic* interpretation of MSO-FO specifications directly over an
+  analysed encoding (:class:`~repro.encoding.analyzer.EncodingAnalyzer`),
+  used to cross-validate the translation: for every valid encoding the
+  interpretation over the nested word agrees with the evaluation of the
+  original formula over the corresponding run prefix (experiment E6).
+
+Note on data quantification: the paper represents a data variable ``u``
+by a past position ``x_u`` and an index ``i_u``.  Following the
+active-domain semantics of FOL(R) (Appendix A) the semantic
+interpretation additionally requires the referenced element to belong to
+the active domain of the instance under consideration; the syntactic
+translation follows the paper text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dms.system import DMS
+from repro.encoding.analyzer import EncodingAnalyzer
+from repro.errors import FormulaError
+from repro.fol import syntax as fol
+from repro.msofo import syntax as mso
+from repro.nestedwords.mso import (
+    And as NWAnd,
+    Exists as NWExists,
+    ExistsSet as NWExistsSet,
+    Forall as NWForall,
+    ForallSet as NWForallSet,
+    Implies as NWImplies,
+    InSet as NWInSet,
+    Less as NWLess,
+    Letter as NWLetter,
+    Not as NWNot,
+    NWFormula,
+    Or as NWOr,
+    TrueFormula,
+    conjunction as nw_conjunction,
+    disjunction as nw_disjunction,
+)
+
+__all__ = [
+    "translate_guard",
+    "translate_specification",
+    "reduction_formula",
+    "reduction_formula_size",
+    "evaluate_specification_via_encoding",
+]
+
+
+# ---------------------------------------------------------------------------
+# Syntactic translation (for formula construction / size accounting)
+# ---------------------------------------------------------------------------
+
+
+def translate_guard(builder, query: fol.Query, label, x: str) -> NWFormula:
+    """``⌊Q⌋_{α,s,x}``: translate a guard relative to a block head.
+
+    Args:
+        builder: an :class:`~repro.encoding.mso_builder.MSONWBuilder`.
+        query: the FOL(R) guard ``Q``.
+        label: the symbolic label ``α : s`` of the block.
+        x: the MSONW position variable standing for the block head.
+    """
+    action = builder.system.action(label.action_name)
+    environment = {
+        parameter: (x, label.substitution[parameter]) for parameter in action.parameters
+    }
+    return _translate_query(builder, query, environment, x)
+
+
+def _translate_query(builder, query: fol.Query, environment: dict, x: str) -> NWFormula:
+    if isinstance(query, fol.TrueQuery):
+        return TrueFormula()
+    if isinstance(query, fol.FalseQuery):
+        return NWNot(TrueFormula())
+    if isinstance(query, fol.Atom):
+        if not query.arguments:
+            # A proposition is a relation of arity 0: Rel-R()@x⊖.
+            return builder.relation_holds_before(query.relation, (), x)
+        references = tuple(environment[argument] for argument in query.arguments)
+        return builder.relation_holds_before(query.relation, references, x)
+    if isinstance(query, fol.Equals):
+        left_position, left_index = environment[query.left]
+        right_position, right_index = environment[query.right]
+        return builder.equal_elements(left_index, right_index, left_position, right_position)
+    if isinstance(query, fol.Not):
+        return NWNot(_translate_query(builder, query.operand, environment, x))
+    if isinstance(query, fol.And):
+        return NWAnd(
+            _translate_query(builder, query.left, environment, x),
+            _translate_query(builder, query.right, environment, x),
+        )
+    if isinstance(query, fol.Or):
+        return NWOr(
+            _translate_query(builder, query.left, environment, x),
+            _translate_query(builder, query.right, environment, x),
+        )
+    if isinstance(query, fol.Implies):
+        return NWImplies(
+            _translate_query(builder, query.left, environment, x),
+            _translate_query(builder, query.right, environment, x),
+        )
+    if isinstance(query, fol.Iff):
+        left = _translate_query(builder, query.left, environment, x)
+        right = _translate_query(builder, query.right, environment, x)
+        return NWAnd(NWImplies(left, right), NWImplies(right, left))
+    if isinstance(query, fol.Exists):
+        position_variable = f"x_{query.variable}"
+        cases = []
+        for index in range(-builder.eta, builder.bound):
+            extended = dict(environment)
+            extended[query.variable] = (position_variable, index)
+            cases.append(_translate_query(builder, query.body, extended, x))
+        return NWExists(position_variable, NWAnd(NWLess(position_variable, x), nw_disjunction(*cases)))
+    if isinstance(query, fol.Forall):
+        return NWNot(
+            _translate_query(builder, fol.Exists(query.variable, fol.Not(query.body)), environment, x)
+        )
+    raise FormulaError(f"unsupported FOL(R) node {type(query).__name__} in guard translation")
+
+
+def translate_specification(builder, formula: mso.Formula) -> NWFormula:
+    """``⌊φ⌋``: translate an MSO-FO specification into MSONW (Section 6.5)."""
+    return _translate_spec(builder, formula, environment={})
+
+
+def _translate_spec(builder, formula: mso.Formula, environment: dict) -> NWFormula:
+    if isinstance(formula, mso.QueryAt):
+        cases = []
+        for head in _head_letters(builder):
+            action = builder.system.action(head.action_name)
+            env = dict(environment)
+            for parameter in action.parameters:
+                env.setdefault(parameter, (formula.position, head.label.substitution[parameter]))
+            cases.append(
+                NWImplies(
+                    NWLetter(head, formula.position),
+                    _translate_query(builder, formula.query, env, formula.position),
+                )
+            )
+        return NWAnd(builder.head(formula.position), nw_conjunction(*cases) if cases else TrueFormula())
+    if isinstance(formula, mso.PositionLess):
+        return NWLess(formula.left, formula.right)
+    if isinstance(formula, mso.PositionEquals):
+        from repro.nestedwords.mso import EqualsPos
+
+        return EqualsPos(formula.left, formula.right)
+    if isinstance(formula, mso.InSet):
+        return NWInSet(formula.position, formula.set_variable)
+    if isinstance(formula, mso.Not):
+        return NWNot(_translate_spec(builder, formula.operand, environment))
+    if isinstance(formula, mso.And):
+        return NWAnd(
+            _translate_spec(builder, formula.left, environment),
+            _translate_spec(builder, formula.right, environment),
+        )
+    if isinstance(formula, mso.Or):
+        return NWOr(
+            _translate_spec(builder, formula.left, environment),
+            _translate_spec(builder, formula.right, environment),
+        )
+    if isinstance(formula, mso.Implies):
+        return NWImplies(
+            _translate_spec(builder, formula.left, environment),
+            _translate_spec(builder, formula.right, environment),
+        )
+    if isinstance(formula, mso.ExistsPosition):
+        return NWExists(
+            formula.variable,
+            NWAnd(builder.head(formula.variable), _translate_spec(builder, formula.body, environment)),
+        )
+    if isinstance(formula, mso.ForallPosition):
+        return NWForall(
+            formula.variable,
+            NWImplies(builder.head(formula.variable), _translate_spec(builder, formula.body, environment)),
+        )
+    if isinstance(formula, mso.ExistsSet):
+        relativized = NWForall(
+            "x_rel_set",
+            NWImplies(NWInSet("x_rel_set", formula.variable), builder.head("x_rel_set")),
+        )
+        return NWExistsSet(
+            formula.variable, NWAnd(relativized, _translate_spec(builder, formula.body, environment))
+        )
+    if isinstance(formula, mso.ForallSet):
+        relativized = NWForall(
+            "x_rel_set",
+            NWImplies(NWInSet("x_rel_set", formula.variable), builder.head("x_rel_set")),
+        )
+        return NWForallSet(
+            formula.variable,
+            NWImplies(relativized, _translate_spec(builder, formula.body, environment)),
+        )
+    if isinstance(formula, mso.ExistsData):
+        position_variable = f"x_{formula.variable}"
+        cases = []
+        for index in range(-builder.eta, builder.bound):
+            extended = dict(environment)
+            extended[formula.variable] = (position_variable, index)
+            cases.append(_translate_spec(builder, formula.body, extended))
+        return NWExists(
+            position_variable,
+            NWAnd(builder.internal(position_variable), nw_disjunction(*cases)),
+        )
+    if isinstance(formula, mso.ForallData):
+        return NWNot(
+            _translate_spec(
+                builder, mso.ExistsData(formula.variable, mso.Not(formula.body)), environment
+            )
+        )
+    raise FormulaError(f"unsupported MSO-FO node {type(formula).__name__} in translation")
+
+
+def _head_letters(builder):
+    from repro.encoding.alphabet import head_letters
+
+    return head_letters(builder.system, builder.bound)
+
+
+def reduction_formula(system: DMS, bound: int, specification: mso.Formula) -> NWFormula:
+    """The formula ``ϕ_valid ∧ ¬⌊ψ⌋`` of Section 6.6.
+
+    The b-bounded model checking problem for ``ψ`` reduces to the
+    *non*-satisfiability of this MSONW formula.
+    """
+    from repro.encoding.mso_builder import MSONWBuilder
+
+    builder = MSONWBuilder(system, bound)
+    return NWAnd(builder.valid_encoding(), NWNot(translate_specification(builder, specification)))
+
+
+def reduction_formula_size(system: DMS, bound: int, specification: mso.Formula) -> int:
+    """Size (AST nodes) of ``ϕ_valid ∧ ¬⌊ψ⌋`` — the §6.6 complexity quantity."""
+    return reduction_formula(system, bound, specification).size()
+
+
+# ---------------------------------------------------------------------------
+# Semantic interpretation over an analysed encoding (cross-validation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _EncodingAssignment:
+    positions: dict
+    sets: dict
+    data: dict
+
+    def copy(self) -> "_EncodingAssignment":
+        return _EncodingAssignment(dict(self.positions), dict(self.sets), dict(self.data))
+
+
+def evaluate_specification_via_encoding(
+    formula: mso.Formula, analyzer: EncodingAnalyzer
+) -> bool:
+    """Interpret an MSO-FO sentence over the nested-word encoding.
+
+    MSO-FO positions ``0 .. k-1`` correspond to blocks ``1 .. k`` (the
+    database at position ``i`` is the symbolic database *before* block
+    ``i+1``); data values are element classes.  For every valid encoding
+    this agrees with evaluating the formula over the first ``k`` instances
+    of the corresponding run prefix, which is what experiment E6 checks.
+    """
+    if not formula.is_sentence():
+        raise FormulaError("only sentences can be evaluated over an encoding")
+    return _eval_on_encoding(formula, analyzer, _EncodingAssignment({}, {}, {}))
+
+
+def _eval_on_encoding(
+    formula: mso.Formula, analyzer: EncodingAnalyzer, env: _EncodingAssignment
+) -> bool:
+    block_count = analyzer.block_count()
+    if isinstance(formula, mso.QueryAt):
+        position = env.positions[formula.position]
+        instance = analyzer.database_before(position + 1)
+        binding = {name: env.data[name] for name in formula.query.free_variables()}
+        adom = instance.active_domain()
+        if any(value not in adom for value in binding.values()):
+            return False
+        from repro.fol.evaluator import satisfies
+
+        return satisfies(instance, formula.query, binding)
+    if isinstance(formula, mso.PositionLess):
+        return env.positions[formula.left] < env.positions[formula.right]
+    if isinstance(formula, mso.PositionEquals):
+        return env.positions[formula.left] == env.positions[formula.right]
+    if isinstance(formula, mso.InSet):
+        return env.positions[formula.position] in env.sets[formula.set_variable]
+    if isinstance(formula, mso.Not):
+        return not _eval_on_encoding(formula.operand, analyzer, env)
+    if isinstance(formula, mso.And):
+        return _eval_on_encoding(formula.left, analyzer, env) and _eval_on_encoding(
+            formula.right, analyzer, env
+        )
+    if isinstance(formula, mso.Or):
+        return _eval_on_encoding(formula.left, analyzer, env) or _eval_on_encoding(
+            formula.right, analyzer, env
+        )
+    if isinstance(formula, mso.Implies):
+        return (not _eval_on_encoding(formula.left, analyzer, env)) or _eval_on_encoding(
+            formula.right, analyzer, env
+        )
+    if isinstance(formula, (mso.ExistsPosition, mso.ForallPosition)):
+        results = []
+        for position in range(block_count):
+            extended = env.copy()
+            extended.positions[formula.variable] = position
+            results.append(_eval_on_encoding(formula.body, analyzer, extended))
+        return any(results) if isinstance(formula, mso.ExistsPosition) else all(results)
+    if isinstance(formula, (mso.ExistsSet, mso.ForallSet)):
+        from itertools import chain, combinations
+
+        positions = range(block_count)
+        subsets = chain.from_iterable(
+            combinations(positions, size) for size in range(block_count + 1)
+        )
+        results = []
+        for subset in subsets:
+            extended = env.copy()
+            extended.sets[formula.variable] = frozenset(subset)
+            results.append(_eval_on_encoding(formula.body, analyzer, extended))
+        return any(results) if isinstance(formula, mso.ExistsSet) else all(results)
+    if isinstance(formula, (mso.ExistsData, mso.ForallData)):
+        results = []
+        for element in sorted(analyzer.all_element_classes()):
+            extended = env.copy()
+            extended.data[formula.variable] = element
+            results.append(_eval_on_encoding(formula.body, analyzer, extended))
+        return any(results) if isinstance(formula, mso.ExistsData) else all(results)
+    raise FormulaError(f"unsupported MSO-FO node {type(formula).__name__}")

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so a
+caller can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relation is used inconsistently with the declared schema."""
+
+
+class ArityError(SchemaError):
+    """A fact or atom has the wrong number of arguments for its relation."""
+
+
+class UnknownRelationError(SchemaError):
+    """A relation name is not declared in the schema."""
+
+
+class QueryError(ReproError):
+    """A FOL(R) query is malformed or evaluated incorrectly."""
+
+
+class QueryParseError(QueryError):
+    """The textual form of a FOL(R) query could not be parsed."""
+
+
+class SubstitutionError(ReproError):
+    """A substitution is missing a binding or binds the wrong kind of value."""
+
+
+class ActionError(ReproError):
+    """A DMS action violates a well-formedness condition of the paper."""
+
+
+class SystemError_(ReproError):
+    """A DMS is malformed (bad initial instance, duplicate actions, ...)."""
+
+
+class ExecutionError(ReproError):
+    """An action application violates the execution semantics."""
+
+
+class RecencyError(ReproError):
+    """A recency-bounded construct (sequence numbering, abstraction) is misused."""
+
+
+class EncodingError(ReproError):
+    """A nested-word encoding of a run is malformed or invalid."""
+
+
+class NestedWordError(ReproError):
+    """A word over a visible alphabet violates well-nestedness."""
+
+
+class FormulaError(ReproError):
+    """An MSO-FO or MSONW formula is malformed or evaluated with missing bindings."""
+
+
+class ModelCheckingError(ReproError):
+    """The model checker was invoked with inconsistent arguments."""
+
+
+class TransformError(ReproError):
+    """A model transformation (Appendix F) cannot be applied."""
+
+
+class CounterMachineError(ReproError):
+    """A counter machine definition or simulation step is invalid."""

@@ -1,0 +1,51 @@
+"""The ``Active(u)`` query of Example 2.1.
+
+``Active(u)`` holds exactly for the elements of the active domain of the
+current instance: it is the disjunction, over every relation ``R/a`` of
+the schema and every argument position ``j``, of
+``∃u1...ua. R(u1,...,u_{j-1}, u, u_{j+1},...,ua)``.
+"""
+
+from __future__ import annotations
+
+from repro.database.schema import Schema
+from repro.fol.syntax import Atom, Query, disjunction, exists
+
+__all__ = ["active_query", "fresh_variable_names"]
+
+
+def fresh_variable_names(count: int, avoid: frozenset | set = frozenset(), prefix: str = "w") -> tuple[str, ...]:
+    """Return ``count`` variable names not in ``avoid`` (``w1, w2, ...``)."""
+    names: list[str] = []
+    index = 1
+    taken = set(avoid)
+    while len(names) < count:
+        candidate = f"{prefix}{index}"
+        if candidate not in taken:
+            names.append(candidate)
+            taken.add(candidate)
+        index += 1
+    return tuple(names)
+
+
+def active_query(schema: Schema, variable: str = "u") -> Query:
+    """Build ``Active(variable)`` for ``schema`` (Example 2.1).
+
+    The answers of the query over an instance ``I`` are exactly
+    ``{variable ↦ e | e ∈ adom(I)}``.
+    """
+    disjuncts: list[Query] = []
+    for relation in schema.non_nullary:
+        helper_names = fresh_variable_names(relation.arity, avoid={variable})
+        for position in range(relation.arity):
+            arguments = list(helper_names)
+            arguments[position] = variable
+            atom_query: Query = Atom(relation.name, tuple(arguments))
+            bound = tuple(name for name in helper_names if name != variable and name in arguments)
+            # Quantify only the helper variables actually used at other positions.
+            other_positions = [arguments[k] for k in range(relation.arity) if k != position]
+            bound = tuple(dict.fromkeys(name for name in other_positions if name != variable))
+            if bound:
+                atom_query = exists(bound, atom_query)
+            disjuncts.append(atom_query)
+    return disjunction(*disjuncts)

@@ -1,0 +1,120 @@
+"""A fluent builder for FOL(R) queries tied to a schema.
+
+:class:`QueryBuilder` validates atoms against the schema as they are
+constructed, which catches arity mistakes at model-construction time
+rather than at evaluation time.
+"""
+
+from __future__ import annotations
+
+from repro.database.schema import Schema
+from repro.fol.active import active_query
+from repro.fol.parser import parse_query
+from repro.fol.syntax import (
+    Atom,
+    Equals,
+    FalseQuery,
+    Not,
+    Query,
+    TrueQuery,
+    conjunction,
+    disjunction,
+    exists,
+    forall,
+)
+
+__all__ = ["QueryBuilder"]
+
+
+class QueryBuilder:
+    """Schema-aware construction of FOL(R) queries.
+
+    Example:
+        >>> schema = Schema.of(("p", 0), ("R", 1))
+        >>> q = QueryBuilder(schema)
+        >>> guard = q.and_(q.prop("p"), q.atom("R", "u"))
+        >>> sorted(guard.free_variables())
+        ['u']
+    """
+
+    __slots__ = ("_schema",)
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+
+    @property
+    def schema(self) -> Schema:
+        """The schema atoms are validated against."""
+        return self._schema
+
+    # -- atoms ---------------------------------------------------------------
+
+    def atom(self, relation: str, *variables: str) -> Atom:
+        """A validated relational atom."""
+        self._schema.check_atom(relation, tuple(variables))
+        return Atom(relation, tuple(variables))
+
+    def prop(self, name: str) -> Atom:
+        """A nullary atom (proposition)."""
+        return self.atom(name)
+
+    def eq(self, left: str, right: str) -> Query:
+        """The equality ``left = right``."""
+        return Equals(left, right)
+
+    def neq(self, left: str, right: str) -> Query:
+        """The disequality ``left ≠ right``."""
+        return Not(Equals(left, right))
+
+    # -- connectives -----------------------------------------------------------
+
+    def true(self) -> Query:
+        """The query ``true``."""
+        return TrueQuery()
+
+    def false(self) -> Query:
+        """The query ``false``."""
+        return FalseQuery()
+
+    def not_(self, query: Query) -> Query:
+        """Negation."""
+        return Not(query)
+
+    def and_(self, *queries: Query) -> Query:
+        """N-ary conjunction."""
+        return conjunction(*queries)
+
+    def or_(self, *queries: Query) -> Query:
+        """N-ary disjunction."""
+        return disjunction(*queries)
+
+    def implies(self, antecedent: Query, consequent: Query) -> Query:
+        """Implication."""
+        return antecedent.implies(consequent)
+
+    def exists(self, variables: str | tuple[str, ...] | list[str], body: Query) -> Query:
+        """Existential quantification over one or more variables."""
+        return exists(variables, body)
+
+    def forall(self, variables: str | tuple[str, ...] | list[str], body: Query) -> Query:
+        """Universal quantification over one or more variables."""
+        return forall(variables, body)
+
+    # -- library queries --------------------------------------------------------
+
+    def active(self, variable: str = "u") -> Query:
+        """The ``Active(variable)`` query of Example 2.1 for this schema."""
+        return active_query(self._schema, variable)
+
+    def parse(self, text: str) -> Query:
+        """Parse a query and validate its atoms against the schema."""
+        query = parse_query(text)
+        self.validate(query)
+        return query
+
+    def validate(self, query: Query) -> Query:
+        """Check every atom of ``query`` against the schema; returns the query."""
+        for node in query.walk():
+            if isinstance(node, Atom):
+                self._schema.check_atom(node.relation, node.arguments)
+        return query

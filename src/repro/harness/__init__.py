@@ -1,0 +1,36 @@
+"""Experiment harness regenerating every figure/example artefact of the paper."""
+
+from repro.harness.experiments import (
+    all_experiments,
+    experiment_e1_figure1_run,
+    experiment_e2_recency_bound,
+    experiment_e3_encoding,
+    experiment_e4_abstraction_roundtrip,
+    experiment_e5_validity,
+    experiment_e6_translation,
+    experiment_e7_formula_size,
+    experiment_e8_counter_reductions,
+    experiment_e9_convergence,
+    experiment_e10_booking,
+    experiment_e11_transforms,
+    experiment_e12_bulk,
+)
+from repro.harness.reporting import format_table, print_experiment
+
+__all__ = [
+    "all_experiments",
+    "experiment_e10_booking",
+    "experiment_e11_transforms",
+    "experiment_e12_bulk",
+    "experiment_e1_figure1_run",
+    "experiment_e2_recency_bound",
+    "experiment_e3_encoding",
+    "experiment_e4_abstraction_roundtrip",
+    "experiment_e5_validity",
+    "experiment_e6_translation",
+    "experiment_e7_formula_size",
+    "experiment_e8_counter_reductions",
+    "experiment_e9_convergence",
+    "format_table",
+    "print_experiment",
+]

@@ -1,0 +1,529 @@
+"""The experiment harness: one function per artefact of the per-experiment index.
+
+Every ``experiment_e*`` function regenerates the rows recorded in
+EXPERIMENTS.md; the ``benchmarks/`` targets call these functions (timing
+them with pytest-benchmark) and print the rows.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.booking import booking_agency_system
+from repro.casestudies.simple import (
+    example_31_system,
+    figure_1_expected_instances,
+    figure_1_labels,
+)
+from repro.casestudies.students import students_progression_property, students_system
+from repro.casestudies.warehouse import new_order_bulk_action, warehouse_base_system, warehouse_system
+from repro.counter.machine import CounterMachine, control_state_reachable
+from repro.counter.reductions import binary_encoding, state_proposition, unary_encoding
+from repro.dms.semantics import execute_labels
+from repro.encoding.analyzer import EncodingAnalyzer
+from repro.encoding.encoder import encode_run
+from repro.encoding.mso_builder import MSONWBuilder
+from repro.encoding.translate import (
+    evaluate_specification_via_encoding,
+    reduction_formula_size,
+)
+from repro.modelcheck.checker import RecencyBoundedModelChecker
+from repro.modelcheck.convergence import reachability_bound_sweep, state_space_bound_sweep
+from repro.modelcheck.reachability import proposition_reachable_bounded
+from repro.msofo.patterns import proposition_reachability_formula, safety_formula
+from repro.msofo.semantics import holds_on_run
+from repro.recency.abstraction import abstract_run, symbolic_alphabet
+from repro.recency.canonical import runs_equivalent_modulo_permutation
+from repro.recency.concretize import concretize_word
+from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer, iterate_b_bounded_runs
+from repro.recency.semantics import execute_b_bounded_labels, minimal_recency_bound
+from repro.transforms.freshness import weaken_freshness
+from repro.transforms.overlapping import standard_substitution
+from repro.workloads.generators import RandomDMSParameters, random_dms
+
+__all__ = [
+    "experiment_e1_figure1_run",
+    "experiment_e2_recency_bound",
+    "experiment_e3_encoding",
+    "experiment_e4_abstraction_roundtrip",
+    "experiment_e5_validity",
+    "experiment_e6_translation",
+    "experiment_e7_formula_size",
+    "experiment_e8_counter_reductions",
+    "experiment_e9_convergence",
+    "experiment_e10_booking",
+    "experiment_e11_transforms",
+    "experiment_e12_bulk",
+    "all_experiments",
+]
+
+
+# -- E1: Figure 1 run --------------------------------------------------------------
+
+
+def experiment_e1_figure1_run() -> list[dict]:
+    """Replay Example 3.1 / Figure 1 and compare every instance with the paper."""
+    system = example_31_system()
+    run = execute_labels(system, figure_1_labels())
+    rows = []
+    for position, (configuration, expected) in enumerate(
+        zip(run.configurations(), figure_1_expected_instances())
+    ):
+        instance = configuration.instance
+        actual = {
+            "p": instance.holds_proposition("p"),
+            "R": {row[0] for row in instance.relation_rows("R")},
+            "Q": {row[0] for row in instance.relation_rows("Q")},
+        }
+        rows.append(
+            {
+                "position": position,
+                "R": sorted(actual["R"]),
+                "Q": sorted(actual["Q"]),
+                "p": actual["p"],
+                "matches_paper": actual == expected,
+            }
+        )
+    return rows
+
+
+# -- E2: recency bound of the Figure 1 run ------------------------------------------
+
+
+def experiment_e2_recency_bound() -> list[dict]:
+    """Example 5.1: the Figure 1 run is 2-recency-bounded (and not 1-bounded)."""
+    system = example_31_system()
+    labels = figure_1_labels()
+    minimal = minimal_recency_bound(system, labels)
+    rows = [{"quantity": "minimal recency bound of the Figure 1 run", "value": minimal, "paper": 2}]
+    for bound in (1, 2, 3):
+        from repro.recency.semantics import is_b_bounded_extended_run
+
+        rows.append(
+            {
+                "quantity": f"admitted at b={bound}",
+                "value": is_b_bounded_extended_run(system, labels, bound),
+                "paper": bound >= 2,
+            }
+        )
+    return rows
+
+
+# -- E3: nested-word encoding (Figure 2, Example 6.1) --------------------------------
+
+
+def experiment_e3_encoding() -> list[dict]:
+    """The abstraction (Example 6.1) and block structure (Figure 2) of the Figure 1 run."""
+    system = example_31_system()
+    run = execute_b_bounded_labels(system, figure_1_labels(), bound=2)
+    word = encode_run(system, run)
+    analyzer = EncodingAnalyzer(system, 2, word)
+    expected_blocks = [
+        ("alpha", 0, [], 3),
+        ("beta", 2, [0], 2),
+        ("alpha", 2, [0, 1], 3),
+        ("gamma", 2, [0], 0),
+        ("delta", 2, [], 0),
+        ("delta", 2, [0], 0),
+        ("delta", 2, [0], 0),
+        ("alpha", 2, [0, 1], 3),
+    ]
+    rows = []
+    for index, (block, expected) in enumerate(zip(analyzer.blocks, expected_blocks), start=1):
+        actual = (block.action_name, block.recent_size, sorted(block.surviving), block.fresh_count)
+        rows.append(
+            {
+                "block": f"B{index}",
+                "action": actual[0],
+                "m": actual[1],
+                "J": actual[2],
+                "fresh": actual[3],
+                "matches_figure_2": actual == expected,
+            }
+        )
+    rows.append(
+        {
+            "block": "word",
+            "action": "-",
+            "m": "-",
+            "J": "-",
+            "fresh": "-",
+            "matches_figure_2": analyzer.check_validity().valid and len(word.letters) == 42,
+        }
+    )
+    return rows
+
+
+# -- E4: Abstr/Concr round trip and Appendix E --------------------------------------------
+
+
+def experiment_e4_abstraction_roundtrip(seeds: tuple[int, ...] = (0, 1, 2, 3), bound: int = 2) -> list[dict]:
+    """Round-trip ``Concr(Abstr(ρ)) ≈ ρ`` on random systems (Lemma E.1)."""
+    rows = []
+    for seed in seeds:
+        system = random_dms(seed, RandomDMSParameters(relations=2, max_arity=2, actions=3))
+        runs = list(iterate_b_bounded_runs(system, bound, depth=3, max_runs=25))
+        checked = 0
+        equivalent = 0
+        for run in runs:
+            if not run.steps:
+                continue
+            checked += 1
+            word = abstract_run(run)
+            canonical = concretize_word(system, word, bound)
+            if runs_equivalent_modulo_permutation(run, canonical):
+                equivalent += 1
+        rows.append(
+            {
+                "seed": seed,
+                "runs_checked": checked,
+                "roundtrip_equivalent": equivalent,
+                "all_equivalent": checked == equivalent,
+            }
+        )
+    return rows
+
+
+# -- E5: validity of encodings ----------------------------------------------------------------
+
+
+def experiment_e5_validity(bound: int = 2, depth: int = 3) -> list[dict]:
+    """Valid encodings are accepted; mutated encodings are rejected (Section 6.3.1)."""
+    system = example_31_system()
+    runs = [run for run in iterate_b_bounded_runs(system, bound, depth) if run.steps]
+    valid_accepted = 0
+    mutated_rejected = 0
+    mutated_total = 0
+    for run in runs:
+        word = encode_run(system, run)
+        analyzer = EncodingAnalyzer(system, bound, word)
+        if analyzer.check_validity().valid:
+            valid_accepted += 1
+        # Mutate: drop the last letter of the word if it is a push (breaks J-consistency).
+        letters = list(word.letters)
+        from repro.encoding.alphabet import PushLetter
+
+        if isinstance(letters[-1], PushLetter):
+            mutated_total += 1
+            mutated = EncodingAnalyzer(system, bound, letters[:-1])
+            if not mutated.check_validity().valid:
+                mutated_rejected += 1
+    return [
+        {
+            "population": "encodings of real runs",
+            "count": len(runs),
+            "accepted": valid_accepted,
+            "rejected": len(runs) - valid_accepted,
+        },
+        {
+            "population": "mutated encodings (dropped push)",
+            "count": mutated_total,
+            "accepted": mutated_total - mutated_rejected,
+            "rejected": mutated_rejected,
+        },
+    ]
+
+
+# -- E6: MSO-FO → MSONW translation cross-validation ---------------------------------------------
+
+
+def experiment_e6_translation(bound: int = 2, depth: int = 3) -> list[dict]:
+    """Direct evaluation vs evaluation through the encoding, per specification."""
+    system = example_31_system()
+    from repro.fol.parser import parse_query
+    from repro.msofo.patterns import reachability_formula, response_formula
+
+    specifications = {
+        "reach p": proposition_reachability_formula("p"),
+        "safety ¬(exists u. R(u) & Q(u))": safety_formula(parse_query("exists u. R(u) & Q(u)")),
+        "response R⇒Q": response_formula(parse_query("exists u. R(u)"), parse_query("exists u. Q(u)")),
+    }
+    runs = [run for run in iterate_b_bounded_runs(system, bound, depth) if run.steps]
+    rows = []
+    for name, specification in specifications.items():
+        agreements = 0
+        for run in runs:
+            from repro.dms.run import Run
+
+            truncated = Run(run.instances()[:-1])
+            direct = holds_on_run(specification, truncated)
+            analyzer = EncodingAnalyzer(system, bound, encode_run(system, run))
+            via_encoding = evaluate_specification_via_encoding(specification, analyzer)
+            if direct == via_encoding:
+                agreements += 1
+        rows.append(
+            {
+                "specification": name,
+                "runs": len(runs),
+                "agreements": agreements,
+                "all_agree": agreements == len(runs),
+            }
+        )
+    return rows
+
+
+# -- E7: size of the reduction formula ---------------------------------------------------------------
+
+
+def experiment_e7_formula_size(bounds: tuple[int, ...] = (1, 2)) -> list[dict]:
+    """Size of ``ϕ_valid ∧ ¬⌊ψ⌋`` as b, |R| and |acts| grow (§6.6 complexity shape)."""
+    rows = []
+    specification = proposition_reachability_formula("p")
+    for bound in bounds:
+        system = example_31_system()
+        builder = MSONWBuilder(system, bound)
+        size_valid = builder.valid_encoding().size()
+        size_total = reduction_formula_size(system, bound, specification)
+        rows.append(
+            {
+                "system": system.name,
+                "b": bound,
+                "relations": len(system.schema),
+                "actions": len(system.actions),
+                "|symAlph|": len(symbolic_alphabet(system, bound)),
+                "size(phi_valid)": size_valid,
+                "size(reduction)": size_total,
+            }
+        )
+    return rows
+
+
+# -- E8: counter-machine reductions (Theorem 4.1 / Appendix D) ------------------------------------------
+
+
+def _sample_machines() -> list[tuple[CounterMachine, str, bool]]:
+    """Machines together with a target state and the expected reachability verdict."""
+    reach_after_incs = CounterMachine.create(
+        states=["q0", "q1", "q2", "qf"],
+        initial_state="q0",
+        counter_count=2,
+        instructions=[
+            ("q0", "inc", 1, "q1"),
+            ("q1", "inc", 1, "q2"),
+            ("q2", "dec", 1, "q1"),
+            ("q1", "ifz", 2, "qf"),
+        ],
+        name="reachable",
+    )
+    unreachable = CounterMachine.create(
+        states=["q0", "q1", "qf"],
+        initial_state="q0",
+        counter_count=2,
+        instructions=[
+            ("q0", "inc", 1, "q0"),
+            ("q0", "dec", 2, "q1"),  # counter 2 is always 0, so q1 (and qf) are unreachable
+            ("q1", "inc", 2, "qf"),
+        ],
+        name="unreachable",
+    )
+    zero_test = CounterMachine.create(
+        states=["q0", "q1", "q2", "qf"],
+        initial_state="q0",
+        counter_count=2,
+        instructions=[
+            ("q0", "inc", 2, "q1"),
+            ("q1", "ifz", 1, "q2"),
+            ("q2", "dec", 2, "qf"),
+        ],
+        name="zero-test",
+    )
+    return [(reach_after_incs, "qf", True), (unreachable, "qf", False), (zero_test, "qf", True)]
+
+
+def experiment_e8_counter_reductions(max_depth: int = 8) -> list[dict]:
+    """Machine-level reachability vs DMS-level reachability for both encodings."""
+    rows = []
+    for machine, target, expected in _sample_machines():
+        machine_verdict = control_state_reachable(machine, target, max_steps=max_depth)
+        unary = unary_encoding(machine)
+        binary = binary_encoding(machine)
+        proposition = state_proposition(target)
+        unary_result = proposition_reachable_bounded(
+            unary, proposition, bound=2, max_depth=max_depth
+        )
+        binary_result = proposition_reachable_bounded(
+            binary, proposition, bound=2, max_depth=max_depth + 1
+        )
+        rows.append(
+            {
+                "machine": machine.name,
+                "expected": expected,
+                "machine_reach": machine_verdict,
+                "unary_DMS_reach": unary_result.found,
+                "binary_DMS_reach": binary_result.found,
+                "agree": machine_verdict == unary_result.found == binary_result.found == expected,
+            }
+        )
+    return rows
+
+
+# -- E9: convergence in the recency bound -----------------------------------------------------------------
+
+
+def experiment_e9_convergence(max_depth: int = 5) -> list[dict]:
+    """Reachability verdicts and explored state space as b increases (Section 5)."""
+    from repro.fol.parser import parse_query
+
+    system = example_31_system()
+    rows = []
+    # Reaching a database where p has been consumed and some Q-fact remains
+    # requires firing beta, whose parameter must be among the 2 most recent
+    # elements: the property becomes reachable only from bound 2 onwards.
+    condition = parse_query("!p & exists u. Q(u)")
+    sweep = reachability_bound_sweep(
+        system, condition, bounds=(0, 1, 2, 3), max_depth=max_depth
+    )
+    for entry in sweep:
+        rows.append(
+            {
+                "system": system.name,
+                "property": "reach ¬p ∧ ∃u.Q(u)",
+                "b": entry.bound,
+                "verdict": entry.verdict.value,
+                "configurations": entry.configurations,
+                "edges": entry.edges,
+            }
+        )
+    for entry in state_space_bound_sweep(system, bounds=(0, 1, 2), max_depth=max_depth - 1):
+        rows.append(
+            {
+                "system": system.name,
+                "property": "state-space size",
+                "b": entry.bound,
+                "verdict": "-",
+                "configurations": entry.configurations,
+                "edges": entry.edges,
+            }
+        )
+    return rows
+
+
+# -- E10: booking agency case study ---------------------------------------------------------------------------
+
+
+def experiment_e10_booking(max_depth: int = 5) -> list[dict]:
+    """Bounded analysis of the Appendix C booking agency."""
+    system = booking_agency_system()
+    rows = []
+    explorer = RecencyExplorer(system, bound=4, limits=RecencyExplorationLimits(max_depth=max_depth, max_configurations=4000))
+    exploration = explorer.explore()
+    rows.append(
+        {
+            "quantity": "explored configurations (b=4, depth ≤ %d)" % max_depth,
+            "value": exploration.configuration_count,
+        }
+    )
+    offer_available = proposition_reachable_bounded(
+        system, _exists_state_query("OAvail"), bound=4, max_depth=max_depth
+    )
+    rows.append({"quantity": "an offer becomes available", "value": offer_available.found})
+    booking_drafting = proposition_reachable_bounded(
+        system, _exists_state_query("BDrafting"), bound=5, max_depth=max_depth + 1
+    )
+    rows.append({"quantity": "a booking reaches drafting", "value": booking_drafting.found})
+    rows.append(
+        {
+            "quantity": "actions / relations in the model",
+            "value": f"{len(system.actions)} actions, {len(system.schema)} relations",
+        }
+    )
+    return rows
+
+
+def _exists_state_query(state_relation: str):
+    from repro.fol.syntax import Atom, Exists
+
+    return Exists("x_state", Atom(state_relation, ("x_state",)))
+
+
+# -- E11: Appendix F.1–F.3 transformations ----------------------------------------------------------------------
+
+
+def experiment_e11_transforms() -> list[dict]:
+    """Structural and behavioural checks of the relaxation constructions."""
+    system = example_31_system()
+    rows = []
+    std = standard_substitution(system)
+    rows.append(
+        {
+            "transform": "F.2 standard substitution",
+            "original_actions": len(system.actions),
+            "transformed_actions": len(std.actions),
+            "note": "one action per partition of fresh inputs",
+        }
+    )
+    fresh = weaken_freshness(system)
+    rows.append(
+        {
+            "transform": "F.3 weakened freshness",
+            "original_actions": len(system.actions),
+            "transformed_actions": len(fresh.actions),
+            "note": "2^|new| variants per action + Hist relation",
+        }
+    )
+    from repro.transforms.constants import compacted_schema
+
+    compacted = compacted_schema(system.schema, ("c1", "c2"))
+    rows.append(
+        {
+            "transform": "F.1 constant removal (schema)",
+            "original_actions": len(system.schema),
+            "transformed_actions": len(compacted),
+            "note": "relations split per constant placement",
+        }
+    )
+    return rows
+
+
+# -- E12: bulk-operation simulation ---------------------------------------------------------------------------------
+
+
+def experiment_e12_bulk(product_counts: tuple[int, ...] = (1, 2, 3)) -> list[dict]:
+    """The Appendix F.4 protocol: steps needed to flush all to-be-ordered products."""
+    rows = []
+    for products in product_counts:
+        system = warehouse_system()
+        explorer = RecencyExplorer(
+            system,
+            bound=products + 2,
+            limits=RecencyExplorationLimits(
+                max_depth=4 * products + 4, max_configurations=50000
+            ),
+        )
+
+        def all_ordered(configuration) -> bool:
+            instance = configuration.instance
+            return (
+                len(instance.relation_rows("InOrder")) >= products
+                and not instance.relation_rows("TBO")
+                and not instance.holds_proposition("Lock_NewO")
+            )
+
+        witness, stats = explorer.find_configuration(all_ordered)
+        protocol_steps = len(witness.steps) - products if witness else None
+        rows.append(
+            {
+                "products": products,
+                "bulk_flush_found": witness is not None,
+                "total_steps": len(witness.steps) if witness else None,
+                "protocol_steps": protocol_steps,
+                "expected_protocol_steps": 3 * products + 4,
+            }
+        )
+    return rows
+
+
+def all_experiments() -> dict:
+    """Run every experiment and return ``{id: rows}`` (used by the harness CLI)."""
+    return {
+        "E1": experiment_e1_figure1_run(),
+        "E2": experiment_e2_recency_bound(),
+        "E3": experiment_e3_encoding(),
+        "E4": experiment_e4_abstraction_roundtrip(),
+        "E5": experiment_e5_validity(),
+        "E6": experiment_e6_translation(),
+        "E7": experiment_e7_formula_size(),
+        "E8": experiment_e8_counter_reductions(),
+        "E9": experiment_e9_convergence(),
+        "E10": experiment_e10_booking(),
+        "E11": experiment_e11_transforms(),
+        "E12": experiment_e12_bulk(),
+    }

@@ -1,0 +1,35 @@
+"""Plain-text reporting helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "print_experiment"]
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[str(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = " | ".join(str(column).ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(
+        " | ".join(line[index].ljust(widths[index]) for index in range(len(columns)))
+        for line in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def print_experiment(identifier: str, title: str, rows: Iterable[Mapping]) -> None:
+    """Print one experiment's rows in the format recorded in EXPERIMENTS.md."""
+    rows = list(rows)
+    print(f"\n=== {identifier}: {title} ===")
+    print(format_table(rows))

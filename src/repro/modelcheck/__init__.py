@@ -1,0 +1,32 @@
+"""Model checking of DMSs: reachability, recency-bounded MSO-FO checking and convergence."""
+
+from repro.modelcheck.checker import RecencyBoundedModelChecker, check_recency_bounded
+from repro.modelcheck.convergence import (
+    BoundSweepEntry,
+    convergence_bound,
+    reachability_bound_sweep,
+    state_space_bound_sweep,
+)
+from repro.modelcheck.reachability import (
+    proposition_reachable,
+    proposition_reachable_bounded,
+    query_reachable,
+    query_reachable_bounded,
+)
+from repro.modelcheck.result import ModelCheckingResult, ReachabilityResult, Verdict
+
+__all__ = [
+    "BoundSweepEntry",
+    "ModelCheckingResult",
+    "ReachabilityResult",
+    "RecencyBoundedModelChecker",
+    "Verdict",
+    "check_recency_bounded",
+    "convergence_bound",
+    "proposition_reachable",
+    "proposition_reachable_bounded",
+    "query_reachable",
+    "query_reachable_bounded",
+    "reachability_bound_sweep",
+    "state_space_bound_sweep",
+]

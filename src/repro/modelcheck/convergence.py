@@ -1,0 +1,96 @@
+"""Convergence of recency-bounded analysis in the bound ``b`` (paper, Section 5).
+
+Recency boundedness is an *exhaustive* under-approximation: every finite
+behaviour is captured once ``b`` is large enough, and safety verdicts
+converge to the exact ones in the limit (Example 5.2 derives a concrete
+``k_mb`` for the booking case study).  The helpers in this module sweep
+the bound and report how verdicts and the amount of explored behaviour
+evolve, which is what experiment E9 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dms.system import DMS
+from repro.fol.syntax import Query
+from repro.modelcheck.reachability import query_reachable, query_reachable_bounded
+from repro.modelcheck.result import Verdict
+from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
+
+__all__ = ["BoundSweepEntry", "reachability_bound_sweep", "state_space_bound_sweep", "convergence_bound"]
+
+
+@dataclass(frozen=True)
+class BoundSweepEntry:
+    """One row of a sweep over the recency bound."""
+
+    bound: int
+    verdict: Verdict
+    configurations: int
+    edges: int
+
+    def as_row(self) -> tuple:
+        """The row printed by the benchmark harness."""
+        return (self.bound, self.verdict.value, self.configurations, self.edges)
+
+
+def reachability_bound_sweep(
+    system: DMS,
+    condition: Query | str,
+    bounds: tuple[int, ...] = (0, 1, 2, 3, 4),
+    max_depth: int = 6,
+) -> tuple[BoundSweepEntry, ...]:
+    """Reachability verdict and explored state space for increasing bounds."""
+    rows = []
+    for bound in bounds:
+        result = query_reachable_bounded(system, condition, bound, max_depth=max_depth)
+        rows.append(
+            BoundSweepEntry(
+                bound=bound,
+                verdict=result.reachable,
+                configurations=result.configurations_explored,
+                edges=result.edges_explored,
+            )
+        )
+    return tuple(rows)
+
+
+def state_space_bound_sweep(
+    system: DMS, bounds: tuple[int, ...] = (0, 1, 2, 3), max_depth: int = 5
+) -> tuple[BoundSweepEntry, ...]:
+    """How many configurations/edges are explored as the bound grows (no property)."""
+    rows = []
+    for bound in bounds:
+        explorer = RecencyExplorer(system, bound, RecencyExplorationLimits(max_depth=max_depth))
+        result = explorer.explore()
+        rows.append(
+            BoundSweepEntry(
+                bound=bound,
+                verdict=Verdict.UNKNOWN,
+                configurations=result.configuration_count,
+                edges=result.edge_count,
+            )
+        )
+    return tuple(rows)
+
+
+def convergence_bound(
+    system: DMS,
+    condition: Query | str,
+    max_bound: int = 8,
+    max_depth: int = 6,
+) -> int | None:
+    """The least bound at which the bounded reachability verdict matches the
+    unbounded (depth-bounded) verdict.
+
+    Returns ``None`` when no bound up to ``max_bound`` agrees — which, for
+    exhaustive exploration depths, indicates the behaviour of interest
+    genuinely needs a deeper recency window.
+    """
+    reference = query_reachable(system, condition, max_depth=max_depth)
+    for bound in range(max_bound + 1):
+        bounded = query_reachable_bounded(system, condition, bound, max_depth=max_depth)
+        if bounded.reachable == reference.reachable:
+            return bound
+    return None

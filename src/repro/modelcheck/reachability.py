@@ -1,0 +1,123 @@
+"""Reachability analysis for DMSs.
+
+Propositional reachability (Example 4.2) asks whether some execution
+reaches an instance where a given proposition holds.  The problem is
+undecidable in general (Theorem 4.1); the library offers
+
+* bounded-depth reachability in the unbounded semantics
+  (:func:`proposition_reachable`), and
+* bounded-depth reachability in the b-bounded semantics
+  (:func:`proposition_reachable_bounded`),
+
+both returning three-valued :class:`~repro.modelcheck.result.ReachabilityResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.database.instance import DatabaseInstance
+from repro.dms.graph import ConfigurationGraphExplorer, ExplorationLimits
+from repro.dms.system import DMS
+from repro.errors import ModelCheckingError
+from repro.fol.evaluator import evaluate_sentence
+from repro.fol.syntax import Query
+from repro.modelcheck.result import ReachabilityResult, Verdict
+from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
+
+__all__ = [
+    "query_reachable",
+    "proposition_reachable",
+    "query_reachable_bounded",
+    "proposition_reachable_bounded",
+]
+
+
+def _instance_predicate(condition: Query | str, system: DMS) -> Callable[[DatabaseInstance], bool]:
+    if isinstance(condition, str):
+        name = condition
+        system.schema.relation(name)
+        return lambda instance: instance.holds_proposition(name)
+    if not condition.is_sentence():
+        raise ModelCheckingError("reachability conditions must be boolean queries (sentences)")
+    return lambda instance: evaluate_sentence(condition, instance)
+
+
+def query_reachable(
+    system: DMS,
+    condition: Query | str,
+    max_depth: int = 6,
+    limits: ExplorationLimits | None = None,
+) -> ReachabilityResult:
+    """Is an instance satisfying ``condition`` reachable (unbounded semantics)?
+
+    ``condition`` is either a boolean FOL(R) query or a proposition name.
+    The exploration is canonical (fresh values are the least unused
+    standard names) and bounded by ``max_depth``.
+    """
+    predicate = _instance_predicate(condition, system)
+    explorer = ConfigurationGraphExplorer(
+        system, limits or ExplorationLimits(max_depth=max_depth)
+    )
+    witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
+    if witness is not None:
+        verdict = Verdict.HOLDS
+    elif stats.truncated or stats.depth_reached >= explorer.limits.max_depth:
+        verdict = Verdict.UNKNOWN
+    else:
+        verdict = Verdict.FAILS
+    return ReachabilityResult(
+        reachable=verdict,
+        witness=witness,
+        configurations_explored=stats.configuration_count,
+        edges_explored=stats.edge_count,
+        depth=explorer.limits.max_depth,
+        bound=None,
+    )
+
+
+def proposition_reachable(
+    system: DMS, proposition: str, max_depth: int = 6, limits: ExplorationLimits | None = None
+) -> ReachabilityResult:
+    """Propositional reachability (Example 4.2) in the unbounded semantics."""
+    return query_reachable(system, proposition, max_depth=max_depth, limits=limits)
+
+
+def query_reachable_bounded(
+    system: DMS,
+    condition: Query | str,
+    bound: int,
+    max_depth: int = 6,
+    limits: RecencyExplorationLimits | None = None,
+) -> ReachabilityResult:
+    """Is an instance satisfying ``condition`` reachable along a b-bounded run?"""
+    predicate = _instance_predicate(condition, system)
+    explorer = RecencyExplorer(
+        system, bound, limits or RecencyExplorationLimits(max_depth=max_depth)
+    )
+    witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
+    if witness is not None:
+        verdict = Verdict.HOLDS
+    elif stats.truncated or stats.depth_reached >= explorer.limits.max_depth:
+        verdict = Verdict.UNKNOWN
+    else:
+        verdict = Verdict.FAILS
+    return ReachabilityResult(
+        reachable=verdict,
+        witness=witness,
+        configurations_explored=stats.configuration_count,
+        edges_explored=stats.edge_count,
+        depth=explorer.limits.max_depth,
+        bound=bound,
+    )
+
+
+def proposition_reachable_bounded(
+    system: DMS,
+    proposition: str,
+    bound: int,
+    max_depth: int = 6,
+    limits: RecencyExplorationLimits | None = None,
+) -> ReachabilityResult:
+    """Propositional reachability restricted to b-bounded runs."""
+    return query_reachable_bounded(system, proposition, bound, max_depth=max_depth, limits=limits)

@@ -1,0 +1,101 @@
+"""Result types of the model checkers.
+
+Because the library explores finite fragments of infinite-state systems,
+verdicts are three-valued: a property may be established to *hold* on all
+explored runs, *fail* with a concrete counterexample prefix, or remain
+*unknown* because the verdict could still change on unexplored
+continuations (horizon effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["Verdict", "ModelCheckingResult", "ReachabilityResult"]
+
+
+class Verdict(Enum):
+    """Three-valued outcome of a bounded verification question."""
+
+    HOLDS = "holds"
+    FAILS = "fails"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        return self is Verdict.HOLDS
+
+
+@dataclass
+class ModelCheckingResult:
+    """Outcome of checking an MSO-FO/FO-LTL property over bounded runs.
+
+    Attributes:
+        verdict: the three-valued verdict.
+        counterexample: a run prefix (list of labels or a run object)
+            witnessing failure, when available.
+        runs_checked: number of run prefixes evaluated.
+        depth: the exploration depth used.
+        bound: the recency bound used (``None`` for unbounded semantics).
+        details: free-form notes (e.g. whether enumeration was truncated).
+    """
+
+    verdict: Verdict
+    counterexample: Optional[object] = None
+    runs_checked: int = 0
+    depth: int = 0
+    bound: Optional[int] = None
+    details: str = ""
+
+    @property
+    def holds(self) -> bool:
+        """True when the verdict is :attr:`Verdict.HOLDS`."""
+        return self.verdict is Verdict.HOLDS
+
+    @property
+    def fails(self) -> bool:
+        """True when the verdict is :attr:`Verdict.FAILS`."""
+        return self.verdict is Verdict.FAILS
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelCheckingResult({self.verdict.value}, runs={self.runs_checked}, "
+            f"depth={self.depth}, b={self.bound})"
+        )
+
+
+@dataclass
+class ReachabilityResult:
+    """Outcome of a (propositional or query) reachability question.
+
+    Attributes:
+        reachable: the three-valued verdict (:attr:`Verdict.HOLDS` means
+            a witness was found; :attr:`Verdict.FAILS` means exhaustively
+            unreachable within the explored fragment *and* the fragment
+            was complete; :attr:`Verdict.UNKNOWN` means not found but the
+            exploration was truncated by its limits).
+        witness: the witnessing run prefix when reachable.
+        configurations_explored: number of configurations visited.
+        edges_explored: number of transition edges generated.
+        depth: exploration depth limit used.
+        bound: the recency bound (``None`` for the unbounded semantics).
+    """
+
+    reachable: Verdict
+    witness: Optional[object] = None
+    configurations_explored: int = 0
+    edges_explored: int = 0
+    depth: int = 0
+    bound: Optional[int] = None
+
+    @property
+    def found(self) -> bool:
+        """True when a witness was found."""
+        return self.reachable is Verdict.HOLDS
+
+    def __repr__(self) -> str:
+        return (
+            f"ReachabilityResult({self.reachable.value}, configs={self.configurations_explored}, "
+            f"depth={self.depth}, b={self.bound})"
+        )

@@ -1,0 +1,280 @@
+"""FO-LTL: first-order linear temporal logic as sugar over MSO-FO.
+
+The paper notes that MSO-FO can express FO-LTL; the introductory example
+``∀u. G(Enrolled(u) ⇒ F Graduated(u))`` becomes
+
+    ∀x ∀g u. Enrolled(u)@x ⇒ ∃y. y > x ∧ Graduated(u)@y
+
+This module provides an FO-LTL AST (G, F, X, U, propositional connectives
+and FO queries as state formulae, plus outermost data quantifiers) and a
+translation into MSO-FO.  The translation threads a "current position"
+variable through the temporal operators in the standard way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import FormulaError
+from repro.fol.syntax import Query
+from repro.msofo.syntax import (
+    And as MsoAnd,
+    ExistsData,
+    ExistsPosition,
+    ForallData,
+    ForallPosition,
+    Formula,
+    Implies as MsoImplies,
+    Not as MsoNot,
+    Or as MsoOr,
+    PositionEquals,
+    PositionLess,
+    QueryAt,
+    successor,
+)
+
+__all__ = [
+    "TemporalFormula",
+    "StateQuery",
+    "TNot",
+    "TAnd",
+    "TOr",
+    "TImplies",
+    "Next",
+    "Eventually",
+    "Always",
+    "Until",
+    "GlobalForall",
+    "GlobalExists",
+    "to_msofo",
+]
+
+
+@dataclass(frozen=True)
+class TemporalFormula:
+    """Base class of FO-LTL nodes."""
+
+    def children(self) -> tuple["TemporalFormula", ...]:
+        """Immediate sub-formulae."""
+        return ()
+
+    def walk(self) -> Iterator["TemporalFormula"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class StateQuery(TemporalFormula):
+    """A FOL(R) query evaluated at the current position."""
+
+    query: Query
+
+    def __str__(self) -> str:
+        return str(self.query)
+
+
+@dataclass(frozen=True)
+class TNot(TemporalFormula):
+    """Negation."""
+
+    operand: TemporalFormula
+
+    def children(self) -> tuple[TemporalFormula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class _TBinary(TemporalFormula):
+    left: TemporalFormula
+    right: TemporalFormula
+
+    _symbol = "?"
+
+    def children(self) -> tuple[TemporalFormula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self._symbol} {self.right})"
+
+
+@dataclass(frozen=True)
+class TAnd(_TBinary):
+    """Conjunction."""
+
+    _symbol = "∧"
+
+
+@dataclass(frozen=True)
+class TOr(_TBinary):
+    """Disjunction."""
+
+    _symbol = "∨"
+
+
+@dataclass(frozen=True)
+class TImplies(_TBinary):
+    """Implication."""
+
+    _symbol = "⇒"
+
+
+@dataclass(frozen=True)
+class Next(TemporalFormula):
+    """``X φ``: φ holds at the next position."""
+
+    operand: TemporalFormula
+
+    def children(self) -> tuple[TemporalFormula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"X({self.operand})"
+
+
+@dataclass(frozen=True)
+class Eventually(TemporalFormula):
+    """``F φ``: φ holds at some position ≥ the current one."""
+
+    operand: TemporalFormula
+
+    def children(self) -> tuple[TemporalFormula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"F({self.operand})"
+
+
+@dataclass(frozen=True)
+class Always(TemporalFormula):
+    """``G φ``: φ holds at every position ≥ the current one."""
+
+    operand: TemporalFormula
+
+    def children(self) -> tuple[TemporalFormula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"G({self.operand})"
+
+
+@dataclass(frozen=True)
+class Until(TemporalFormula):
+    """``φ U ψ``: ψ eventually holds and φ holds at every position before that."""
+
+    left: TemporalFormula
+    right: TemporalFormula
+
+    def children(self) -> tuple[TemporalFormula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} U {self.right})"
+
+
+@dataclass(frozen=True)
+class GlobalForall(TemporalFormula):
+    """``∀u. φ``: outermost universal data quantification (over ``Gadom``)."""
+
+    variable: str
+    body: TemporalFormula
+
+    def children(self) -> tuple[TemporalFormula, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"∀{self.variable}.({self.body})"
+
+
+@dataclass(frozen=True)
+class GlobalExists(TemporalFormula):
+    """``∃u. φ``: outermost existential data quantification (over ``Gadom``)."""
+
+    variable: str
+    body: TemporalFormula
+
+    def children(self) -> tuple[TemporalFormula, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"∃{self.variable}.({self.body})"
+
+
+_FRESH_COUNTER = 0
+
+
+def _fresh_position(prefix: str = "x") -> str:
+    global _FRESH_COUNTER
+    _FRESH_COUNTER += 1
+    return f"{prefix}_{_FRESH_COUNTER}"
+
+
+def to_msofo(formula: TemporalFormula, anchor: str | None = None) -> Formula:
+    """Translate an FO-LTL formula into MSO-FO.
+
+    Args:
+        formula: the temporal formula.
+        anchor: name of the position variable representing "now"; a fresh
+            one anchored at the first position of the run is used when
+            omitted (so the resulting MSO-FO formula is a sentence when the
+            temporal formula is closed).
+    """
+    if anchor is None:
+        start = _fresh_position("x0")
+        body = _translate(formula, start)
+        # Anchor "now" at the first position of the run: ∀z. ¬(z < start).
+        z = _fresh_position("z")
+        is_first = ForallPosition(z, MsoNot(PositionLess(z, start)))
+        return ExistsPosition(start, MsoAnd(is_first, body))
+    return _translate(formula, anchor)
+
+
+def _translate(formula: TemporalFormula, now: str) -> Formula:
+    if isinstance(formula, StateQuery):
+        return QueryAt(formula.query, now)
+    if isinstance(formula, TNot):
+        return MsoNot(_translate(formula.operand, now))
+    if isinstance(formula, TAnd):
+        return MsoAnd(_translate(formula.left, now), _translate(formula.right, now))
+    if isinstance(formula, TOr):
+        return MsoOr(_translate(formula.left, now), _translate(formula.right, now))
+    if isinstance(formula, TImplies):
+        return MsoImplies(_translate(formula.left, now), _translate(formula.right, now))
+    if isinstance(formula, Next):
+        nxt = _fresh_position("xN")
+        return ExistsPosition(nxt, MsoAnd(successor(now, nxt), _translate(formula.operand, nxt)))
+    if isinstance(formula, Eventually):
+        future = _fresh_position("xF")
+        at_or_after = MsoOr(PositionEquals(now, future), PositionLess(now, future))
+        return ExistsPosition(future, MsoAnd(at_or_after, _translate(formula.operand, future)))
+    if isinstance(formula, Always):
+        future = _fresh_position("xG")
+        at_or_after = MsoOr(PositionEquals(now, future), PositionLess(now, future))
+        return ForallPosition(future, MsoImplies(at_or_after, _translate(formula.operand, future)))
+    if isinstance(formula, Until):
+        witness = _fresh_position("xU")
+        middle = _fresh_position("xM")
+        at_or_after = MsoOr(PositionEquals(now, witness), PositionLess(now, witness))
+        before_witness = MsoAnd(
+            MsoOr(PositionEquals(now, middle), PositionLess(now, middle)),
+            PositionLess(middle, witness),
+        )
+        return ExistsPosition(
+            witness,
+            MsoAnd(
+                MsoAnd(at_or_after, _translate(formula.right, witness)),
+                ForallPosition(
+                    middle, MsoImplies(before_witness, _translate(formula.left, middle))
+                ),
+            ),
+        )
+    if isinstance(formula, GlobalForall):
+        return ForallData(formula.variable, _translate(formula.body, now))
+    if isinstance(formula, GlobalExists):
+        return ExistsData(formula.variable, _translate(formula.body, now))
+    raise FormulaError(f"unsupported FO-LTL node {type(formula).__name__}")

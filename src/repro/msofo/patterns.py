@@ -1,0 +1,224 @@
+"""Verification-problem patterns expressible in MSO-FO (paper, Examples 4.1–4.3).
+
+Included:
+
+* :func:`reachability_formula`, :func:`safety_formula`,
+  :func:`repeated_reachability_formula`, :func:`response_formula` — the
+  standard verification problems mentioned in Section 4.
+* :func:`student_progression_formula` — the introduction's
+  "every enrolled student eventually graduates" property.
+* :func:`runs_characterisation_formula` — the formula ``ϕ_Runs^S`` of
+  Example 4.1 characterising the runs of a DMS inside MSO-FO (using one
+  set variable per action and the local-consistency constraint ``ϕ_α``).
+* :func:`constrained_model_checking_formula` — Example 4.3's reduction of
+  constrained to unconstrained model checking.
+"""
+
+from __future__ import annotations
+
+from repro.dms.action import Action
+from repro.dms.system import DMS
+from repro.fol.active import active_query
+from repro.fol.syntax import Atom, Query
+from repro.msofo.syntax import (
+    And,
+    ExistsData,
+    ExistsPosition,
+    ForallData,
+    ForallPosition,
+    ForallSet,
+    Formula,
+    Implies,
+    InSet,
+    Not,
+    Or,
+    PositionLess,
+    QueryAt,
+    conjunction_formula,
+    disjunction_formula,
+    query_at,
+    successor,
+)
+
+__all__ = [
+    "proposition_reachability_formula",
+    "reachability_formula",
+    "safety_formula",
+    "repeated_reachability_formula",
+    "response_formula",
+    "student_progression_formula",
+    "action_local_consistency_formula",
+    "runs_characterisation_formula",
+    "constrained_model_checking_formula",
+]
+
+
+def proposition_reachability_formula(proposition: str) -> Formula:
+    """``∃x. p@x``: the proposition ``p`` eventually holds (Example 4.2)."""
+    return ExistsPosition("x", QueryAt(Atom(proposition, ()), "x"))
+
+
+def reachability_formula(query: Query, position: str = "x") -> Formula:
+    """``∃x. Q@x`` for a boolean query ``Q``."""
+    return ExistsPosition(position, QueryAt(query, position))
+
+
+def safety_formula(bad_condition: Query, position: str = "x") -> Formula:
+    """``∀x. ¬Bad@x``: the bad condition never holds."""
+    return ForallPosition(position, Not(QueryAt(bad_condition, position)))
+
+
+def repeated_reachability_formula(query: Query) -> Formula:
+    """``∀x ∃y. x < y ∧ Q@y``: the condition holds infinitely often.
+
+    Over finite prefixes the formula is read as "after every position
+    there is a later position where the condition holds".
+    """
+    return ForallPosition(
+        "x", ExistsPosition("y", And(PositionLess("x", "y"), QueryAt(query, "y")))
+    )
+
+
+def response_formula(trigger: Query, response: Query) -> Formula:
+    """``∀x. trigger@x ⇒ ∃y. x < y ∧ response@y`` (a liveness/response pattern)."""
+    return ForallPosition(
+        "x",
+        Implies(
+            QueryAt(trigger, "x"),
+            ExistsPosition("y", And(PositionLess("x", "y"), QueryAt(response, "y"))),
+        ),
+    )
+
+
+def student_progression_formula(
+    enrolled_relation: str = "Enrolled", graduated_relation: str = "Graduated"
+) -> Formula:
+    """The introduction's example property.
+
+    ``∀x ∀g u. Enrolled(u)@x ⇒ ∃y. y > x ∧ Graduated(u)@y``
+    """
+    return ForallPosition(
+        "x",
+        ForallData(
+            "u",
+            Implies(
+                QueryAt(Atom(enrolled_relation, ("u",)), "x"),
+                ExistsPosition(
+                    "y",
+                    And(PositionLess("x", "y"), QueryAt(Atom(graduated_relation, ("u",)), "y")),
+                ),
+            ),
+        ),
+    )
+
+
+def _set_variable_for_action(action_name: str) -> str:
+    return f"X_{action_name}"
+
+
+def action_local_consistency_formula(system: DMS, action: Action, position: str = "x") -> Formula:
+    """The formula ``ϕ_α(x)`` of Example 4.1.
+
+    It asserts that the databases at ``x`` and its successor are locally
+    consistent with applying ``α``: the parameters are active at ``x``,
+    the fresh inputs were never active up to ``x``, the guard holds at
+    ``x``, the added tuples hold at the successor and the deleted tuples
+    (not re-added) do not.
+    """
+    successor_variable = "y"
+    conjuncts: list[Formula] = []
+    for parameter in action.parameters:
+        conjuncts.append(QueryAt(active_query(system.schema, parameter), position))
+    for fresh_variable in action.fresh:
+        earlier = "y_hist"
+        never_active_before = ForallPosition(
+            earlier,
+            Implies(
+                Or(PositionLess(earlier, position), _equals(earlier, position)),
+                Not(QueryAt(active_query(system.schema, fresh_variable), earlier)),
+            ),
+        )
+        conjuncts.append(never_active_before)
+    conjuncts.append(QueryAt(action.guard, position))
+    post_conjuncts: list[Formula] = []
+    added = set(action.additions.facts)
+    for fact in sorted(added, key=str):
+        post_conjuncts.append(
+            QueryAt(Atom(fact.relation, tuple(str(argument) for argument in fact.arguments)), successor_variable)
+        )
+    for fact in sorted(set(action.deletions.facts) - added, key=str):
+        post_conjuncts.append(
+            Not(
+                QueryAt(
+                    Atom(fact.relation, tuple(str(argument) for argument in fact.arguments)),
+                    successor_variable,
+                )
+            )
+        )
+    post = conjunction_formula(*post_conjuncts) if post_conjuncts else None
+    effect = ExistsPosition(
+        successor_variable,
+        And(successor(position, successor_variable), post)
+        if post is not None
+        else successor(position, successor_variable),
+    )
+    conjuncts.append(effect)
+    body = conjunction_formula(*conjuncts)
+    variables = list(action.parameters) + list(action.fresh)
+    for variable in reversed(variables):
+        body = ExistsData(variable, body)
+    return body
+
+
+def _equals(left: str, right: str) -> Formula:
+    from repro.msofo.syntax import PositionEquals
+
+    return PositionEquals(left, right)
+
+
+def runs_characterisation_formula(system: DMS) -> Formula:
+    """The formula ``ϕ_Runs^S`` of Example 4.1.
+
+    Using one set variable ``X_α`` per action, the formula states that the
+    ``X_α`` partition the non-final positions and that each position in
+    ``X_α`` is locally consistent with applying ``α``.  The formula is
+    universally quantified over the set variables in the form
+    "for all partitions ... implies local consistency", so that it holds
+    exactly on sequences of instances that are runs of the system when
+    paired with the partition witnessing the actions taken.
+
+    Note: evaluating this formula enumerates subsets of positions and is
+    therefore only practical on short prefixes; the model checker uses the
+    operational run enumeration instead and this formula is provided for
+    fidelity with the paper (and exercised on small examples in tests).
+    """
+    position = "x"
+    membership_cases = []
+    for action in system.actions:
+        set_variable = _set_variable_for_action(action.name)
+        membership_cases.append(
+            Implies(
+                InSet(position, set_variable),
+                action_local_consistency_formula(system, action, position),
+            )
+        )
+    has_successor = ExistsPosition("x_next", PositionLess(position, "x_next"))
+    in_some_set = disjunction_formula(
+        *[InSet(position, _set_variable_for_action(action.name)) for action in system.actions]
+    )
+    body = ForallPosition(
+        position,
+        And(
+            Implies(has_successor, in_some_set),
+            conjunction_formula(*membership_cases),
+        ),
+    )
+    formula: Formula = body
+    for action in reversed(system.actions):
+        formula = ForallSet(_set_variable_for_action(action.name), formula)
+    return formula
+
+
+def constrained_model_checking_formula(constraint: Query, specification: Formula) -> Formula:
+    """Example 4.3: reduce constrained model checking to ``(∀x. φ_c@x) ⇒ φ``."""
+    return Implies(ForallPosition("x_c", QueryAt(constraint, "x_c")), specification)

@@ -1,0 +1,185 @@
+"""Evaluation of MSO-FO over finite run prefixes.
+
+The paper interprets MSO-FO over infinite runs (Appendix B).  This module
+gives the exact analogous semantics over a *finite* run prefix
+``ρ = I0, ..., Ik``:
+
+* position variables range over ``{0, ..., k}``,
+* set variables range over subsets of ``{0, ..., k}``,
+* ``∃g u`` ranges over the global active domain of the prefix,
+* ``Q@x`` holds when ``I_{σ(x)}, σ|Free-Vars(Q) ⊨ Q`` **and** every free
+  variable of ``Q`` is bound to a value of ``adom(I_{σ(x)})`` (the
+  active-domain restriction stated at the end of Appendix B).
+
+Second-order quantification enumerates subsets of positions, so
+evaluation is exponential in the prefix length for formulae that use set
+variables; the model checker keeps prefixes short, and FO-LTL properties
+avoid set quantifiers altogether.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Mapping
+
+from repro.dms.run import Run
+from repro.errors import FormulaError
+from repro.fol.evaluator import satisfies
+from repro.msofo.syntax import (
+    And,
+    ExistsData,
+    ExistsPosition,
+    ExistsSet,
+    ForallData,
+    ForallPosition,
+    ForallSet,
+    Formula,
+    Implies,
+    InSet,
+    Not,
+    Or,
+    PositionEquals,
+    PositionLess,
+    QueryAt,
+)
+
+__all__ = ["evaluate", "holds_on_run", "RunAssignment"]
+
+
+class RunAssignment:
+    """A substitution of MSO-FO variables over a finite run prefix.
+
+    Position variables map to positions, set variables to frozensets of
+    positions and data variables to data values.
+    """
+
+    __slots__ = ("positions", "sets", "data")
+
+    def __init__(
+        self,
+        positions: Mapping[str, int] | None = None,
+        sets: Mapping[str, frozenset] | None = None,
+        data: Mapping[str, object] | None = None,
+    ) -> None:
+        self.positions = dict(positions or {})
+        self.sets = {name: frozenset(value) for name, value in (sets or {}).items()}
+        self.data = dict(data or {})
+
+    def copy(self) -> "RunAssignment":
+        """A shallow copy (used when binding quantified variables)."""
+        return RunAssignment(self.positions, self.sets, self.data)
+
+
+def evaluate(formula: Formula, run: Run, assignment: RunAssignment | None = None) -> bool:
+    """Evaluate ``formula`` over the finite run prefix under ``assignment``."""
+    env = assignment or RunAssignment()
+    missing_positions = formula.free_position_variables() - set(env.positions)
+    missing_sets = formula.free_set_variables() - set(env.sets)
+    missing_data = formula.free_data_variables() - set(env.data)
+    if missing_positions or missing_sets or missing_data:
+        raise FormulaError(
+            "unbound free variables: "
+            f"positions={sorted(missing_positions)}, sets={sorted(missing_sets)}, "
+            f"data={sorted(missing_data)}"
+        )
+    return _eval(formula, run, env)
+
+
+def holds_on_run(formula: Formula, run: Run) -> bool:
+    """Evaluate a sentence over the run prefix (``ρ ⊨ φ``)."""
+    if not formula.is_sentence():
+        raise FormulaError(f"{formula} is not a sentence; use evaluate() with an assignment")
+    return _eval(formula, run, RunAssignment())
+
+
+def _eval(formula: Formula, run: Run, env: RunAssignment) -> bool:
+    if isinstance(formula, QueryAt):
+        position = _position(env, formula.position)
+        instance = run[position]
+        free = formula.query.free_variables()
+        binding = {name: env.data[name] for name in free}
+        adom = instance.active_domain()
+        # Appendix B: Image(σ) ⊆ adom(I) is necessary for Q@x to hold.
+        if any(value not in adom for value in binding.values()):
+            return False
+        return satisfies(instance, formula.query, binding)
+    if isinstance(formula, PositionLess):
+        return _position(env, formula.left) < _position(env, formula.right)
+    if isinstance(formula, PositionEquals):
+        return _position(env, formula.left) == _position(env, formula.right)
+    if isinstance(formula, InSet):
+        return _position(env, formula.position) in env.sets[formula.set_variable]
+    if isinstance(formula, Not):
+        return not _eval(formula.operand, run, env)
+    if isinstance(formula, And):
+        return _eval(formula.left, run, env) and _eval(formula.right, run, env)
+    if isinstance(formula, Or):
+        return _eval(formula.left, run, env) or _eval(formula.right, run, env)
+    if isinstance(formula, Implies):
+        return (not _eval(formula.left, run, env)) or _eval(formula.right, run, env)
+    if isinstance(formula, ExistsPosition):
+        return any(
+            _eval(formula.body, run, _with_position(env, formula.variable, position))
+            for position in run.positions()
+        )
+    if isinstance(formula, ForallPosition):
+        return all(
+            _eval(formula.body, run, _with_position(env, formula.variable, position))
+            for position in run.positions()
+        )
+    if isinstance(formula, ExistsSet):
+        return any(
+            _eval(formula.body, run, _with_set(env, formula.variable, subset))
+            for subset in _subsets(run)
+        )
+    if isinstance(formula, ForallSet):
+        return all(
+            _eval(formula.body, run, _with_set(env, formula.variable, subset))
+            for subset in _subsets(run)
+        )
+    if isinstance(formula, ExistsData):
+        return any(
+            _eval(formula.body, run, _with_data(env, formula.variable, value))
+            for value in sorted(run.global_active_domain(), key=repr)
+        )
+    if isinstance(formula, ForallData):
+        return all(
+            _eval(formula.body, run, _with_data(env, formula.variable, value))
+            for value in sorted(run.global_active_domain(), key=repr)
+        )
+    raise FormulaError(f"unsupported MSO-FO node {type(formula).__name__}")
+
+
+def _position(env: RunAssignment, variable: str) -> int:
+    try:
+        return env.positions[variable]
+    except KeyError:
+        raise FormulaError(f"position variable {variable!r} is not bound") from None
+
+
+def _with_position(env: RunAssignment, variable: str, position: int) -> RunAssignment:
+    updated = env.copy()
+    updated.positions[variable] = position
+    return updated
+
+
+def _with_set(env: RunAssignment, variable: str, subset: frozenset) -> RunAssignment:
+    updated = env.copy()
+    updated.sets[variable] = subset
+    return updated
+
+
+def _with_data(env: RunAssignment, variable: str, value: object) -> RunAssignment:
+    updated = env.copy()
+    updated.data[variable] = value
+    return updated
+
+
+def _subsets(run: Run):
+    positions = list(run.positions())
+    return (
+        frozenset(subset)
+        for subset in chain.from_iterable(
+            combinations(positions, size) for size in range(len(positions) + 1)
+        )
+    )

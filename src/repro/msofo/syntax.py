@@ -1,0 +1,407 @@
+"""Abstract syntax of MSO-FO (paper, Section 4).
+
+The grammar is::
+
+    φ ::= Q@x | x < y | x ∈ X | ¬φ | φ ∧ φ | ∃x.φ | ∃X.φ | ∃g u.φ
+
+where ``x, y`` are first-order position variables, ``X`` is a second-order
+position variable, ``u`` is a data variable and ``Q`` is a FOL(R) query.
+Derived connectives (∨, ⇒, ∀, ∀g, successor, equality of positions) are
+provided as constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import FormulaError
+from repro.fol.syntax import Query
+
+__all__ = [
+    "Formula",
+    "QueryAt",
+    "PositionLess",
+    "PositionEquals",
+    "InSet",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "ExistsPosition",
+    "ForallPosition",
+    "ExistsSet",
+    "ForallSet",
+    "ExistsData",
+    "ForallData",
+    "query_at",
+    "successor",
+    "conjunction_formula",
+    "disjunction_formula",
+]
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Base class of MSO-FO formula nodes."""
+
+    def children(self) -> tuple["Formula", ...]:
+        """Immediate sub-formulae."""
+        return ()
+
+    def walk(self) -> Iterator["Formula"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def size(self) -> int:
+        """Number of AST nodes."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def free_position_variables(self) -> frozenset:
+        """Free first-order position variables."""
+        raise NotImplementedError
+
+    def free_set_variables(self) -> frozenset:
+        """Free second-order position variables."""
+        raise NotImplementedError
+
+    def free_data_variables(self) -> frozenset:
+        """Free data variables."""
+        raise NotImplementedError
+
+    def is_sentence(self) -> bool:
+        """True when the formula has no free variables of any sort."""
+        return not (
+            self.free_position_variables()
+            | self.free_set_variables()
+            | self.free_data_variables()
+        )
+
+    def queries(self) -> tuple[Query, ...]:
+        """All FOL(R) queries used as atoms ``Q@x``."""
+        return tuple(node.query for node in self.walk() if isinstance(node, QueryAt))
+
+    # operator sugar
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        """``self ⇒ other``."""
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class QueryAt(Formula):
+    """The atom ``Q@x``: the FOL(R) query ``Q`` holds in the instance at position ``x``."""
+
+    query: Query
+    position: str
+
+    def __post_init__(self) -> None:
+        if not self.position:
+            raise FormulaError("Q@x needs a position variable name")
+
+    def free_position_variables(self) -> frozenset:
+        return frozenset({self.position})
+
+    def free_set_variables(self) -> frozenset:
+        return frozenset()
+
+    def free_data_variables(self) -> frozenset:
+        return frozenset(self.query.free_variables())
+
+    def __str__(self) -> str:
+        return f"({self.query})@{self.position}"
+
+
+@dataclass(frozen=True)
+class PositionLess(Formula):
+    """``x < y`` on positions of the run."""
+
+    left: str
+    right: str
+
+    def free_position_variables(self) -> frozenset:
+        return frozenset({self.left, self.right})
+
+    def free_set_variables(self) -> frozenset:
+        return frozenset()
+
+    def free_data_variables(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.left} < {self.right}"
+
+
+@dataclass(frozen=True)
+class PositionEquals(Formula):
+    """``x = y`` on positions (derived: ``¬(x<y) ∧ ¬(y<x)``, kept primitive for readability)."""
+
+    left: str
+    right: str
+
+    def free_position_variables(self) -> frozenset:
+        return frozenset({self.left, self.right})
+
+    def free_set_variables(self) -> frozenset:
+        return frozenset()
+
+    def free_data_variables(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class InSet(Formula):
+    """``x ∈ X``."""
+
+    position: str
+    set_variable: str
+
+    def free_position_variables(self) -> frozenset:
+        return frozenset({self.position})
+
+    def free_set_variables(self) -> frozenset:
+        return frozenset({self.set_variable})
+
+    def free_data_variables(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.position} ∈ {self.set_variable}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def free_position_variables(self) -> frozenset:
+        return self.operand.free_position_variables()
+
+    def free_set_variables(self) -> frozenset:
+        return self.operand.free_set_variables()
+
+    def free_data_variables(self) -> frozenset:
+        return self.operand.free_data_variables()
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class _Binary(Formula):
+    """Shared implementation of binary connectives."""
+
+    left: Formula
+    right: Formula
+
+    _symbol = "?"
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def free_position_variables(self) -> frozenset:
+        return self.left.free_position_variables() | self.right.free_position_variables()
+
+    def free_set_variables(self) -> frozenset:
+        return self.left.free_set_variables() | self.right.free_set_variables()
+
+    def free_data_variables(self) -> frozenset:
+        return self.left.free_data_variables() | self.right.free_data_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self._symbol} {self.right})"
+
+
+@dataclass(frozen=True)
+class And(_Binary):
+    """Conjunction."""
+
+    _symbol = "∧"
+
+
+@dataclass(frozen=True)
+class Or(_Binary):
+    """Disjunction (derived)."""
+
+    _symbol = "∨"
+
+
+@dataclass(frozen=True)
+class Implies(_Binary):
+    """Implication (derived)."""
+
+    _symbol = "⇒"
+
+
+@dataclass(frozen=True)
+class _PositionQuantifier(Formula):
+    """Shared implementation of first-order position quantifiers."""
+
+    variable: str
+    body: Formula
+
+    _symbol = "?"
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def free_position_variables(self) -> frozenset:
+        return self.body.free_position_variables() - {self.variable}
+
+    def free_set_variables(self) -> frozenset:
+        return self.body.free_set_variables()
+
+    def free_data_variables(self) -> frozenset:
+        return self.body.free_data_variables()
+
+    def __str__(self) -> str:
+        return f"{self._symbol}{self.variable}.({self.body})"
+
+
+@dataclass(frozen=True)
+class ExistsPosition(_PositionQuantifier):
+    """``∃x.φ``: there is a position of the run where φ holds."""
+
+    _symbol = "∃"
+
+
+@dataclass(frozen=True)
+class ForallPosition(_PositionQuantifier):
+    """``∀x.φ`` (derived)."""
+
+    _symbol = "∀"
+
+
+@dataclass(frozen=True)
+class _SetQuantifier(Formula):
+    """Shared implementation of second-order position quantifiers."""
+
+    variable: str
+    body: Formula
+
+    _symbol = "?"
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def free_position_variables(self) -> frozenset:
+        return self.body.free_position_variables()
+
+    def free_set_variables(self) -> frozenset:
+        return self.body.free_set_variables() - {self.variable}
+
+    def free_data_variables(self) -> frozenset:
+        return self.body.free_data_variables()
+
+    def __str__(self) -> str:
+        return f"{self._symbol}{self.variable}.({self.body})"
+
+
+@dataclass(frozen=True)
+class ExistsSet(_SetQuantifier):
+    """``∃X.φ``: there is a set of positions for which φ holds."""
+
+    _symbol = "∃"
+
+
+@dataclass(frozen=True)
+class ForallSet(_SetQuantifier):
+    """``∀X.φ`` (derived)."""
+
+    _symbol = "∀"
+
+
+@dataclass(frozen=True)
+class _DataQuantifier(Formula):
+    """Shared implementation of global data quantifiers."""
+
+    variable: str
+    body: Formula
+
+    _symbol = "?"
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def free_position_variables(self) -> frozenset:
+        return self.body.free_position_variables()
+
+    def free_set_variables(self) -> frozenset:
+        return self.body.free_set_variables()
+
+    def free_data_variables(self) -> frozenset:
+        return self.body.free_data_variables() - {self.variable}
+
+    def __str__(self) -> str:
+        return f"{self._symbol}g {self.variable}.({self.body})"
+
+
+@dataclass(frozen=True)
+class ExistsData(_DataQuantifier):
+    """``∃g u.φ``: some value of the global active domain makes φ true."""
+
+    _symbol = "∃"
+
+
+@dataclass(frozen=True)
+class ForallData(_DataQuantifier):
+    """``∀g u.φ`` (derived: ``¬∃g u.¬φ``)."""
+
+    _symbol = "∀"
+
+
+# -- convenience constructors ------------------------------------------------
+
+
+def query_at(query: Query, position: str) -> QueryAt:
+    """Build ``Q@x``."""
+    return QueryAt(query, position)
+
+
+def successor(x: str, y: str) -> Formula:
+    """``succ(x, y)``: ``y`` is the direct successor position of ``x``.
+
+    Expressed in MSO-FO as ``x < y ∧ ¬∃z. (x < z ∧ z < y)`` (Example 4.1).
+    """
+    intermediate = "z_succ" if "z_succ" not in (x, y) else "z_succ_"
+    return And(
+        PositionLess(x, y),
+        Not(ExistsPosition(intermediate, And(PositionLess(x, intermediate), PositionLess(intermediate, y)))),
+    )
+
+
+def conjunction_formula(*parts: Formula) -> Formula:
+    """N-ary conjunction (requires at least one conjunct)."""
+    if not parts:
+        raise FormulaError("conjunction_formula needs at least one conjunct")
+    result = parts[0]
+    for part in parts[1:]:
+        result = And(result, part)
+    return result
+
+
+def disjunction_formula(*parts: Formula) -> Formula:
+    """N-ary disjunction (requires at least one disjunct)."""
+    if not parts:
+        raise FormulaError("disjunction_formula needs at least one disjunct")
+    result = parts[0]
+    for part in parts[1:]:
+        result = Or(result, part)
+    return result

@@ -1,0 +1,104 @@
+"""Visible (pushdown) alphabets (paper, Section 6.2).
+
+A visible alphabet ``Σ`` is a finite alphabet partitioned into push
+letters ``Σ↓``, pop letters ``Σ↑`` and internal letters ``Σint``.  Given a
+word over a visible alphabet, the nesting relation is uniquely determined
+by the partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.errors import NestedWordError
+
+__all__ = ["LetterKind", "VisibleAlphabet"]
+
+Letter = Hashable
+
+
+class LetterKind:
+    """The three classes of letters of a visible alphabet."""
+
+    PUSH = "push"
+    POP = "pop"
+    INTERNAL = "internal"
+
+
+@dataclass(frozen=True)
+class VisibleAlphabet:
+    """An immutable visible alphabet ``Σ = Σ↓ ⊎ Σ↑ ⊎ Σint``."""
+
+    push_letters: frozenset
+    pop_letters: frozenset
+    internal_letters: frozenset
+
+    def __post_init__(self) -> None:
+        overlap = (
+            (self.push_letters & self.pop_letters)
+            | (self.push_letters & self.internal_letters)
+            | (self.pop_letters & self.internal_letters)
+        )
+        if overlap:
+            raise NestedWordError(
+                f"visible alphabet classes must be disjoint; shared letters: {sorted(map(str, overlap))}"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        push: Iterable[Letter] = (),
+        pop: Iterable[Letter] = (),
+        internal: Iterable[Letter] = (),
+    ) -> "VisibleAlphabet":
+        """Build an alphabet from the three letter classes."""
+        return cls(frozenset(push), frozenset(pop), frozenset(internal))
+
+    @property
+    def letters(self) -> frozenset:
+        """All letters of the alphabet."""
+        return self.push_letters | self.pop_letters | self.internal_letters
+
+    def __contains__(self, letter: object) -> bool:
+        return letter in self.letters
+
+    def __len__(self) -> int:
+        return len(self.letters)
+
+    def kind(self, letter: Letter) -> str:
+        """The class (:class:`LetterKind`) of a letter."""
+        if letter in self.push_letters:
+            return LetterKind.PUSH
+        if letter in self.pop_letters:
+            return LetterKind.POP
+        if letter in self.internal_letters:
+            return LetterKind.INTERNAL
+        raise NestedWordError(f"letter {letter!r} is not in the visible alphabet")
+
+    def is_push(self, letter: Letter) -> bool:
+        """True for push letters (``Σ↓``)."""
+        return letter in self.push_letters
+
+    def is_pop(self, letter: Letter) -> bool:
+        """True for pop letters (``Σ↑``)."""
+        return letter in self.pop_letters
+
+    def is_internal(self, letter: Letter) -> bool:
+        """True for internal letters (``Σint``)."""
+        return letter in self.internal_letters
+
+    def union(self, other: "VisibleAlphabet") -> "VisibleAlphabet":
+        """The union of two visible alphabets (classes must stay disjoint)."""
+        return VisibleAlphabet(
+            self.push_letters | other.push_letters,
+            self.pop_letters | other.pop_letters,
+            self.internal_letters | other.internal_letters,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"VisibleAlphabet(push={sorted(map(str, self.push_letters))}, "
+            f"pop={sorted(map(str, self.pop_letters))}, "
+            f"internal={sorted(map(str, self.internal_letters))})"
+        )

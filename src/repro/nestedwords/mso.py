@@ -1,0 +1,465 @@
+"""MSO over nested words (MSONW; paper, Section 6.2).
+
+Syntax::
+
+    ϕ ::= a(x) | x < y | x ⊿ y | ¬ϕ | ϕ ∨ ϕ | ∃x.ϕ | ∃X.ϕ
+
+The module provides the formula AST (with the usual derived connectives)
+and its evaluation over *concrete finite* nested words.  Satisfiability
+of MSONW is decidable (Fact 1, Alur & Madhusudan) but non-elementary; the
+library uses concrete-word evaluation to cross-validate the reduction of
+Section 6 and never builds the full automaton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations
+from typing import Iterator, Mapping
+
+from repro.errors import FormulaError
+from repro.nestedwords.word import NestedWord
+
+__all__ = [
+    "NWFormula",
+    "Letter",
+    "Less",
+    "LessEqual",
+    "EqualsPos",
+    "Matched",
+    "InSet",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Exists",
+    "Forall",
+    "ExistsSet",
+    "ForallSet",
+    "TrueFormula",
+    "conjunction",
+    "disjunction",
+    "evaluate_nw",
+    "holds_on_nested_word",
+]
+
+
+@dataclass(frozen=True)
+class NWFormula:
+    """Base class of MSONW formula nodes."""
+
+    def children(self) -> tuple["NWFormula", ...]:
+        """Immediate sub-formulae."""
+        return ()
+
+    def walk(self) -> Iterator["NWFormula"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def size(self) -> int:
+        """Number of AST nodes (the quantity measured by experiment E7)."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def free_position_variables(self) -> frozenset:
+        """Free first-order (position) variables."""
+        raise NotImplementedError
+
+    def free_set_variables(self) -> frozenset:
+        """Free second-order (set) variables."""
+        raise NotImplementedError
+
+    def is_sentence(self) -> bool:
+        """True when the formula has no free variables."""
+        return not (self.free_position_variables() | self.free_set_variables())
+
+    def __and__(self, other: "NWFormula") -> "NWFormula":
+        return And(self, other)
+
+    def __or__(self, other: "NWFormula") -> "NWFormula":
+        return Or(self, other)
+
+    def __invert__(self) -> "NWFormula":
+        return Not(self)
+
+    def implies(self, other: "NWFormula") -> "NWFormula":
+        """``self ⇒ other``."""
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class TrueFormula(NWFormula):
+    """The constant ``true``."""
+
+    def free_position_variables(self) -> frozenset:
+        return frozenset()
+
+    def free_set_variables(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Letter(NWFormula):
+    """``a(x)``: position ``x`` carries letter ``a``."""
+
+    letter: object
+    position: str
+
+    def free_position_variables(self) -> frozenset:
+        return frozenset({self.position})
+
+    def free_set_variables(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.letter}({self.position})"
+
+
+@dataclass(frozen=True)
+class Less(NWFormula):
+    """``x < y``."""
+
+    left: str
+    right: str
+
+    def free_position_variables(self) -> frozenset:
+        return frozenset({self.left, self.right})
+
+    def free_set_variables(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.left} < {self.right}"
+
+
+@dataclass(frozen=True)
+class LessEqual(NWFormula):
+    """``x ≤ y`` (derived, kept primitive for formula-size parity with the paper)."""
+
+    left: str
+    right: str
+
+    def free_position_variables(self) -> frozenset:
+        return frozenset({self.left, self.right})
+
+    def free_set_variables(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.left} ≤ {self.right}"
+
+
+@dataclass(frozen=True)
+class EqualsPos(NWFormula):
+    """``x = y`` on positions."""
+
+    left: str
+    right: str
+
+    def free_position_variables(self) -> frozenset:
+        return frozenset({self.left, self.right})
+
+    def free_set_variables(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Matched(NWFormula):
+    """``x ⊿ y``: the nesting relation links positions ``x`` and ``y``."""
+
+    push: str
+    pop: str
+
+    def free_position_variables(self) -> frozenset:
+        return frozenset({self.push, self.pop})
+
+    def free_set_variables(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.push} ⊿ {self.pop}"
+
+
+@dataclass(frozen=True)
+class InSet(NWFormula):
+    """``x ∈ X``."""
+
+    position: str
+    set_variable: str
+
+    def free_position_variables(self) -> frozenset:
+        return frozenset({self.position})
+
+    def free_set_variables(self) -> frozenset:
+        return frozenset({self.set_variable})
+
+    def __str__(self) -> str:
+        return f"{self.position} ∈ {self.set_variable}"
+
+
+@dataclass(frozen=True)
+class Not(NWFormula):
+    """Negation."""
+
+    operand: NWFormula
+
+    def children(self) -> tuple[NWFormula, ...]:
+        return (self.operand,)
+
+    def free_position_variables(self) -> frozenset:
+        return self.operand.free_position_variables()
+
+    def free_set_variables(self) -> frozenset:
+        return self.operand.free_set_variables()
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class _Binary(NWFormula):
+    left: NWFormula
+    right: NWFormula
+
+    _symbol = "?"
+
+    def children(self) -> tuple[NWFormula, ...]:
+        return (self.left, self.right)
+
+    def free_position_variables(self) -> frozenset:
+        return self.left.free_position_variables() | self.right.free_position_variables()
+
+    def free_set_variables(self) -> frozenset:
+        return self.left.free_set_variables() | self.right.free_set_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self._symbol} {self.right})"
+
+
+@dataclass(frozen=True)
+class And(_Binary):
+    """Conjunction."""
+
+    _symbol = "∧"
+
+
+@dataclass(frozen=True)
+class Or(_Binary):
+    """Disjunction."""
+
+    _symbol = "∨"
+
+
+@dataclass(frozen=True)
+class Implies(_Binary):
+    """Implication (derived)."""
+
+    _symbol = "⇒"
+
+
+@dataclass(frozen=True)
+class _PositionQuantifier(NWFormula):
+    variable: str
+    body: NWFormula
+
+    _symbol = "?"
+
+    def children(self) -> tuple[NWFormula, ...]:
+        return (self.body,)
+
+    def free_position_variables(self) -> frozenset:
+        return self.body.free_position_variables() - {self.variable}
+
+    def free_set_variables(self) -> frozenset:
+        return self.body.free_set_variables()
+
+    def __str__(self) -> str:
+        return f"{self._symbol}{self.variable}.({self.body})"
+
+
+@dataclass(frozen=True)
+class Exists(_PositionQuantifier):
+    """``∃x.ϕ``."""
+
+    _symbol = "∃"
+
+
+@dataclass(frozen=True)
+class Forall(_PositionQuantifier):
+    """``∀x.ϕ`` (derived)."""
+
+    _symbol = "∀"
+
+
+@dataclass(frozen=True)
+class _SetQuantifier(NWFormula):
+    variable: str
+    body: NWFormula
+
+    _symbol = "?"
+
+    def children(self) -> tuple[NWFormula, ...]:
+        return (self.body,)
+
+    def free_position_variables(self) -> frozenset:
+        return self.body.free_position_variables()
+
+    def free_set_variables(self) -> frozenset:
+        return self.body.free_set_variables() - {self.variable}
+
+    def __str__(self) -> str:
+        return f"{self._symbol}{self.variable}.({self.body})"
+
+
+@dataclass(frozen=True)
+class ExistsSet(_SetQuantifier):
+    """``∃X.ϕ``."""
+
+    _symbol = "∃"
+
+
+@dataclass(frozen=True)
+class ForallSet(_SetQuantifier):
+    """``∀X.ϕ`` (derived)."""
+
+    _symbol = "∀"
+
+
+def conjunction(*parts: NWFormula) -> NWFormula:
+    """N-ary conjunction (``true`` when empty)."""
+    filtered = [part for part in parts if not isinstance(part, TrueFormula)]
+    if not filtered:
+        return TrueFormula()
+    result = filtered[0]
+    for part in filtered[1:]:
+        result = And(result, part)
+    return result
+
+
+def disjunction(*parts: NWFormula) -> NWFormula:
+    """N-ary disjunction (``¬true`` when empty)."""
+    parts = tuple(parts)
+    if not parts:
+        return Not(TrueFormula())
+    result = parts[0]
+    for part in parts[1:]:
+        result = Or(result, part)
+    return result
+
+
+# -- evaluation over concrete nested words -------------------------------------------
+
+
+class NWAssignment:
+    """An assignment of MSONW variables over a concrete nested word."""
+
+    __slots__ = ("positions", "sets")
+
+    def __init__(
+        self,
+        positions: Mapping[str, int] | None = None,
+        sets: Mapping[str, frozenset] | None = None,
+    ) -> None:
+        self.positions = dict(positions or {})
+        self.sets = {name: frozenset(value) for name, value in (sets or {}).items()}
+
+    def copy(self) -> "NWAssignment":
+        """Shallow copy used when binding quantified variables."""
+        return NWAssignment(self.positions, self.sets)
+
+
+def evaluate_nw(
+    formula: NWFormula, word: NestedWord, assignment: NWAssignment | None = None
+) -> bool:
+    """Evaluate an MSONW formula over a concrete finite nested word."""
+    env = assignment or NWAssignment()
+    missing_positions = formula.free_position_variables() - set(env.positions)
+    missing_sets = formula.free_set_variables() - set(env.sets)
+    if missing_positions or missing_sets:
+        raise FormulaError(
+            f"unbound MSONW variables: positions={sorted(missing_positions)}, "
+            f"sets={sorted(missing_sets)}"
+        )
+    return _eval(formula, word, env)
+
+
+def holds_on_nested_word(formula: NWFormula, word: NestedWord) -> bool:
+    """Evaluate a sentence over the nested word."""
+    if not formula.is_sentence():
+        raise FormulaError(f"{formula} is not a sentence")
+    return _eval(formula, word, NWAssignment())
+
+
+def _eval(formula: NWFormula, word: NestedWord, env: NWAssignment) -> bool:
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, Letter):
+        return word.letter_at(env.positions[formula.position]) == formula.letter
+    if isinstance(formula, Less):
+        return env.positions[formula.left] < env.positions[formula.right]
+    if isinstance(formula, LessEqual):
+        return env.positions[formula.left] <= env.positions[formula.right]
+    if isinstance(formula, EqualsPos):
+        return env.positions[formula.left] == env.positions[formula.right]
+    if isinstance(formula, Matched):
+        return word.matches(env.positions[formula.push], env.positions[formula.pop])
+    if isinstance(formula, InSet):
+        return env.positions[formula.position] in env.sets[formula.set_variable]
+    if isinstance(formula, Not):
+        return not _eval(formula.operand, word, env)
+    if isinstance(formula, And):
+        return _eval(formula.left, word, env) and _eval(formula.right, word, env)
+    if isinstance(formula, Or):
+        return _eval(formula.left, word, env) or _eval(formula.right, word, env)
+    if isinstance(formula, Implies):
+        return (not _eval(formula.left, word, env)) or _eval(formula.right, word, env)
+    if isinstance(formula, Exists):
+        return any(
+            _eval(formula.body, word, _with_position(env, formula.variable, position))
+            for position in word.positions()
+        )
+    if isinstance(formula, Forall):
+        return all(
+            _eval(formula.body, word, _with_position(env, formula.variable, position))
+            for position in word.positions()
+        )
+    if isinstance(formula, ExistsSet):
+        return any(
+            _eval(formula.body, word, _with_set(env, formula.variable, subset))
+            for subset in _subsets(word)
+        )
+    if isinstance(formula, ForallSet):
+        return all(
+            _eval(formula.body, word, _with_set(env, formula.variable, subset))
+            for subset in _subsets(word)
+        )
+    raise FormulaError(f"unsupported MSONW node {type(formula).__name__}")
+
+
+def _with_position(env: NWAssignment, variable: str, position: int) -> NWAssignment:
+    updated = env.copy()
+    updated.positions[variable] = position
+    return updated
+
+
+def _with_set(env: NWAssignment, variable: str, subset: frozenset) -> NWAssignment:
+    updated = env.copy()
+    updated.sets[variable] = subset
+    return updated
+
+
+def _subsets(word: NestedWord):
+    positions = list(word.positions())
+    return (
+        frozenset(subset)
+        for subset in chain.from_iterable(
+            combinations(positions, size) for size in range(len(positions) + 1)
+        )
+    )

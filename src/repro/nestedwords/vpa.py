@@ -1,0 +1,291 @@
+"""Visibly pushdown automata (VPAs).
+
+VPAs are the automaton counterpart of MSO over nested words
+(Alur & Madhusudan, cited as [3] by the paper): every MSONW-definable
+language of nested words is recognised by a VPA, and VPA emptiness is
+decidable.  The library uses VPAs as the decidable substrate behind
+Fact 1: the membership, product and emptiness algorithms implemented here
+are the operations a full (non-elementary) MSONW-to-automaton compilation
+would rely on.
+
+The implementation supports nondeterministic VPAs over finite nested
+words with pending pushes allowed (matching the finite prefixes of the
+paper's encodings).  A pop transition taken on an empty stack reads the
+bottom-of-stack symbol ``BOTTOM``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product as cartesian_product
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import NestedWordError
+from repro.nestedwords.alphabet import VisibleAlphabet
+from repro.nestedwords.word import NestedWord
+
+__all__ = ["BOTTOM", "VPA", "PushTransition", "PopTransition", "InternalTransition"]
+
+#: The bottom-of-stack symbol used by pop transitions on an empty stack.
+BOTTOM = "⊥"
+
+State = Hashable
+StackSymbol = Hashable
+
+
+@dataclass(frozen=True)
+class PushTransition:
+    """``q --a/push γ--> q'`` for a push letter ``a``."""
+
+    source: State
+    letter: object
+    target: State
+    stack_symbol: StackSymbol
+
+
+@dataclass(frozen=True)
+class PopTransition:
+    """``q --a/pop γ--> q'`` for a pop letter ``a`` (``γ`` may be ``BOTTOM``)."""
+
+    source: State
+    letter: object
+    stack_symbol: StackSymbol
+    target: State
+
+
+@dataclass(frozen=True)
+class InternalTransition:
+    """``q --a--> q'`` for an internal letter ``a``."""
+
+    source: State
+    letter: object
+    target: State
+
+
+@dataclass(frozen=True)
+class VPA:
+    """A nondeterministic visibly pushdown automaton."""
+
+    alphabet: VisibleAlphabet
+    states: frozenset
+    initial_states: frozenset
+    final_states: frozenset
+    push_transitions: frozenset
+    pop_transitions: frozenset
+    internal_transitions: frozenset
+
+    def __post_init__(self) -> None:
+        if not self.initial_states <= self.states:
+            raise NestedWordError("initial states must be states of the automaton")
+        if not self.final_states <= self.states:
+            raise NestedWordError("final states must be states of the automaton")
+        for transition in self.push_transitions:
+            if not self.alphabet.is_push(transition.letter):
+                raise NestedWordError(f"{transition.letter!r} is not a push letter")
+        for transition in self.pop_transitions:
+            if not self.alphabet.is_pop(transition.letter):
+                raise NestedWordError(f"{transition.letter!r} is not a pop letter")
+        for transition in self.internal_transitions:
+            if not self.alphabet.is_internal(transition.letter):
+                raise NestedWordError(f"{transition.letter!r} is not an internal letter")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        alphabet: VisibleAlphabet,
+        states: Iterable[State],
+        initial_states: Iterable[State],
+        final_states: Iterable[State],
+        push_transitions: Iterable[PushTransition] = (),
+        pop_transitions: Iterable[PopTransition] = (),
+        internal_transitions: Iterable[InternalTransition] = (),
+    ) -> "VPA":
+        """Build a VPA from explicit transition sets."""
+        return cls(
+            alphabet=alphabet,
+            states=frozenset(states),
+            initial_states=frozenset(initial_states),
+            final_states=frozenset(final_states),
+            push_transitions=frozenset(push_transitions),
+            pop_transitions=frozenset(pop_transitions),
+            internal_transitions=frozenset(internal_transitions),
+        )
+
+    # -- membership ---------------------------------------------------------------
+
+    def accepts(self, word: NestedWord | Sequence) -> bool:
+        """Membership: does the automaton accept the (nested) word?
+
+        A plain sequence of letters is wrapped into a nested word first.
+        Acceptance requires ending in a final state; pending pushes are
+        allowed (the stack need not be empty).
+        """
+        if not isinstance(word, NestedWord):
+            word = NestedWord.from_letters(self.alphabet, word)
+        current: set[tuple[State, tuple]] = {(state, ()) for state in self.initial_states}
+        for letter in word.letters:
+            successors: set[tuple[State, tuple]] = set()
+            kind = self.alphabet.kind(letter)
+            for state, stack in current:
+                if kind == "push":
+                    for transition in self.push_transitions:
+                        if transition.source == state and transition.letter == letter:
+                            successors.add((transition.target, stack + (transition.stack_symbol,)))
+                elif kind == "pop":
+                    top = stack[-1] if stack else BOTTOM
+                    rest = stack[:-1] if stack else ()
+                    for transition in self.pop_transitions:
+                        if (
+                            transition.source == state
+                            and transition.letter == letter
+                            and transition.stack_symbol == top
+                        ):
+                            successors.add((transition.target, rest))
+                else:
+                    for transition in self.internal_transitions:
+                        if transition.source == state and transition.letter == letter:
+                            successors.add((transition.target, stack))
+            current = successors
+            if not current:
+                return False
+        return any(state in self.final_states for state, _ in current)
+
+    # -- emptiness ---------------------------------------------------------------------
+
+    def well_matched_summaries(self) -> frozenset:
+        """All pairs ``(q, q')`` linked by a well-matched nested word.
+
+        Computed by the standard summary fixpoint: the reflexive pairs are
+        summaries; summaries compose; an internal step extends a summary;
+        a push followed by a summary followed by a matching pop is a
+        summary.
+        """
+        summaries: set[tuple[State, State]] = {(state, state) for state in self.states}
+        changed = True
+        while changed:
+            changed = False
+            # internal steps
+            for transition in self.internal_transitions:
+                for source, middle in list(summaries):
+                    if middle == transition.source and (source, transition.target) not in summaries:
+                        summaries.add((source, transition.target))
+                        changed = True
+            # push ... pop around a summary
+            for push in self.push_transitions:
+                for pop in self.pop_transitions:
+                    if push.stack_symbol != pop.stack_symbol:
+                        continue
+                    if (push.target, pop.source) in summaries:
+                        for source, middle in list(summaries):
+                            if middle == push.source and (source, pop.target) not in summaries:
+                                summaries.add((source, pop.target))
+                                changed = True
+            # composition
+            for left_source, left_target in list(summaries):
+                for right_source, right_target in list(summaries):
+                    if left_target == right_source and (left_source, right_target) not in summaries:
+                        summaries.add((left_source, right_target))
+                        changed = True
+        return frozenset(summaries)
+
+    def reachable_states(self) -> frozenset:
+        """States reachable from an initial state by some nested word
+        (pending pushes allowed, pops on pending context allowed via BOTTOM)."""
+        summaries = self.well_matched_summaries()
+        reachable: set[State] = set()
+        frontier = list(self.initial_states)
+        while frontier:
+            state = frontier.pop()
+            if state in reachable:
+                continue
+            reachable.add(state)
+            # close under summaries
+            for source, target in summaries:
+                if source == state and target not in reachable:
+                    frontier.append(target)
+            # pending pushes: the push may never be matched
+            for transition in self.push_transitions:
+                if transition.source == state and transition.target not in reachable:
+                    frontier.append(transition.target)
+            # pops reading the bottom symbol (pending pops)
+            for transition in self.pop_transitions:
+                if (
+                    transition.source == state
+                    and transition.stack_symbol == BOTTOM
+                    and transition.target not in reachable
+                ):
+                    frontier.append(transition.target)
+            for transition in self.internal_transitions:
+                if transition.source == state and transition.target not in reachable:
+                    frontier.append(transition.target)
+        return frozenset(reachable)
+
+    def is_empty(self) -> bool:
+        """Language emptiness (over finite nested words with pending edges)."""
+        return not (self.reachable_states() & self.final_states)
+
+    # -- product --------------------------------------------------------------------------
+
+    def product(self, other: "VPA") -> "VPA":
+        """The synchronous product automaton (intersection of languages)."""
+        if self.alphabet != other.alphabet:
+            raise NestedWordError("product requires both VPAs over the same visible alphabet")
+        states = frozenset(cartesian_product(self.states, other.states))
+        initial = frozenset(cartesian_product(self.initial_states, other.initial_states))
+        final = frozenset(cartesian_product(self.final_states, other.final_states))
+        push = []
+        for left, right in cartesian_product(self.push_transitions, other.push_transitions):
+            if left.letter == right.letter:
+                push.append(
+                    PushTransition(
+                        (left.source, right.source),
+                        left.letter,
+                        (left.target, right.target),
+                        (left.stack_symbol, right.stack_symbol),
+                    )
+                )
+        pop = []
+        for left, right in cartesian_product(self.pop_transitions, other.pop_transitions):
+            if left.letter == right.letter:
+                if (left.stack_symbol == BOTTOM) != (right.stack_symbol == BOTTOM):
+                    continue
+                symbol = (
+                    BOTTOM
+                    if left.stack_symbol == BOTTOM
+                    else (left.stack_symbol, right.stack_symbol)
+                )
+                pop.append(
+                    PopTransition(
+                        (left.source, right.source),
+                        left.letter,
+                        symbol,
+                        (left.target, right.target),
+                    )
+                )
+        internal = []
+        for left, right in cartesian_product(
+            self.internal_transitions, other.internal_transitions
+        ):
+            if left.letter == right.letter:
+                internal.append(
+                    InternalTransition(
+                        (left.source, right.source), left.letter, (left.target, right.target)
+                    )
+                )
+        return VPA.create(
+            alphabet=self.alphabet,
+            states=states,
+            initial_states=initial,
+            final_states=final,
+            push_transitions=push,
+            pop_transitions=pop,
+            internal_transitions=internal,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"VPA(|Q|={len(self.states)}, |push|={len(self.push_transitions)}, "
+            f"|pop|={len(self.pop_transitions)}, |int|={len(self.internal_transitions)})"
+        )

@@ -1,0 +1,166 @@
+"""Nested words (paper, Section 6.2; Alur & Madhusudan).
+
+A nested word over a visible alphabet is a word together with the unique
+maximal nesting relation ``⊿`` matching push positions with later pop
+positions so that edges are vertex-disjoint, non-crossing and maximal.
+The relation is computed with the standard stack discipline: a pop
+position is matched with the most recent unmatched push position.
+
+This library works with *finite* nested words (prefixes of the paper's
+infinite encodings); unmatched (pending) pushes and pops are allowed and
+exposed through dedicated accessors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import NestedWordError
+from repro.nestedwords.alphabet import VisibleAlphabet
+
+__all__ = ["NestedWord"]
+
+
+@dataclass(frozen=True)
+class NestedWord:
+    """A finite nested word: letters plus the induced nesting relation.
+
+    Positions are 1-based, following the paper's convention.
+    """
+
+    alphabet: VisibleAlphabet
+    letters: tuple
+    nesting: tuple  # tuple of (push_position, pop_position), 1-based
+    pending_pushes: tuple
+    pending_pops: tuple
+
+    @classmethod
+    def from_letters(cls, alphabet: VisibleAlphabet, letters: Sequence) -> "NestedWord":
+        """Build a nested word, computing the nesting relation from the letter classes."""
+        letters = tuple(letters)
+        for letter in letters:
+            if letter not in alphabet:
+                raise NestedWordError(f"letter {letter!r} is not in the visible alphabet")
+        stack: list[int] = []
+        edges: list[tuple[int, int]] = []
+        pending_pops: list[int] = []
+        for position, letter in enumerate(letters, start=1):
+            if alphabet.is_push(letter):
+                stack.append(position)
+            elif alphabet.is_pop(letter):
+                if stack:
+                    edges.append((stack.pop(), position))
+                else:
+                    pending_pops.append(position)
+        return cls(
+            alphabet=alphabet,
+            letters=letters,
+            nesting=tuple(sorted(edges)),
+            pending_pushes=tuple(stack),
+            pending_pops=tuple(pending_pops),
+        )
+
+    # -- basic accessors -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.letters)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.letters)
+
+    def letter_at(self, position: int) -> object:
+        """The letter at a 1-based position."""
+        if not 1 <= position <= len(self.letters):
+            raise NestedWordError(f"position {position} out of range 1..{len(self.letters)}")
+        return self.letters[position - 1]
+
+    def positions(self) -> range:
+        """All positions ``1..|w|``."""
+        return range(1, len(self.letters) + 1)
+
+    def kind_at(self, position: int) -> str:
+        """The letter class at a position."""
+        return self.alphabet.kind(self.letter_at(position))
+
+    # -- nesting relation ---------------------------------------------------------
+
+    def matches(self, push_position: int, pop_position: int) -> bool:
+        """True when ``push_position ⊿ pop_position``."""
+        return (push_position, pop_position) in set(self.nesting)
+
+    def matching_pop(self, push_position: int) -> int | None:
+        """The pop position matched with a push position (``None`` if pending)."""
+        for push, pop in self.nesting:
+            if push == push_position:
+                return pop
+        return None
+
+    def matching_push(self, pop_position: int) -> int | None:
+        """The push position matched with a pop position (``None`` if pending)."""
+        for push, pop in self.nesting:
+            if pop == pop_position:
+                return push
+        return None
+
+    def is_well_matched(self) -> bool:
+        """True when there are neither pending pushes nor pending pops."""
+        return not self.pending_pushes and not self.pending_pops
+
+    def unmatched_pushes_up_to(self, position: int) -> tuple:
+        """Push positions ``≤ position`` not matched by a pop ``≤ position``.
+
+        This is the quantity used by Remark 6.1: in a valid encoding the
+        number of such pushes before a block equals ``|adom(I)|`` there.
+        """
+        matched_before = {push for push, pop in self.nesting if pop <= position}
+        result = []
+        for candidate in range(1, position + 1):
+            letter = self.letters[candidate - 1]
+            if self.alphabet.is_push(letter) and candidate not in matched_before:
+                result.append(candidate)
+        return tuple(result)
+
+    # -- structure checks ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the defining properties of the nesting relation.
+
+        Raises:
+            NestedWordError: if an invariant is violated (indicates a bug
+                in construction, since :meth:`from_letters` guarantees them).
+        """
+        seen_positions: set[int] = set()
+        for push, pop in self.nesting:
+            if not push < pop:
+                raise NestedWordError(f"nesting edge ({push}, {pop}) does not respect the order")
+            if not self.alphabet.is_push(self.letters[push - 1]):
+                raise NestedWordError(f"position {push} is not a push position")
+            if not self.alphabet.is_pop(self.letters[pop - 1]):
+                raise NestedWordError(f"position {pop} is not a pop position")
+            if push in seen_positions or pop in seen_positions:
+                raise NestedWordError("nesting edges are not vertex-disjoint")
+            seen_positions.update((push, pop))
+        for push, pop in self.nesting:
+            for other_push, other_pop in self.nesting:
+                if push < other_push < pop < other_pop:
+                    raise NestedWordError(
+                        f"nesting edges ({push},{pop}) and ({other_push},{other_pop}) cross"
+                    )
+
+    def slice_letters(self, start: int, end: int) -> tuple:
+        """The letters of positions ``start..end`` (inclusive, 1-based)."""
+        return self.letters[start - 1 : end]
+
+    def project(self, keep) -> tuple:
+        """The subsequence of letters satisfying the predicate ``keep``."""
+        return tuple(letter for letter in self.letters if keep(letter))
+
+    def __repr__(self) -> str:
+        return f"NestedWord(length={len(self.letters)}, edges={len(self.nesting)})"
+
+    def pretty(self) -> str:
+        """Render the word with positions and nesting edges."""
+        header = " ".join(f"{str(letter)}" for letter in self.letters)
+        edges = ", ".join(f"{push}⊿{pop}" for push, pop in self.nesting)
+        return f"{header}\n[{edges}]"

@@ -1,0 +1,72 @@
+"""Equivalence of runs modulo permutation of the data domain (Appendix E).
+
+Two b-bounded extended runs with the same abstraction are isomorphic via
+a bijection of their global active domains (Lemma E.1).  The module
+offers a direct constructive check of that statement, used both in tests
+and by the E4 benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.recency.semantics import RecencyBoundedRun
+
+__all__ = ["run_isomorphism", "runs_equivalent_modulo_permutation", "is_canonical_run"]
+
+
+def run_isomorphism(left: RecencyBoundedRun, right: RecencyBoundedRun) -> dict | None:
+    """Construct the bijection ``λ`` witnessing equivalence modulo permutation.
+
+    Following Appendix E, ``λ`` maps the value injected by the ``k``-th
+    fresh variable of step ``i`` of ``left`` to the value injected by the
+    same variable of the same step of ``right``.  Returns ``None`` when
+    the two prefixes have different lengths, use different actions, or the
+    candidate mapping fails to be an isomorphism on some instance.
+    """
+    if len(left.steps) != len(right.steps):
+        return None
+    mapping: dict = {}
+    for left_step, right_step in zip(left.steps, right.steps):
+        if left_step.action.name != right_step.action.name:
+            return None
+        for fresh_variable in left_step.action.fresh:
+            source = left_step.substitution[fresh_variable]
+            target = right_step.substitution[fresh_variable]
+            if mapping.get(source, target) != target:
+                return None
+            mapping[source] = target
+    # λ must be injective.
+    if len(set(mapping.values())) != len(mapping):
+        return None
+    for left_conf, right_conf in zip(left.configurations(), right.configurations()):
+        instance = left_conf.instance
+        if not all(value in mapping for value in instance.active_domain()):
+            return None
+        if not instance.is_isomorphic_to(right_conf.instance, mapping):
+            return None
+        if instance.rename_values(mapping).facts != right_conf.instance.facts:
+            return None
+    return mapping
+
+
+def runs_equivalent_modulo_permutation(
+    left: RecencyBoundedRun, right: RecencyBoundedRun
+) -> bool:
+    """True when the two run prefixes are equivalent modulo a domain permutation."""
+    return run_isomorphism(left, right) is not None
+
+
+def is_canonical_run(run: RecencyBoundedRun) -> bool:
+    """True when every configuration of the run satisfies the canonicity
+    invariants of Section 6.1 (gap-free history ``{e1..en}``, ``seq_no(e_j)=j``,
+    fresh variables bound to the next standard names in order)."""
+    from repro.database.domain import standard_value
+
+    for configuration in run.configurations():
+        if not configuration.is_canonical():
+            return False
+    for step in run.steps:
+        history_size = len(step.source.history)
+        for offset, fresh_variable in enumerate(step.action.fresh, start=1):
+            if step.substitution[fresh_variable] != standard_value(history_size + offset):
+                return False
+    return True

@@ -1,0 +1,120 @@
+"""The concretisation function ``Concr`` (paper, Section 6.1).
+
+``Concr`` maps a word over the symbolic alphabet back to the *canonical*
+b-bounded extended run it abstracts, when one exists.  The construction
+follows the inductive definition of the paper: at every step the symbolic
+substitution is instantiated at the current canonical configuration by
+picking, for each parameter, the active element with the prescribed
+recency index, and by drawing fresh values ``e_{n+1}, e_{n+2}, ...``
+continuing the canonical history.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.database.domain import standard_value
+from repro.database.substitution import Substitution
+from repro.dms.system import DMS
+from repro.errors import RecencyError
+from repro.fol.evaluator import satisfies
+from repro.recency.abstraction import SymbolicLabel, abstract_run
+from repro.recency.recent import element_at_recency_index
+from repro.recency.semantics import (
+    RecencyBoundedRun,
+    RecencyConfiguration,
+    RecencyStep,
+    apply_action_b_bounded,
+    initial_recency_configuration,
+)
+
+__all__ = ["ConcretizationError", "concretize_word", "is_valid_abstract_word", "canonicalize_run"]
+
+
+class ConcretizationError(RecencyError):
+    """The word is not a valid abstraction of any b-bounded run.
+
+    Attributes:
+        failed_at: index of the first letter at which condition ``Cnd`` fails.
+    """
+
+    def __init__(self, message: str, failed_at: int) -> None:
+        super().__init__(message)
+        self.failed_at = failed_at
+
+
+def _instantiate_label(
+    system: DMS,
+    configuration: RecencyConfiguration,
+    label: SymbolicLabel,
+    bound: int,
+    position: int,
+) -> RecencyStep:
+    action = system.action(label.action_name)
+    mapping: dict[str, object] = {}
+    adom_size = len(configuration.active_domain)
+    for parameter in action.parameters:
+        index = label.substitution[parameter]
+        if index >= min(bound, adom_size):
+            raise ConcretizationError(
+                f"letter {position}: recency index {index} not available "
+                f"(|Recent_b| = {min(bound, adom_size)})",
+                failed_at=position,
+            )
+        mapping[parameter] = element_at_recency_index(
+            configuration.instance, configuration.seq_no, index
+        )
+    guard_binding = Substitution({u: mapping[u] for u in action.parameters})
+    if not satisfies(configuration.instance, action.guard, guard_binding):
+        raise ConcretizationError(
+            f"letter {position}: guard of {action.name} fails under {dict(guard_binding)!r}",
+            failed_at=position,
+        )
+    history_size = len(configuration.history)
+    for offset, fresh_variable in enumerate(action.fresh, start=1):
+        mapping[fresh_variable] = standard_value(history_size + offset)
+    sigma = Substitution(mapping)
+    target = apply_action_b_bounded(action, configuration, sigma, bound, check=True)
+    if system.constraints and not system.constraints.satisfied_by(target.instance):
+        raise ConcretizationError(
+            f"letter {position}: successor violates the database constraints",
+            failed_at=position,
+        )
+    return RecencyStep(source=configuration, action=action, substitution=sigma, target=target)
+
+
+def concretize_word(
+    system: DMS, word: Sequence[SymbolicLabel], bound: int
+) -> RecencyBoundedRun:
+    """``Concr(w)``: the canonical b-bounded run abstracting to ``word``.
+
+    Raises:
+        ConcretizationError: when the word is not a valid abstraction; the
+            exception records the index of the offending letter.
+    """
+    configuration = initial_recency_configuration(system)
+    run = RecencyBoundedRun(bound, configuration)
+    for position, label in enumerate(word):
+        step = _instantiate_label(system, configuration, label, bound, position)
+        run = run.extend(step)
+        configuration = step.target
+    return run
+
+
+def is_valid_abstract_word(system: DMS, word: Sequence[SymbolicLabel], bound: int) -> bool:
+    """True when ``Concr`` is defined on the word (condition ``Cnd`` holds everywhere)."""
+    try:
+        concretize_word(system, word, bound)
+    except ConcretizationError:
+        return False
+    return True
+
+
+def canonicalize_run(system: DMS, run: RecencyBoundedRun) -> RecencyBoundedRun:
+    """The canonical representative of a b-bounded run: ``Concr(Abstr(ρ̂))``.
+
+    The result is equivalent to ``run`` modulo a permutation of the data
+    domain (Appendix E); when ``run`` is already canonical it is
+    reproduced exactly.
+    """
+    return concretize_word(system, abstract_run(run), run.bound)

@@ -1,0 +1,183 @@
+"""Bounded exploration of the b-bounded (canonical) configuration graph.
+
+The symbolic alphabet is finite, so the canonical b-bounded graph is
+finitely branching; this explorer materialises its fragment up to a depth
+bound.  It is the workhorse behind the recency-bounded model checker and
+the convergence experiments (E9).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.dms.system import DMS
+from repro.recency.semantics import (
+    RecencyBoundedRun,
+    RecencyConfiguration,
+    RecencyStep,
+    enumerate_b_bounded_successors,
+    initial_recency_configuration,
+)
+
+__all__ = ["RecencyExplorationLimits", "RecencyExplorationResult", "RecencyExplorer", "iterate_b_bounded_runs"]
+
+
+@dataclass(frozen=True)
+class RecencyExplorationLimits:
+    """Limits bounding an exploration of ``C_S^b``."""
+
+    max_depth: int = 6
+    max_configurations: int = 100_000
+    max_steps: int = 500_000
+
+
+@dataclass
+class RecencyExplorationResult:
+    """The explored fragment of the canonical b-bounded configuration graph."""
+
+    bound: int
+    initial: RecencyConfiguration
+    configurations: set = field(default_factory=set)
+    edges: list = field(default_factory=list)
+    depth_reached: int = 0
+    truncated: bool = False
+
+    @property
+    def configuration_count(self) -> int:
+        """Number of distinct configurations discovered."""
+        return len(self.configurations)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges discovered."""
+        return len(self.edges)
+
+
+class RecencyExplorer:
+    """Breadth-first bounded explorer of the canonical b-bounded graph."""
+
+    def __init__(
+        self, system: DMS, bound: int, limits: RecencyExplorationLimits | None = None
+    ) -> None:
+        self._system = system
+        self._bound = bound
+        self._limits = limits or RecencyExplorationLimits()
+
+    @property
+    def system(self) -> DMS:
+        """The explored system."""
+        return self._system
+
+    @property
+    def bound(self) -> int:
+        """The recency bound ``b``."""
+        return self._bound
+
+    @property
+    def limits(self) -> RecencyExplorationLimits:
+        """The exploration limits."""
+        return self._limits
+
+    def explore(
+        self, on_configuration: Callable[[RecencyConfiguration, int], None] | None = None
+    ) -> RecencyExplorationResult:
+        """Breadth-first exploration up to the configured limits."""
+        initial = initial_recency_configuration(self._system)
+        result = RecencyExplorationResult(bound=self._bound, initial=initial)
+        result.configurations.add(initial)
+        if on_configuration:
+            on_configuration(initial, 0)
+        frontier: deque[tuple[RecencyConfiguration, int]] = deque([(initial, 0)])
+        steps_generated = 0
+        while frontier:
+            configuration, depth = frontier.popleft()
+            result.depth_reached = max(result.depth_reached, depth)
+            if depth >= self._limits.max_depth:
+                continue
+            for step in enumerate_b_bounded_successors(self._system, configuration, self._bound):
+                steps_generated += 1
+                result.edges.append(step)
+                if step.target not in result.configurations:
+                    result.configurations.add(step.target)
+                    if on_configuration:
+                        on_configuration(step.target, depth + 1)
+                    frontier.append((step.target, depth + 1))
+                if (
+                    len(result.configurations) >= self._limits.max_configurations
+                    or steps_generated >= self._limits.max_steps
+                ):
+                    result.truncated = True
+                    return result
+        return result
+
+    def find_configuration(
+        self, predicate: Callable[[RecencyConfiguration], bool]
+    ) -> tuple[RecencyBoundedRun | None, RecencyExplorationResult]:
+        """Breadth-first search for a configuration satisfying ``predicate``.
+
+        Returns a minimal witnessing b-bounded run prefix (or ``None``)
+        plus exploration statistics.
+        """
+        initial = initial_recency_configuration(self._system)
+        result = RecencyExplorationResult(bound=self._bound, initial=initial)
+        result.configurations.add(initial)
+        if predicate(initial):
+            return RecencyBoundedRun(self._bound, initial), result
+        frontier: deque[tuple[RecencyConfiguration, int, RecencyBoundedRun]] = deque(
+            [(initial, 0, RecencyBoundedRun(self._bound, initial))]
+        )
+        steps_generated = 0
+        while frontier:
+            configuration, depth, prefix = frontier.popleft()
+            result.depth_reached = max(result.depth_reached, depth)
+            if depth >= self._limits.max_depth:
+                continue
+            for step in enumerate_b_bounded_successors(self._system, configuration, self._bound):
+                steps_generated += 1
+                result.edges.append(step)
+                extended = prefix.extend(step)
+                if predicate(step.target):
+                    return extended, result
+                if step.target not in result.configurations:
+                    result.configurations.add(step.target)
+                    frontier.append((step.target, depth + 1, extended))
+                if (
+                    len(result.configurations) >= self._limits.max_configurations
+                    or steps_generated >= self._limits.max_steps
+                ):
+                    result.truncated = True
+                    return None, result
+        return None, result
+
+
+def iterate_b_bounded_runs(
+    system: DMS, bound: int, depth: int, max_runs: int | None = None
+) -> Iterator[RecencyBoundedRun]:
+    """Enumerate canonical b-bounded run prefixes of up to ``depth`` steps.
+
+    A prefix is yielded when it reaches ``depth`` steps or ends in a
+    configuration with no b-bounded successor (dead end).
+    """
+    count = 0
+
+    def recurse(prefix: RecencyBoundedRun, remaining: int) -> Iterator[RecencyBoundedRun]:
+        nonlocal count
+        if max_runs is not None and count >= max_runs:
+            return
+        if remaining == 0:
+            count += 1
+            yield prefix
+            return
+        steps = list(enumerate_b_bounded_successors(system, prefix.final(), bound))
+        if not steps:
+            count += 1
+            yield prefix
+            return
+        for step in steps:
+            if max_runs is not None and count >= max_runs:
+                return
+            yield from recurse(prefix.extend(step), remaining - 1)
+
+    yield from recurse(RecencyBoundedRun(bound, initial_recency_configuration(system)), depth)

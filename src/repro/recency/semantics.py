@@ -1,0 +1,322 @@
+"""The b-bounded execution semantics (paper, Section 5).
+
+A b-bounded configuration is a triple ``⟨I, H, seq_no⟩``; an edge
+``⟨I,H,seq_no⟩ --α:σ-->_b ⟨I',H',seq_no'⟩`` exists when
+
+1. ``⟨I,H⟩ --α:σ--> ⟨I',H'⟩`` in the unbounded graph ``C_S``,
+2. every action parameter is mapped into ``Recent_b(I, seq_no)``,
+3. ``seq_no'`` extends ``seq_no`` and gives fresh values numbers larger
+   than every number in ``H``,
+4. the fresh values are numbered in their order of appearance in ``v⃗``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.database.domain import FreshValueAllocator, Value
+from repro.database.instance import DatabaseInstance
+from repro.database.substitution import Substitution
+from repro.dms.action import Action
+from repro.dms.configuration import Configuration
+from repro.dms.semantics import apply_action, is_instantiating_substitution
+from repro.dms.system import DMS
+from repro.errors import ExecutionError, RecencyError
+from repro.fol.evaluator import iter_answers
+from repro.recency.recent import recent_elements
+from repro.recency.sequence import SequenceNumbering
+
+from dataclasses import dataclass
+
+__all__ = [
+    "RecencyConfiguration",
+    "RecencyStep",
+    "RecencyBoundedRun",
+    "initial_recency_configuration",
+    "is_b_bounded_substitution",
+    "apply_action_b_bounded",
+    "enumerate_b_bounded_successors",
+    "execute_b_bounded_labels",
+    "is_b_bounded_extended_run",
+    "minimal_recency_bound",
+]
+
+
+@dataclass(frozen=True)
+class RecencyConfiguration:
+    """A configuration ``⟨I, H, seq_no⟩`` of the b-bounded graph ``C_S^b``."""
+
+    instance: DatabaseInstance
+    history: frozenset
+    seq_no: SequenceNumbering
+
+    def __post_init__(self) -> None:
+        missing = [value for value in self.history if value not in self.seq_no]
+        if missing:
+            raise RecencyError(
+                f"history values without a sequence number: {sorted(map(str, missing))}"
+            )
+
+    @property
+    def active_domain(self) -> frozenset:
+        """``adom(I)``."""
+        return self.instance.active_domain()
+
+    def plain(self) -> Configuration:
+        """The underlying ``⟨I, H⟩`` configuration."""
+        return Configuration(instance=self.instance, history=self.history)
+
+    def recent(self, bound: int) -> frozenset:
+        """``Recent_b(I, seq_no)``."""
+        return recent_elements(self.instance, self.seq_no, bound)
+
+    def recent_ordered(self, bound: int) -> tuple:
+        """The recent elements ordered by recency index (most recent first)."""
+        return self.seq_no.order_recent_first(self.recent(bound))
+
+    def is_canonical(self) -> bool:
+        """Canonicity of Section 6.1: history is ``{e1..en}`` and ``seq_no(e_j)=j``."""
+        from repro.database.domain import standard_value
+
+        if not self.seq_no.is_canonical():
+            return False
+        expected = {standard_value(j) for j in range(1, len(self.history) + 1)}
+        return set(self.history) == expected
+
+    def __str__(self) -> str:
+        return f"⟨{self.instance.pretty()}, |H|={len(self.history)}⟩"
+
+
+@dataclass(frozen=True)
+class RecencyStep:
+    """One b-bounded transition with its label."""
+
+    source: RecencyConfiguration
+    action: Action
+    substitution: Substitution
+    target: RecencyConfiguration
+
+    @property
+    def label(self) -> tuple[str, Substitution]:
+        """The ``⟨action : substitution⟩`` label."""
+        return (self.action.name, self.substitution)
+
+
+class RecencyBoundedRun:
+    """A finite prefix of a b-bounded extended run."""
+
+    __slots__ = ("_bound", "_initial", "_steps")
+
+    def __init__(
+        self, bound: int, initial: RecencyConfiguration, steps: Sequence[RecencyStep] = ()
+    ) -> None:
+        if bound < 0:
+            raise RecencyError("recency bound must be non-negative")
+        self._bound = bound
+        self._initial = initial
+        steps = tuple(steps)
+        previous = initial
+        for index, step in enumerate(steps):
+            if step.source != previous:
+                raise ExecutionError(f"step {index} does not continue the previous configuration")
+            previous = step.target
+        self._steps = steps
+
+    @property
+    def bound(self) -> int:
+        """The recency bound ``b``."""
+        return self._bound
+
+    @property
+    def initial(self) -> RecencyConfiguration:
+        """The initial configuration."""
+        return self._initial
+
+    @property
+    def steps(self) -> tuple[RecencyStep, ...]:
+        """The labelled steps."""
+        return self._steps
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def configurations(self) -> tuple[RecencyConfiguration, ...]:
+        """All configurations along the prefix."""
+        return (self._initial,) + tuple(step.target for step in self._steps)
+
+    def final(self) -> RecencyConfiguration:
+        """The last configuration."""
+        return self._steps[-1].target if self._steps else self._initial
+
+    def extend(self, step: RecencyStep) -> "RecencyBoundedRun":
+        """Append one more step."""
+        return RecencyBoundedRun(self._bound, self._initial, self._steps + (step,))
+
+    def labels(self) -> tuple[tuple[str, Substitution], ...]:
+        """The generating sequence of labels."""
+        return tuple(step.label for step in self._steps)
+
+    def instances(self) -> tuple[DatabaseInstance, ...]:
+        """The generated run ``I0, I1, ..., Ik``."""
+        return tuple(conf.instance for conf in self.configurations())
+
+    def to_run(self):
+        """The generated run as a :class:`repro.dms.run.Run`."""
+        from repro.dms.run import Run
+
+        return Run(self.instances())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecencyBoundedRun):
+            return NotImplemented
+        return (
+            self._bound == other._bound
+            and self._initial == other._initial
+            and self._steps == other._steps
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._bound, self._initial, self._steps))
+
+    def __repr__(self) -> str:
+        return f"RecencyBoundedRun(b={self._bound}, steps={len(self._steps)})"
+
+
+def initial_recency_configuration(system: DMS) -> RecencyConfiguration:
+    """The initial b-bounded configuration ``⟨I0, ∅, ε⟩``.
+
+    For relaxed systems whose initial instance has a non-empty active
+    domain (e.g. produced by constant removal), the initial elements are
+    numbered canonically in a deterministic order.
+    """
+    adom = system.initial_instance.active_domain()
+    seq_no = SequenceNumbering.empty().extend_with(sorted(adom, key=repr))
+    return RecencyConfiguration(
+        instance=system.initial_instance,
+        history=frozenset(adom),
+        seq_no=seq_no,
+    )
+
+
+def is_b_bounded_substitution(
+    action: Action,
+    configuration: RecencyConfiguration,
+    sigma: Mapping[str, Value],
+    bound: int,
+) -> bool:
+    """Check conditions 1–2 of the b-bounded edge relation for ``σ``."""
+    if not is_instantiating_substitution(action, configuration.plain(), sigma):
+        return False
+    recent = configuration.recent(bound)
+    return all(sigma[parameter] in recent for parameter in action.parameters)
+
+
+def apply_action_b_bounded(
+    action: Action,
+    configuration: RecencyConfiguration,
+    sigma: Mapping[str, Value],
+    bound: int,
+    check: bool = True,
+) -> RecencyConfiguration:
+    """Apply one b-bounded step and return the successor configuration.
+
+    The sequence numbering is extended so that the fresh values receive
+    increasing numbers, larger than every number used so far, in the order
+    of ``α·new`` (conditions 3–4).
+    """
+    if check and not is_b_bounded_substitution(action, configuration, sigma, bound):
+        raise ExecutionError(
+            f"{dict(sigma)!r} is not a {bound}-bounded instantiating substitution "
+            f"for {action.name}"
+        )
+    plain_successor = apply_action(action, configuration.plain(), sigma, check=False)
+    fresh_values = [sigma[v] for v in action.fresh]
+    seq_no = configuration.seq_no.extend_with(fresh_values)
+    return RecencyConfiguration(
+        instance=plain_successor.instance,
+        history=plain_successor.history,
+        seq_no=seq_no,
+    )
+
+
+def enumerate_b_bounded_successors(
+    system: DMS,
+    configuration: RecencyConfiguration,
+    bound: int,
+    actions: Sequence[Action] | None = None,
+) -> Iterator[RecencyStep]:
+    """Enumerate the canonical b-bounded successors of a configuration.
+
+    Guard answers are filtered so that every parameter lies in
+    ``Recent_b``; fresh values are the least unused standard names.
+    """
+    chosen = tuple(actions) if actions is not None else system.actions
+    recent = configuration.recent(bound)
+    for action in chosen:
+        answers = sorted(
+            iter_answers(action.guard, configuration.instance),
+            key=lambda s: repr(sorted(s.items(), key=repr)),
+        )
+        for answer in answers:
+            guard_binding = Substitution({u: answer[u] for u in action.parameters})
+            if not all(guard_binding[u] in recent for u in action.parameters):
+                continue
+            allocator = FreshValueAllocator(used=configuration.history)
+            fresh_values = allocator.fresh_many(len(action.fresh))
+            sigma = guard_binding.merge(dict(zip(action.fresh, fresh_values)))
+            if not is_b_bounded_substitution(action, configuration, sigma, bound):
+                continue
+            target = apply_action_b_bounded(action, configuration, sigma, bound, check=False)
+            if system.constraints and not system.constraints.satisfied_by(target.instance):
+                continue
+            yield RecencyStep(
+                source=configuration, action=action, substitution=sigma, target=target
+            )
+
+
+def execute_b_bounded_labels(
+    system: DMS,
+    labels,
+    bound: int,
+    check: bool = True,
+) -> RecencyBoundedRun:
+    """Replay a generating sequence under the b-bounded semantics."""
+    configuration = initial_recency_configuration(system)
+    run = RecencyBoundedRun(bound, configuration)
+    for action_name, sigma in labels:
+        action = system.action(action_name)
+        target = apply_action_b_bounded(action, configuration, sigma, bound, check=check)
+        if check and system.constraints and not system.constraints.satisfied_by(target.instance):
+            raise ExecutionError(
+                f"action {action_name} under {dict(sigma)!r} violates the database constraints"
+            )
+        step = RecencyStep(
+            source=configuration,
+            action=action,
+            substitution=Substitution(dict(sigma)),
+            target=target,
+        )
+        run = run.extend(step)
+        configuration = target
+    return run
+
+
+def is_b_bounded_extended_run(system: DMS, labels, bound: int) -> bool:
+    """True when the generating sequence is admitted by the b-bounded semantics."""
+    try:
+        execute_b_bounded_labels(system, labels, bound, check=True)
+    except (ExecutionError, RecencyError):
+        return False
+    return True
+
+
+def minimal_recency_bound(system: DMS, labels, max_bound: int = 64) -> int | None:
+    """The least bound ``b ≤ max_bound`` admitting the generating sequence.
+
+    Returns ``None`` when no bound up to ``max_bound`` admits it.  Used in
+    the Example 5.1 reproduction (the Figure 1 run is 2-recency-bounded).
+    """
+    for bound in range(0, max_bound + 1):
+        if is_b_bounded_extended_run(system, labels, bound):
+            return bound
+    return None

@@ -1,0 +1,47 @@
+"""Model transformations establishing the generality of DMSs (paper, Appendix F)."""
+
+from repro.transforms.bulk import (
+    BulkAction,
+    bulk_accessory_schema,
+    compile_bulk_system,
+    simulate_bulk_action,
+)
+from repro.transforms.constants import (
+    compact_fact,
+    compact_instance,
+    compact_relation_name,
+    compacted_schema,
+    expand_fact,
+    remove_constants,
+    rewrite_guard_without_constants,
+)
+from repro.transforms.freshness import (
+    HISTORY_RELATION,
+    expand_arbitrary_inputs,
+    weaken_freshness,
+)
+from repro.transforms.overlapping import (
+    expand_action_overlaps,
+    set_partitions,
+    standard_substitution,
+)
+
+__all__ = [
+    "BulkAction",
+    "HISTORY_RELATION",
+    "bulk_accessory_schema",
+    "compact_fact",
+    "compact_instance",
+    "compact_relation_name",
+    "compacted_schema",
+    "compile_bulk_system",
+    "expand_action_overlaps",
+    "expand_arbitrary_inputs",
+    "expand_fact",
+    "remove_constants",
+    "rewrite_guard_without_constants",
+    "set_partitions",
+    "simulate_bulk_action",
+    "standard_substitution",
+    "weaken_freshness",
+]

@@ -1,0 +1,244 @@
+"""Simulating bulk operations with standard DMS actions (Appendix F.4).
+
+A *bulk action* ``β = ⟨u⃗, v⃗, Q, Del, Add⟩`` applies its update for **all**
+answers of its guard at once (retrieve-all-answers-per-step semantics).
+:func:`simulate_bulk_action` compiles it into the three-phase protocol of
+the paper:
+
+1. ``Init_β`` locks the system and stores the chosen fresh inputs in
+   ``FreshInput_β``.
+2. ``CompAns_β`` repeatedly transfers guard answers into ``ParMatch_β``;
+   ``EnableU_β`` fires once all answers are in.
+3. ``ApplyDel_β`` processes each stored answer's deletions,
+   ``DelToAdd_β`` switches phase, ``ApplyAdd_β`` processes each answer's
+   additions, and ``Finalize_β`` releases the lock.
+
+The paper's ``ParMatch_β`` relation carries a 0/1 flag as its last
+argument; since the core model is constant-free, the flag is realised
+here by two relations ``ParMatchPending_β``/``ParMatchDone_β`` with the
+same arity as ``u⃗``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.database.instance import Fact
+from repro.database.schema import Schema
+from repro.dms.action import Action
+from repro.dms.system import DMS
+from repro.errors import TransformError
+from repro.fol.syntax import And, Atom, Exists, Forall, Implies, Not, Or, Query, conjunction, exists, forall
+
+__all__ = ["BulkAction", "bulk_accessory_schema", "simulate_bulk_action", "compile_bulk_system"]
+
+
+@dataclass(frozen=True)
+class BulkAction:
+    """A bulk action: like an action, but applied to *all* guard answers at once."""
+
+    name: str
+    parameters: tuple[str, ...]
+    fresh: tuple[str, ...]
+    guard: Query
+    deletions: tuple[Fact, ...]
+    additions: tuple[Fact, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parameters:
+            raise TransformError(
+                f"bulk action {self.name}: at least one universally matched parameter is required"
+            )
+
+
+def _lock(name: str) -> str:
+    return f"Lock_{name}"
+
+
+def _fresh_input(name: str) -> str:
+    return f"FreshInput_{name}"
+
+
+def _pending(name: str) -> str:
+    return f"ParMatchPending_{name}"
+
+
+def _done(name: str) -> str:
+    return f"ParMatchDone_{name}"
+
+
+def _del_phase(name: str) -> str:
+    return f"DelPhase_{name}"
+
+
+def _add_phase(name: str) -> str:
+    return f"AddPhase_{name}"
+
+
+def bulk_accessory_schema(schema: Schema, bulk: BulkAction) -> Schema:
+    """The schema extended with the accessory relations of one bulk action."""
+    additions = [
+        (_lock(bulk.name), 0),
+        (_del_phase(bulk.name), 0),
+        (_add_phase(bulk.name), 0),
+        (_fresh_input(bulk.name), len(bulk.fresh)),
+        (_pending(bulk.name), len(bulk.parameters)),
+        (_done(bulk.name), len(bulk.parameters)),
+    ]
+    return schema.extend(*[(name, arity) for name, arity in additions if name not in schema])
+
+
+def simulate_bulk_action(schema: Schema, bulk: BulkAction) -> tuple[Schema, tuple[Action, ...]]:
+    """Compile one bulk action into the Appendix F.4 sequence of standard actions.
+
+    Returns the extended schema and the seven standard actions.
+    """
+    extended = bulk_accessory_schema(schema, bulk)
+    u = bulk.parameters
+    v = bulk.fresh
+    lock = _lock(bulk.name)
+    fresh_input = _fresh_input(bulk.name)
+    pending = _pending(bulk.name)
+    done = _done(bulk.name)
+    del_phase = _del_phase(bulk.name)
+    add_phase = _add_phase(bulk.name)
+
+    init = Action.create(
+        f"Init_{bulk.name}",
+        extended,
+        parameters=(),
+        fresh=v,
+        guard=And(exists(u, bulk.guard), Not(Atom(lock, ()))),
+        delete=[],
+        add=[Fact(lock), Fact(fresh_input, v)],
+        strict=False,
+    )
+    compute_answers = Action.create(
+        f"CompAns_{bulk.name}",
+        extended,
+        parameters=u,
+        fresh=(),
+        guard=conjunction(
+            Atom(lock, ()),
+            Not(Atom(del_phase, ())),
+            Not(Atom(add_phase, ())),
+            bulk.guard,
+            Not(Atom(pending, u)),
+            Not(Atom(done, u)),
+        ),
+        delete=[],
+        add=[Fact(pending, u)],
+    )
+    all_answers_transferred = forall(
+        u, Implies(bulk.guard, Or(Atom(pending, u), Atom(done, u)))
+    )
+    enable_update = Action.create(
+        f"EnableU_{bulk.name}",
+        extended,
+        parameters=(),
+        fresh=(),
+        guard=conjunction(
+            Atom(lock, ()),
+            Not(Atom(del_phase, ())),
+            Not(Atom(add_phase, ())),
+            all_answers_transferred,
+        ),
+        delete=[],
+        add=[Fact(del_phase)],
+    )
+    apply_delete = Action.create(
+        f"ApplyDel_{bulk.name}",
+        extended,
+        parameters=u,
+        fresh=(),
+        guard=And(Atom(del_phase, ()), Atom(pending, u)),
+        delete=list(bulk.deletions) + [Fact(pending, u)],
+        add=[Fact(done, u)],
+    )
+    delete_to_add = Action.create(
+        f"DelToAdd_{bulk.name}",
+        extended,
+        parameters=(),
+        fresh=(),
+        guard=And(Atom(del_phase, ()), Not(exists(u, Atom(pending, u)))),
+        delete=[Fact(del_phase)],
+        add=[Fact(add_phase)],
+    )
+    apply_add = Action.create(
+        f"ApplyAdd_{bulk.name}",
+        extended,
+        parameters=u + v,
+        fresh=(),
+        guard=conjunction(Atom(add_phase, ()), Atom(done, u), Atom(fresh_input, v))
+        if v
+        else conjunction(Atom(add_phase, ()), Atom(done, u), Atom(fresh_input, ())),
+        delete=[Fact(done, u)],
+        add=list(bulk.additions),
+    )
+    finalize = Action.create(
+        f"Finalize_{bulk.name}",
+        extended,
+        parameters=v,
+        fresh=(),
+        guard=conjunction(
+            Atom(add_phase, ()),
+            Atom(fresh_input, v),
+            Not(exists(u, Or(Atom(pending, u), Atom(done, u)))),
+        ),
+        delete=[Fact(fresh_input, v), Fact(lock), Fact(add_phase)],
+        add=[],
+        strict=False,
+    )
+    actions = (init, compute_answers, enable_update, apply_delete, delete_to_add, apply_add, finalize)
+    return extended, actions
+
+
+def compile_bulk_system(
+    system: DMS, bulk_actions: Sequence[BulkAction], name: str | None = None
+) -> DMS:
+    """Compile a DMS together with bulk actions into a standard DMS.
+
+    The guards of the original (non-bulk) actions are strengthened with
+    ``Φ_NoLock`` — the conjunction of the negated lock propositions — so
+    that the simulated bulk updates are not interruptible.
+    """
+    schema = system.schema
+    all_new_actions: list[Action] = []
+    for bulk in bulk_actions:
+        schema, actions = simulate_bulk_action(schema, bulk)
+        all_new_actions.extend(actions)
+    no_lock = conjunction(*[Not(Atom(_lock(bulk.name), ())) for bulk in bulk_actions])
+    adapted_originals = []
+    for action in system.actions:
+        adapted_originals.append(
+            Action(
+                name=action.name,
+                parameters=action.parameters,
+                fresh=action.fresh,
+                guard=And(action.guard, no_lock),
+                deletions=action.deletions.with_schema(schema),
+                additions=action.additions.with_schema(schema),
+                strict=False,
+            )
+        )
+    upgraded = [
+        Action(
+            name=action.name,
+            parameters=action.parameters,
+            fresh=action.fresh,
+            guard=action.guard,
+            deletions=action.deletions.with_schema(schema),
+            additions=action.additions.with_schema(schema),
+            strict=False,
+        )
+        for action in all_new_actions
+    ]
+    return DMS.create(
+        schema=schema,
+        initial_instance=system.initial_instance.with_schema(schema),
+        actions=adapted_originals + upgraded,
+        constraints=system.constraints,
+        name=name or f"bulk({system.name})",
+        require_empty_initial_adom=system.require_empty_initial_adom,
+    )

@@ -1,0 +1,241 @@
+"""Constant removal (Appendix F.1).
+
+A DMS extended with a finite set of constants ``∆0`` (values that may be
+mentioned in the initial instance and in the ``Del``/``Add``/guard parts
+of actions) can be compiled into a constant-free DMS over the domain
+``∆' = ∆ \\ ∆0`` whose configuration graph is isomorphic to the original
+one.  The price is an exponential blow-up in the maximum arity: every
+relation ``R/a`` is split into one *compacted* relation per placement of
+constants in its argument positions.
+
+Constants are written directly as argument strings in facts and query
+atoms; an argument is treated as a constant exactly when it belongs to
+the declared constant set.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable
+
+from repro.database.instance import DatabaseInstance, Fact
+from repro.database.schema import RelationSymbol, Schema
+from repro.dms.action import Action
+from repro.dms.system import DMS
+from repro.errors import TransformError
+from repro.fol.syntax import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    FalseQuery,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Query,
+    TrueQuery,
+    disjunction,
+)
+
+__all__ = [
+    "compact_relation_name",
+    "compacted_schema",
+    "compact_fact",
+    "expand_fact",
+    "compact_instance",
+    "rewrite_guard_without_constants",
+    "remove_constants",
+]
+
+
+def compact_relation_name(relation: str, placement: tuple) -> str:
+    """The name of the compacted relation ``R_σ`` for a constant placement.
+
+    ``placement`` has one entry per argument position: a constant value or
+    the placeholder ``None`` (the paper's ``−``).
+    """
+    if not placement:
+        return relation
+    rendered = ",".join("_" if entry is None else str(entry) for entry in placement)
+    return f"{relation}[{rendered}]"
+
+
+def _placements(arity: int, constants: tuple) -> list[tuple]:
+    options: tuple = (None,) + tuple(constants)
+    return [tuple(combo) for combo in product(options, repeat=arity)]
+
+
+def compacted_schema(schema: Schema, constants: Iterable) -> Schema:
+    """The compacted schema: one relation per (relation, constant placement)."""
+    constants = tuple(constants)
+    relations: list[tuple[str, int]] = []
+    for relation in schema.relations:
+        if relation.is_proposition:
+            relations.append((relation.name, 0))
+            continue
+        for placement in _placements(relation.arity, constants):
+            arity = sum(1 for entry in placement if entry is None)
+            relations.append((compact_relation_name(relation.name, placement), arity))
+    return Schema.of(*relations)
+
+
+def compact_fact(fact: Fact, constants: frozenset) -> Fact:
+    """``compact-fact``: move constant arguments into the relation name."""
+    placement = tuple(argument if argument in constants else None for argument in fact.arguments)
+    remaining = tuple(argument for argument in fact.arguments if argument not in constants)
+    return Fact(compact_relation_name(fact.relation, placement), remaining)
+
+
+def expand_fact(fact: Fact, original_schema: Schema, constants: frozenset) -> Fact:
+    """``expand-fact``: the inverse of :func:`compact_fact`."""
+    name = fact.relation
+    if "[" not in name:
+        return fact
+    base, _, rest = name.partition("[")
+    pattern = rest[:-1].split(",") if rest[:-1] else []
+    arguments: list = []
+    cursor = 0
+    for entry in pattern:
+        if entry == "_":
+            arguments.append(fact.arguments[cursor])
+            cursor += 1
+        else:
+            arguments.append(entry)
+    original_schema.check_atom(base, tuple(arguments))
+    return Fact(base, tuple(arguments))
+
+
+def compact_instance(instance: DatabaseInstance, constants: Iterable, target_schema: Schema) -> DatabaseInstance:
+    """``compact-db-inst``: compact every fact of the instance."""
+    constant_set = frozenset(constants)
+    return DatabaseInstance(
+        target_schema, (compact_fact(fact, constant_set) for fact in instance.facts)
+    )
+
+
+def rewrite_guard_without_constants(guard: Query, constants: Iterable) -> Query:
+    """Expand quantifiers over the constants and remove constant mentions.
+
+    Every ``∃u.Q`` becomes ``(∃u.Q) ∨ ⋁_c Q[u↦c]`` and dually for ``∀``;
+    afterwards equalities between a (non-constant) variable and a constant
+    become ``false`` and equalities between equal/distinct constants
+    become ``true``/``false``.  Relational atoms still mentioning
+    constants must be compacted separately (see :func:`remove_constants`).
+    """
+    constants = tuple(constants)
+
+    def expand(query: Query) -> Query:
+        if isinstance(query, (TrueQuery, FalseQuery, Atom, Equals)):
+            return query
+        if isinstance(query, Not):
+            return Not(expand(query.operand))
+        if isinstance(query, (And, Or, Implies, Iff)):
+            return type(query)(expand(query.left), expand(query.right))
+        if isinstance(query, Exists):
+            body = expand(query.body)
+            cases: list[Query] = [Exists(query.variable, body)]
+            for constant in constants:
+                cases.append(body.rename({query.variable: constant}))
+            return disjunction(*cases)
+        if isinstance(query, Forall):
+            return expand(Not(Exists(query.variable, Not(query.body))))
+        raise TransformError(f"unsupported guard node {type(query).__name__}")
+
+    constant_set = frozenset(constants)
+
+    def simplify_equalities(query: Query) -> Query:
+        if isinstance(query, Equals):
+            left_const = query.left in constant_set
+            right_const = query.right in constant_set
+            if left_const and right_const:
+                return TrueQuery() if query.left == query.right else FalseQuery()
+            if left_const or right_const:
+                # A non-constant variable ranges over ∆' and never equals a constant.
+                return FalseQuery()
+            return query
+        if isinstance(query, (TrueQuery, FalseQuery, Atom)):
+            return query
+        if isinstance(query, Not):
+            return Not(simplify_equalities(query.operand))
+        if isinstance(query, (And, Or, Implies, Iff)):
+            return type(query)(simplify_equalities(query.left), simplify_equalities(query.right))
+        if isinstance(query, (Exists, Forall)):
+            return type(query)(query.variable, simplify_equalities(query.body))
+        raise TransformError(f"unsupported guard node {type(query).__name__}")
+
+    return simplify_equalities(expand(guard))
+
+
+def _compact_atoms(query: Query, constants: frozenset) -> Query:
+    def rebuild(atom_query: Atom) -> Query:
+        placement = tuple(
+            argument if argument in constants else None for argument in atom_query.arguments
+        )
+        remaining = tuple(argument for argument in atom_query.arguments if argument not in constants)
+        return Atom(compact_relation_name(atom_query.relation, placement), remaining)
+
+    return query.map_atoms(rebuild)
+
+
+def remove_constants(system: DMS, constants: Iterable, fix_parameters: bool = True) -> DMS:
+    """Compile a DMS with constants into an equivalent constant-free DMS (F.1).
+
+    Args:
+        system: the original system (its initial instance and actions may
+            mention values of ``constants``).
+        constants: the finite constant set ``∆0``.
+        fix_parameters: when True, every action is additionally split per
+            mapping of its parameters to ``∆0 ∪ {−}`` (the paper's ``cons``
+            mappings), so that parameters never range over constants.
+    """
+    constants = tuple(dict.fromkeys(constants))
+    constant_set = frozenset(constants)
+    new_schema = compacted_schema(system.schema, constants)
+    new_initial = compact_instance(system.initial_instance, constants, new_schema)
+    new_actions: list[Action] = []
+    for action in system.actions:
+        parameter_mappings: list[dict] = [{}]
+        if fix_parameters and action.parameters:
+            parameter_mappings = []
+            for combo in product((None,) + constants, repeat=len(action.parameters)):
+                parameter_mappings.append(
+                    {
+                        parameter: value
+                        for parameter, value in zip(action.parameters, combo)
+                        if value is not None
+                    }
+                )
+        for index, mapping in enumerate(parameter_mappings, start=1):
+            remaining = tuple(p for p in action.parameters if p not in mapping)
+            guard = rewrite_guard_without_constants(action.guard, constants)
+            guard = guard.rename(dict(mapping))
+            guard = _compact_atoms(guard, constant_set)
+            deletions = [
+                compact_fact(fact.rename(mapping), constant_set) for fact in action.deletions
+            ]
+            additions = [
+                compact_fact(fact.rename(mapping), constant_set) for fact in action.additions
+            ]
+            suffix = "" if len(parameter_mappings) == 1 else f"__c{index}"
+            new_actions.append(
+                Action.create(
+                    name=f"{action.name}{suffix}",
+                    schema=new_schema,
+                    parameters=remaining,
+                    fresh=action.fresh,
+                    guard=guard,
+                    delete=deletions,
+                    add=additions,
+                    strict=False,
+                )
+            )
+    return DMS.create(
+        schema=new_schema,
+        initial_instance=new_initial,
+        actions=new_actions,
+        constraints=system.constraints,
+        name=f"nocst({system.name})",
+        require_empty_initial_adom=False,
+    )

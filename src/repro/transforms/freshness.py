@@ -1,0 +1,84 @@
+"""Weakening the freshness requirement for input values (Appendix F.3).
+
+An *arbitrary-input* DMS allows input variables to be bound to any value,
+fresh or not.  :func:`weaken_freshness` produces an equivalent *standard*
+DMS over a schema extended with a unary history relation ``Hist``: every
+arbitrary-input action with inputs ``i⃗`` is split into ``2^|i⃗|``
+standard actions, one per subset of inputs bound to historical values
+(looked up in ``Hist``), the remaining inputs staying fresh and being
+recorded into ``Hist``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.database.instance import Fact
+from repro.database.schema import Schema
+from repro.dms.action import Action
+from repro.dms.system import DMS
+from repro.fol.syntax import And, Atom, Query
+
+__all__ = ["HISTORY_RELATION", "weaken_freshness", "expand_arbitrary_inputs"]
+
+#: Name of the accessory unary relation storing every value seen so far.
+HISTORY_RELATION = "Hist"
+
+
+def _extended_schema(schema: Schema) -> Schema:
+    if HISTORY_RELATION in schema:
+        return schema
+    return schema.extend((HISTORY_RELATION, 1))
+
+
+def expand_arbitrary_inputs(action: Action, schema: Schema) -> tuple[Action, ...]:
+    """The ``2^|α·new|`` standard actions simulating an arbitrary-input action."""
+    extended = _extended_schema(schema)
+    inputs = action.fresh
+    variants = []
+    for size in range(len(inputs) + 1):
+        for historical in combinations(inputs, size):
+            historical_set = set(historical)
+            fresh = tuple(v for v in inputs if v not in historical_set)
+            guard: Query = action.guard
+            for variable in historical:
+                guard = And(guard, Atom(HISTORY_RELATION, (variable,)))
+            additions = set(action.additions.facts)
+            for variable in fresh:
+                additions.add(Fact(HISTORY_RELATION, (variable,)))
+            suffix = "_".join(historical) if historical else "allfresh"
+            variants.append(
+                Action.create(
+                    name=f"{action.name}__h_{suffix}",
+                    schema=extended,
+                    parameters=action.parameters + tuple(historical),
+                    fresh=fresh,
+                    guard=guard,
+                    delete=list(action.deletions.facts),
+                    add=sorted(additions, key=str),
+                    strict=action.strict,
+                )
+            )
+    return tuple(variants)
+
+
+def weaken_freshness(system: DMS) -> DMS:
+    """The standard DMS simulating ``system`` read as an arbitrary-input DMS.
+
+    Every value injected by a fresh input of the original system is also
+    recorded in ``Hist``, so later actions may re-select it through the
+    historical variants.
+    """
+    schema = _extended_schema(system.schema)
+    actions = []
+    for action in system.actions:
+        actions.extend(expand_arbitrary_inputs(action, system.schema))
+    initial = system.initial_instance.with_schema(schema)
+    return DMS.create(
+        schema=schema,
+        initial_instance=initial,
+        actions=actions,
+        constraints=system.constraints,
+        name=f"fresh({system.name})",
+        require_empty_initial_adom=system.require_empty_initial_adom,
+    )

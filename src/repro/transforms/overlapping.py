@@ -1,0 +1,75 @@
+"""Standard (possibly overlapping) substitution of fresh inputs (Appendix F.2).
+
+The DMS semantics maps fresh-input variables injectively to distinct
+values.  :func:`standard_substitution` implements the procedure of
+Figure 8: every action is replaced by one action per partition of its
+fresh-input variables, where the variables of a partition class are
+merged into a single representative.  The resulting set of injective
+actions simulates the original actions under standard (possibly
+non-injective) variable substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.dms.action import Action
+from repro.dms.system import DMS
+
+__all__ = ["set_partitions", "expand_action_overlaps", "standard_substitution"]
+
+
+def set_partitions(items: tuple) -> Iterator[tuple[tuple, ...]]:
+    """Enumerate all partitions of a finite sequence (order of classes is canonical).
+
+    Example:
+        >>> sorted(len(p) for p in set_partitions(("a", "b", "c")))
+        [1, 2, 2, 2, 3]
+    """
+    items = tuple(items)
+    if not items:
+        yield ()
+        return
+    first, rest = items[0], items[1:]
+    for partition in set_partitions(rest):
+        # first joins an existing class
+        for index in range(len(partition)):
+            yield partition[:index] + ((first,) + partition[index],) + partition[index + 1 :]
+        # first forms its own class
+        yield ((first,),) + partition
+
+
+def expand_action_overlaps(action: Action) -> tuple[Action, ...]:
+    """All injective variants of an action, one per partition of ``α·new``."""
+    if not action.fresh:
+        return (action,)
+    variants = []
+    for number, partition in enumerate(set_partitions(action.fresh), start=1):
+        representative = {}
+        merged_names = []
+        for class_index, block in enumerate(partition, start=1):
+            name = f"v'{class_index}"
+            merged_names.append(name)
+            for variable in block:
+                representative[variable] = name
+        renamed_add = action.additions.rename_variables(representative)
+        variants.append(
+            Action(
+                name=f"{action.name}__p{number}",
+                parameters=action.parameters,
+                fresh=tuple(merged_names),
+                guard=action.guard,
+                deletions=action.deletions,
+                additions=renamed_add,
+                strict=action.strict,
+            )
+        )
+    return tuple(variants)
+
+
+def standard_substitution(system: DMS) -> DMS:
+    """The injective DMS simulating ``system`` under standard substitution."""
+    actions: list[Action] = []
+    for action in system.actions:
+        actions.extend(expand_action_overlaps(action))
+    return system.with_actions(actions, name=f"std({system.name})")

@@ -1,0 +1,19 @@
+"""Random workload generators and parameter sweeps for tests and benchmarks."""
+
+from repro.workloads.generators import (
+    RandomDMSParameters,
+    random_bounded_runs,
+    random_dms,
+    random_schema,
+)
+from repro.workloads.sweeps import SweepPoint, dms_family, sweep
+
+__all__ = [
+    "RandomDMSParameters",
+    "SweepPoint",
+    "dms_family",
+    "random_bounded_runs",
+    "random_dms",
+    "random_schema",
+    "sweep",
+]

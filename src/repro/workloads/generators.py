@@ -1,0 +1,173 @@
+"""Random workload generators.
+
+Used by the property-based tests and the benchmark harness to produce
+random DMSs and random b-bounded runs with controlled parameters
+(schema size, arity, number of actions, fresh inputs, guard shapes).
+All generators are deterministic given a ``random.Random`` seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.database.instance import Fact
+from repro.database.schema import Schema
+from repro.dms.action import Action
+from repro.dms.system import DMS
+from repro.fol.syntax import Atom, Not, Query, TrueQuery, conjunction, exists
+from repro.recency.explorer import iterate_b_bounded_runs
+from repro.recency.semantics import RecencyBoundedRun
+
+__all__ = ["RandomDMSParameters", "random_schema", "random_dms", "random_bounded_runs"]
+
+
+@dataclass(frozen=True)
+class RandomDMSParameters:
+    """Knobs of the random DMS generator."""
+
+    relations: int = 3
+    max_arity: int = 2
+    propositions: int = 1
+    actions: int = 4
+    max_parameters: int = 2
+    max_fresh: int = 2
+    max_update_facts: int = 2
+    negated_guard_probability: float = 0.3
+
+
+def random_schema(rng: random.Random, parameters: RandomDMSParameters) -> Schema:
+    """A random schema with the requested number of relations and propositions."""
+    pairs = [(f"P{i}", 0) for i in range(parameters.propositions)]
+    for index in range(parameters.relations):
+        pairs.append((f"R{index}", rng.randint(1, max(1, parameters.max_arity))))
+    return Schema.of(*pairs)
+
+
+def _random_guard(
+    rng: random.Random,
+    schema: Schema,
+    action_parameters: tuple[str, ...],
+    parameters: RandomDMSParameters,
+) -> Query:
+    conjuncts: list[Query] = []
+    for variable in action_parameters:
+        candidates = [rel for rel in schema.non_nullary]
+        relation = rng.choice(candidates)
+        arguments = tuple(
+            variable if position == 0 else rng.choice(action_parameters)
+            for position in range(relation.arity)
+        )
+        conjuncts.append(Atom(relation.name, arguments))
+    if schema.propositions and rng.random() < 0.5:
+        proposition = rng.choice(schema.propositions)
+        literal: Query = Atom(proposition.name, ())
+        if rng.random() < parameters.negated_guard_probability:
+            literal = Not(literal)
+        conjuncts.append(literal)
+    if rng.random() < 0.3 and schema.non_nullary:
+        relation = rng.choice(schema.non_nullary)
+        bound = tuple(f"w{k}" for k in range(relation.arity))
+        conjuncts.append(Not(exists(bound, Atom(relation.name, bound))))
+    if not conjuncts:
+        return TrueQuery()
+    return conjunction(*conjuncts)
+
+
+def _random_facts(
+    rng: random.Random,
+    schema: Schema,
+    variables: tuple[str, ...],
+    count: int,
+    require_variables: tuple[str, ...] = (),
+) -> list[Fact]:
+    facts: list[Fact] = []
+    usable = [rel for rel in schema.non_nullary] or list(schema.relations)
+    for _ in range(count):
+        relation = rng.choice(usable)
+        if relation.arity == 0:
+            facts.append(Fact(relation.name))
+            continue
+        facts.append(
+            Fact(relation.name, tuple(rng.choice(variables) for _ in range(relation.arity)))
+        )
+    for required in require_variables:
+        relation = rng.choice([rel for rel in schema.non_nullary] or list(schema.relations))
+        if relation.arity == 0:
+            continue
+        arguments = [rng.choice(variables) for _ in range(relation.arity)]
+        arguments[rng.randrange(relation.arity)] = required
+        facts.append(Fact(relation.name, tuple(arguments)))
+    return facts
+
+
+def random_dms(seed: int = 0, parameters: RandomDMSParameters | None = None) -> DMS:
+    """Generate a random, well-formed DMS."""
+    parameters = parameters or RandomDMSParameters()
+    rng = random.Random(seed)
+    schema = random_schema(rng, parameters)
+    initial_props = [rel.name for rel in schema.propositions if rng.random() < 0.8]
+    from repro.database.instance import DatabaseInstance
+
+    initial = DatabaseInstance(schema, (Fact(name) for name in initial_props))
+    actions: list[Action] = []
+    # Always include a seeding action that injects fresh values unconditionally,
+    # so random systems have non-trivial runs.
+    seeder_fresh = tuple(f"v{k}" for k in range(1, max(1, parameters.max_fresh) + 1))
+    actions.append(
+        Action.create(
+            "seed",
+            schema,
+            parameters=(),
+            fresh=seeder_fresh,
+            guard=TrueQuery(),
+            delete=[],
+            add=_random_facts(rng, schema, seeder_fresh, 1, require_variables=seeder_fresh),
+        )
+    )
+    for index in range(parameters.actions):
+        parameter_count = rng.randint(0, parameters.max_parameters)
+        fresh_count = rng.randint(0, parameters.max_fresh)
+        action_parameters = tuple(f"u{k}" for k in range(1, parameter_count + 1))
+        fresh_variables = tuple(f"v{k}" for k in range(1, fresh_count + 1))
+        guard = _random_guard(rng, schema, action_parameters, parameters) if action_parameters else TrueQuery()
+        delete = (
+            _random_facts(rng, schema, action_parameters, rng.randint(0, parameters.max_update_facts))
+            if action_parameters
+            else []
+        )
+        add_variables = action_parameters + fresh_variables
+        add = (
+            _random_facts(
+                rng,
+                schema,
+                add_variables,
+                rng.randint(0, parameters.max_update_facts),
+                require_variables=fresh_variables,
+            )
+            if add_variables
+            else []
+        )
+        actions.append(
+            Action.create(
+                f"a{index}",
+                schema,
+                parameters=action_parameters,
+                fresh=fresh_variables,
+                guard=guard,
+                delete=delete,
+                add=add,
+            )
+        )
+    return DMS.create(schema, initial, actions, name=f"random-{seed}")
+
+
+def random_bounded_runs(
+    system: DMS, bound: int, depth: int, max_runs: int, seed: int = 0
+) -> tuple[RecencyBoundedRun, ...]:
+    """A deterministic sample of canonical b-bounded run prefixes of the system."""
+    rng = random.Random(seed)
+    runs = list(iterate_b_bounded_runs(system, bound, depth, max_runs=max_runs * 4))
+    if len(runs) <= max_runs:
+        return tuple(runs)
+    return tuple(rng.sample(runs, max_runs))

@@ -1,0 +1,53 @@
+"""Parameter sweeps used by the benchmark harness.
+
+Each sweep returns a tuple of dictionaries (rows) so that the harness and
+``pytest-benchmark`` targets can print them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.workloads.generators import RandomDMSParameters, random_dms
+
+__all__ = ["SweepPoint", "sweep", "dms_family"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep point: a parameter assignment and the measured values."""
+
+    parameters: dict
+    measurements: dict
+
+    def as_row(self) -> dict:
+        """A flat dictionary row for reporting."""
+        row = dict(self.parameters)
+        row.update(self.measurements)
+        return row
+
+
+def sweep(
+    parameter_grid: Sequence[dict],
+    measure: Callable[[dict], dict],
+) -> tuple[SweepPoint, ...]:
+    """Run ``measure`` on every parameter assignment of the grid."""
+    points = []
+    for parameters in parameter_grid:
+        points.append(SweepPoint(parameters=dict(parameters), measurements=measure(parameters)))
+    return tuple(points)
+
+
+def dms_family(
+    seeds: Iterable[int] = (0, 1, 2),
+    relations: int = 3,
+    max_arity: int = 2,
+    actions: int = 4,
+    max_fresh: int = 2,
+) -> tuple:
+    """A family of random DMSs sharing the same structural parameters."""
+    parameters = RandomDMSParameters(
+        relations=relations, max_arity=max_arity, actions=actions, max_fresh=max_fresh
+    )
+    return tuple(random_dms(seed, parameters) for seed in seeds)

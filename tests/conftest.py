@@ -1,0 +1,54 @@
+"""Shared fixtures: the paper's running example and small helper systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudies.simple import example_31_system, figure_1_labels
+from repro.database.instance import DatabaseInstance, Fact
+from repro.database.schema import Schema
+from repro.dms.builder import DMSBuilder
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    """The schema {p/0, R/1, Q/1, S/2} used by many unit tests."""
+    return Schema.of(("p", 0), ("R", 1), ("Q", 1), ("S", 2))
+
+
+@pytest.fixture
+def sample_instance(simple_schema: Schema) -> DatabaseInstance:
+    """A small instance with one proposition, two unary facts and a binary fact."""
+    return DatabaseInstance.of(
+        simple_schema,
+        Fact.of("p"),
+        Fact.of("R", "e1"),
+        Fact.of("R", "e2"),
+        Fact.of("Q", "e3"),
+        Fact.of("S", "e1", "e3"),
+    )
+
+
+@pytest.fixture
+def example31():
+    """The DMS of Example 3.1."""
+    return example_31_system()
+
+
+@pytest.fixture
+def figure1_labels():
+    """The generating sequence of the Figure 1 run."""
+    return figure_1_labels()
+
+
+@pytest.fixture
+def toy_counter_system():
+    """A tiny DMS that repeatedly creates and consumes unary facts."""
+    builder = DMSBuilder("toy")
+    builder.relations(("token", 1), ("go", 0))
+    builder.initially("go")
+    builder.action("produce", fresh=("v",), guard="go", add=[("token", "v")])
+    builder.action(
+        "consume", parameters=("u",), guard="go & token(u)", delete=[("token", "u")]
+    )
+    return builder.build()

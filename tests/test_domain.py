@@ -1,0 +1,59 @@
+"""Tests for the standard domain and fresh-value allocation."""
+
+import pytest
+
+from repro.database.domain import (
+    FreshValueAllocator,
+    StandardDomain,
+    standard_index,
+    standard_value,
+)
+
+
+def test_standard_value_and_index():
+    assert standard_value(1) == "e1"
+    assert standard_value(42) == "e42"
+    assert standard_index("e7") == 7
+    assert standard_index("x7") is None
+    assert standard_index("e0") is None
+    assert standard_index(3) is None
+
+
+def test_standard_value_rejects_non_positive():
+    with pytest.raises(ValueError):
+        standard_value(0)
+
+
+def test_standard_domain_order():
+    domain = StandardDomain()
+    assert domain.first(3) == ("e1", "e2", "e3")
+    assert domain.less("e2", "e10")
+    assert not domain.less("e10", "e2")
+    assert domain.index("e5") == 5
+    with pytest.raises(ValueError):
+        domain.index("foo")
+
+
+def test_standard_domain_iterate():
+    iterator = StandardDomain().iterate()
+    assert [next(iterator) for _ in range(4)] == ["e1", "e2", "e3", "e4"]
+
+
+def test_fresh_allocator_skips_used():
+    allocator = FreshValueAllocator(used={"e1", "e3"})
+    assert allocator.fresh() == "e2"
+    assert allocator.fresh() == "e4"
+    assert allocator.fresh_many(2) == ("e5", "e6")
+
+
+def test_fresh_allocator_observe():
+    allocator = FreshValueAllocator()
+    allocator.observe("e1", "e2")
+    assert allocator.fresh() == "e3"
+    assert "e1" in allocator.used
+
+
+def test_fresh_allocator_never_repeats():
+    allocator = FreshValueAllocator()
+    values = allocator.fresh_many(20)
+    assert len(set(values)) == 20

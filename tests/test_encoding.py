@@ -1,0 +1,197 @@
+"""Tests for the nested-word encoding of b-bounded runs (Sections 6.3–6.4)."""
+
+import pytest
+
+from repro.encoding.alphabet import (
+    HeadLetter,
+    InitialLetter,
+    PopLetter,
+    PushLetter,
+    encoding_alphabet,
+    head_letters,
+)
+from repro.encoding.analyzer import EncodingAnalyzer
+from repro.encoding.blocks import Block, block_letters, parse_blocks
+from repro.encoding.encoder import block_for_step, encode_run, encode_symbolic_word
+from repro.errors import EncodingError
+from repro.recency.abstraction import SymbolicLabel, SymbolicSubstitution, abstract_run
+from repro.recency.explorer import iterate_b_bounded_runs
+from repro.recency.semantics import execute_b_bounded_labels
+
+
+@pytest.fixture
+def figure1_bounded_run(example31, figure1_labels):
+    return execute_b_bounded_labels(example31, figure1_labels, bound=2)
+
+
+@pytest.fixture
+def figure2_word(example31, figure1_bounded_run):
+    return encode_run(example31, figure1_bounded_run)
+
+
+def test_encoding_alphabet_composition(example31):
+    alphabet = encoding_alphabet(example31, 2)
+    assert InitialLetter() in alphabet.internal_letters
+    assert PopLetter(0) in alphabet.pop_letters and PopLetter(1) in alphabet.pop_letters
+    assert PopLetter(2) not in alphabet.pop_letters
+    # pushes range from -η = -3 to b-1 = 1.
+    assert PushLetter(-3) in alphabet.push_letters and PushLetter(1) in alphabet.push_letters
+    assert PushLetter(2) not in alphabet.push_letters
+    assert len(head_letters(example31, 2)) == 9
+
+
+def test_block_letters_shape(example31):
+    label = SymbolicLabel("beta", SymbolicSubstitution.of({"u": 1, "v1": -1, "v2": -2}))
+    letters = block_letters(label, recent_size=2, surviving=[0], fresh_count=2)
+    assert [str(letter) for letter in letters] == [str(HeadLetter(label)), "↑0", "↑1", "↓0", "↓-1", "↓-2"]
+
+
+def test_block_validation():
+    label = SymbolicLabel("a", SymbolicSubstitution.of({}))
+    with pytest.raises(EncodingError):
+        Block(label=label, recent_size=1, surviving=frozenset({3}), fresh_count=0)
+    with pytest.raises(EncodingError):
+        Block(label=label, recent_size=-1, surviving=frozenset(), fresh_count=0)
+
+
+def test_figure2_encoding_structure(example31, figure2_word):
+    """The encoding of the Figure 1 run reproduces Figure 2 exactly."""
+    blocks = parse_blocks(figure2_word.letters)
+    expected = [
+        ("alpha", 0, set(), 3),
+        ("beta", 2, {0}, 2),
+        ("alpha", 2, {0, 1}, 3),
+        ("gamma", 2, {0}, 0),
+        ("delta", 2, set(), 0),
+        ("delta", 2, {0}, 0),
+        ("delta", 2, {0}, 0),
+        ("alpha", 2, {0, 1}, 3),
+    ]
+    assert len(blocks) == 8
+    for block, (action, m, surviving, fresh) in zip(blocks, expected):
+        assert block.action_name == action
+        assert block.recent_size == m
+        assert set(block.surviving) == surviving
+        assert block.fresh_count == fresh
+    assert len(figure2_word.letters) == 42
+    assert isinstance(figure2_word.letters[0], InitialLetter)
+
+
+def test_adom_counts_match_remark_61(example31, figure2_word):
+    analyzer = EncodingAnalyzer(example31, 2, figure2_word)
+    # The paper highlights |adom(I4)| = 6 before B5 and |adom(I7)| = 2 before B8.
+    assert analyzer.adom_size_from_nesting(5) == 6
+    assert analyzer.adom_size_from_nesting(8) == 2
+    for block_number in range(1, analyzer.block_count() + 1):
+        assert analyzer.adom_size_from_nesting(block_number) == len(
+            analyzer.database_before(block_number).active_domain()
+        )
+
+
+def test_element_tracking_across_blocks(example31, figure2_word):
+    analyzer = EncodingAnalyzer(example31, 2, figure2_word)
+    # Index -2 in block 1 (element e2) equals index 1 in block 2 (Section 6.4 example).
+    assert analyzer.equal_elements(1, -2, 2, 1)
+    # Index -2 in block 2 (element e5) equals index 0 in block 7.
+    assert analyzer.equal_elements(2, -2, 7, 0)
+    # Distinct elements are not identified.
+    assert not analyzer.equal_elements(1, -1, 1, -2)
+    assert analyzer.element_class(1, 5) is None
+
+
+def test_validity_of_real_encodings(example31, figure2_word):
+    analyzer = EncodingAnalyzer(example31, 2, figure2_word)
+    report = analyzer.check_validity()
+    assert report.valid
+    assert bool(report)
+    assert analyzer.symbolic_word() == tuple(block.label for block in analyzer.blocks)
+
+
+def test_validity_rejects_wrong_m(example31, figure1_bounded_run):
+    """Re-declare a block with the wrong m and check condition 1 fires."""
+    run = figure1_bounded_run
+    word = encode_run(example31, run)
+    blocks = parse_blocks(word.letters)
+    letters: list = [InitialLetter()]
+    for index, block in enumerate(blocks):
+        if index == 1:
+            tampered = Block(
+                label=block.label,
+                recent_size=1,  # should be 2
+                surviving=frozenset({0}),
+                fresh_count=block.fresh_count,
+            )
+            letters.extend(tampered.letters())
+        else:
+            letters.extend(block.letters())
+    report = EncodingAnalyzer(example31, 2, letters).check_validity()
+    assert not report.valid
+    assert report.condition in ("m", "well-formedness")
+    assert report.failed_block == 2
+
+
+def test_validity_rejects_wrong_j(example31, figure1_bounded_run):
+    """Pushing back a deleted element violates condition 2 (consistency of J)."""
+    word = encode_run(example31, figure1_bounded_run)
+    blocks = parse_blocks(word.letters)
+    letters: list = [InitialLetter()]
+    for index, block in enumerate(blocks):
+        if index == 1:
+            tampered = Block(
+                label=block.label,
+                recent_size=block.recent_size,
+                surviving=frozenset({0, 1}),  # index 1 (element e2) was deleted by beta
+                fresh_count=block.fresh_count,
+            )
+            letters.extend(tampered.letters())
+        else:
+            letters.extend(block.letters())
+    report = EncodingAnalyzer(example31, 2, letters).check_validity()
+    assert not report.valid
+    assert report.failed_block == 2
+    assert report.condition == "J"
+
+
+def test_validity_rejects_failing_guard(example31):
+    """A block whose guard cannot hold is rejected by condition 3."""
+    beta_label = SymbolicLabel("beta", SymbolicSubstitution.of({"u": 0, "v1": -1, "v2": -2}))
+    alpha_label = SymbolicLabel(
+        "alpha", SymbolicSubstitution.of({"v1": -1, "v2": -2, "v3": -3})
+    )
+    letters: list = [InitialLetter()]
+    letters.extend(Block(label=alpha_label, recent_size=0, surviving=frozenset(), fresh_count=3).letters())
+    # beta with u ↦ index 0 refers to e3 which is in Q, but beta's guard needs R(u) — wait,
+    # index 0 after alpha is e3 which is in Q only, so the guard p ∧ R(u) fails.
+    letters.extend(Block(label=beta_label, recent_size=2, surviving=frozenset({0}), fresh_count=2).letters())
+    report = EncodingAnalyzer(example31, 2, letters).check_validity()
+    assert not report.valid
+    assert report.failed_block == 2
+    assert report.condition in ("guard", "J")
+
+
+def test_parse_blocks_shape_errors(example31):
+    alphabet = encoding_alphabet(example31, 2)
+    with pytest.raises(EncodingError):
+        parse_blocks([PopLetter(0)])
+    label = SymbolicLabel("gamma", SymbolicSubstitution.of({"u": 0}))
+    # Pops out of order.
+    with pytest.raises(EncodingError):
+        parse_blocks([InitialLetter(), HeadLetter(label), PopLetter(1)])
+    # Fresh pushes must be numbered -1, -2, ...
+    with pytest.raises(EncodingError):
+        parse_blocks([InitialLetter(), HeadLetter(label), PopLetter(0), PushLetter(-2)])
+
+
+def test_encode_symbolic_word_matches_encode_run(example31, figure1_bounded_run):
+    word = abstract_run(figure1_bounded_run)
+    direct = encode_run(example31, figure1_bounded_run)
+    via_symbolic = encode_symbolic_word(example31, word, 2)
+    assert direct.letters == via_symbolic.letters
+
+
+def test_every_explored_run_encodes_validly(example31):
+    for run in iterate_b_bounded_runs(example31, bound=2, depth=3, max_runs=15):
+        if not run.steps:
+            continue
+        analyzer = EncodingAnalyzer(example31, 2, encode_run(example31, run))
+        assert analyzer.check_validity().valid

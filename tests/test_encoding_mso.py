@@ -1,0 +1,137 @@
+"""Tests for the MSONW formula construction and the MSO-FO → MSONW translation (Sections 6.4–6.6)."""
+
+import pytest
+
+from repro.encoding.analyzer import EncodingAnalyzer
+from repro.encoding.encoder import encode_run
+from repro.encoding.mso_builder import MSONWBuilder, valid_encoding_formula_size
+from repro.encoding.translate import (
+    evaluate_specification_via_encoding,
+    reduction_formula,
+    reduction_formula_size,
+    translate_guard,
+    translate_specification,
+)
+from repro.fol.parser import parse_query
+from repro.msofo.patterns import (
+    proposition_reachability_formula,
+    response_formula,
+    safety_formula,
+)
+from repro.msofo.semantics import holds_on_run
+from repro.nestedwords.mso import NWFormula, evaluate_nw, holds_on_nested_word
+from repro.recency.explorer import iterate_b_bounded_runs
+from repro.recency.semantics import execute_b_bounded_labels
+
+
+@pytest.fixture
+def builder(example31):
+    return MSONWBuilder(example31, 2)
+
+
+@pytest.fixture
+def figure2(example31, figure1_labels):
+    run = execute_b_bounded_labels(example31, figure1_labels, bound=2)
+    return encode_run(example31, run)
+
+
+def test_letter_class_predicates_on_concrete_word(builder, figure2):
+    from repro.nestedwords.mso import NWAssignment
+
+    # Position 1 is the I0 letter (internal), position 3 is a push.
+    assert evaluate_nw(builder.internal("x"), figure2, NWAssignment(positions={"x": 1}))
+    assert not evaluate_nw(builder.head("x"), figure2, NWAssignment(positions={"x": 1}))
+    assert evaluate_nw(builder.head("x"), figure2, NWAssignment(positions={"x": 2}))
+    assert evaluate_nw(builder.push("x"), figure2, NWAssignment(positions={"x": 3}))
+    assert not evaluate_nw(builder.pop("x"), figure2, NWAssignment(positions={"x": 3}))
+
+
+def test_same_block_predicate(builder, figure2):
+    from repro.nestedwords.mso import NWAssignment
+
+    # Positions 2..5 form block B1; position 6 starts block B2.
+    assert evaluate_nw(builder.same_block("x", "y"), figure2, NWAssignment(positions={"x": 2, "y": 5}))
+    assert not evaluate_nw(builder.same_block("x", "y"), figure2, NWAssignment(positions={"x": 2, "y": 6}))
+
+
+def test_add_delete_predicates(builder, figure2):
+    from repro.nestedwords.mso import NWAssignment
+
+    # Block B2 (head at position 6) is a beta block with s(u)=1: it deletes R(1).
+    deletes_r1 = builder.deletes("R", (1,), "x")
+    assert evaluate_nw(deletes_r1, figure2, NWAssignment(positions={"x": 6}))
+    assert not evaluate_nw(deletes_r1, figure2, NWAssignment(positions={"x": 2}))
+    # Block B1 (alpha) adds Q(-3).
+    adds_q = builder.adds("Q", (-3,), "x")
+    assert evaluate_nw(adds_q, figure2, NWAssignment(positions={"x": 2}))
+
+
+def test_step_predicate(builder, figure2):
+    from repro.nestedwords.mso import NWAssignment
+
+    # The push ↓-2 of block B1 is matched by the pop ↑1 of block B2.
+    step = builder.step(-2, 1, "x", "y")
+    assert evaluate_nw(step, figure2, NWAssignment(positions={"x": 2, "y": 6}))
+    assert not evaluate_nw(step, figure2, NWAssignment(positions={"x": 6, "y": 2}))
+
+
+def test_formula_sizes_grow_with_bound(example31):
+    size_b1 = valid_encoding_formula_size(example31, 1)
+    size_b2 = valid_encoding_formula_size(example31, 2)
+    assert 0 < size_b1 < size_b2
+
+
+def test_reduction_formula_is_msonw(example31):
+    specification = proposition_reachability_formula("p")
+    formula = reduction_formula(example31, 1, specification)
+    assert isinstance(formula, NWFormula)
+    assert reduction_formula_size(example31, 1, specification) == formula.size()
+    assert formula.size() > valid_encoding_formula_size(example31, 1)
+
+
+def test_translate_guard_produces_msonw(builder, example31):
+    from repro.recency.abstraction import symbolic_alphabet
+
+    for label in symbolic_alphabet(example31, 2):
+        action = example31.action(label.action_name)
+        translated = translate_guard(builder, action.guard, label, "x")
+        assert isinstance(translated, NWFormula)
+        assert translated.size() >= 1
+
+
+def test_translate_specification_produces_msonw(builder):
+    for specification in (
+        proposition_reachability_formula("p"),
+        safety_formula(parse_query("exists u. R(u) & Q(u)")),
+    ):
+        translated = translate_specification(builder, specification)
+        assert isinstance(translated, NWFormula)
+        assert translated.is_sentence()
+
+
+def test_semantic_translation_cross_validation(example31):
+    """Direct MSO-FO evaluation and encoding-based evaluation agree on all explored runs."""
+    from repro.dms.run import Run
+
+    specifications = [
+        proposition_reachability_formula("p"),
+        safety_formula(parse_query("exists u. R(u) & Q(u)")),
+        response_formula(parse_query("exists u. R(u)"), parse_query("exists u. Q(u)")),
+    ]
+    runs = [run for run in iterate_b_bounded_runs(example31, 2, 3, max_runs=12) if run.steps]
+    assert runs
+    for run in runs:
+        analyzer = EncodingAnalyzer(example31, 2, encode_run(example31, run))
+        truncated = Run(run.instances()[:-1])
+        for specification in specifications:
+            assert holds_on_run(specification, truncated) == evaluate_specification_via_encoding(
+                specification, analyzer
+            )
+
+
+def test_encoding_analyzer_live_predicate(example31, figure2):
+    analyzer = EncodingAnalyzer(example31, 2, figure2)
+    # In block B2 (beta), index 1 (element e2) is deleted: not live; index 0 (e3) stays live.
+    assert analyzer.live(2, 0)
+    assert not analyzer.live(2, 1)
+    assert analyzer.recent_size_before(2) == 2

@@ -1,0 +1,76 @@
+"""Tests for the FOL(R) parser."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.fol.parser import parse_query
+from repro.fol.syntax import And, Atom, Equals, Exists, Forall, Implies, Not, Or, TrueQuery
+
+
+def test_parse_atoms_and_propositions():
+    assert parse_query("R(u, v)") == Atom("R", ("u", "v"))
+    assert parse_query("p") == Atom("p", ())
+    assert parse_query("true") == TrueQuery()
+
+
+def test_parse_equality_and_disequality():
+    assert parse_query("u = v") == Equals("u", "v")
+    assert parse_query("u != v") == Not(Equals("u", "v"))
+
+
+def test_parse_connectives():
+    query = parse_query("R(u) & Q(u)")
+    assert isinstance(query, And)
+    query = parse_query("R(u) | Q(u)")
+    assert isinstance(query, Or)
+    query = parse_query("R(u) -> Q(u)")
+    assert isinstance(query, Implies)
+
+
+def test_parse_negation_forms():
+    assert parse_query("!p") == Not(Atom("p", ()))
+    assert parse_query("not p") == Not(Atom("p", ()))
+    assert parse_query("¬p") == Not(Atom("p", ()))
+
+
+def test_parse_quantifiers_far_right_scope():
+    query = parse_query("exists u. R(u) & Q(u)")
+    assert isinstance(query, Exists)
+    assert query.free_variables() == frozenset()
+    query = parse_query("forall u. R(u) -> Q(u)")
+    assert isinstance(query, Forall)
+    assert query.free_variables() == frozenset()
+
+
+def test_parse_multi_variable_quantifier():
+    query = parse_query("exists u, v. S(u, v)")
+    assert isinstance(query, Exists)
+    assert isinstance(query.body, Exists)
+
+
+def test_parenthesised_quantifier_scope():
+    query = parse_query("(exists u. R(u)) & Q(w)")
+    assert isinstance(query, And)
+    assert query.free_variables() == frozenset({"w"})
+
+
+def test_parse_precedence_and_over_or():
+    query = parse_query("p | q & r")
+    assert isinstance(query, Or)
+    assert isinstance(query.right, And)
+
+
+def test_parse_errors():
+    with pytest.raises(QueryParseError):
+        parse_query("R(u")
+    with pytest.raises(QueryParseError):
+        parse_query("& p")
+    with pytest.raises(QueryParseError):
+        parse_query("p q")
+    with pytest.raises(QueryParseError):
+        parse_query("exists . p")
+
+
+def test_roundtrip_through_str_is_stable_structure():
+    query = parse_query("exists u. (R(u) & !Q(u)) | p")
+    assert "∃" in str(query)

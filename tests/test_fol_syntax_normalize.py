@@ -1,0 +1,144 @@
+"""Tests for FOL(R) syntax utilities and normalisation."""
+
+from repro.database.instance import DatabaseInstance, Fact
+from repro.database.schema import Schema
+from repro.fol.active import active_query, fresh_variable_names
+from repro.fol.builder import QueryBuilder
+from repro.fol.evaluator import answers, evaluate_sentence, satisfies
+from repro.fol.normalize import (
+    count_data_variables,
+    eliminate_derived,
+    is_positive_existential,
+    is_union_of_conjunctive_queries,
+    quantifier_depth,
+    standardize_apart,
+    to_nnf,
+)
+from repro.fol.parser import parse_query
+from repro.fol.syntax import (
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    conjunction,
+    disjunction,
+    exists,
+    forall,
+)
+
+
+def test_free_and_bound_variables():
+    query = parse_query("exists u. S(u, v)")
+    assert query.free_variables() == frozenset({"v"})
+    assert query.variables() == frozenset({"u", "v"})
+
+
+def test_size_and_walk():
+    query = parse_query("R(u) & !Q(u)")
+    assert query.size() == 4
+    assert len(list(query.walk())) == 4
+
+
+def test_relations_collected():
+    assert parse_query("R(u) & (Q(v) | p)").relations() == frozenset({"R", "Q", "p"})
+
+
+def test_rename_consistent():
+    query = parse_query("exists u. S(u, v)").rename({"v": "w"})
+    assert query.free_variables() == frozenset({"w"})
+
+
+def test_conjunction_disjunction_helpers():
+    assert conjunction() == parse_query("true")
+    assert isinstance(conjunction(Atom("p"), Atom("q")), And)
+    assert isinstance(disjunction(Atom("p"), Atom("q")), Or)
+
+
+def test_exists_forall_helpers():
+    nested = exists(("u", "v"), Atom("S", ("u", "v")))
+    assert isinstance(nested, Exists) and isinstance(nested.body, Exists)
+    nested = forall("u", Atom("R", ("u",)))
+    assert isinstance(nested, Forall)
+
+
+def test_eliminate_derived_and_nnf_preserve_semantics(simple_schema):
+    instance = DatabaseInstance.of(
+        simple_schema, Fact.of("R", "e1"), Fact.of("Q", "e2"), Fact.of("p")
+    )
+    queries = [
+        "p -> exists u. R(u)",
+        "forall u. R(u) -> !Q(u)",
+        "!(exists u. R(u) & Q(u))",
+        "p <-> exists u. Q(u)",
+    ]
+    for text in queries:
+        query = parse_query(text)
+        assert evaluate_sentence(eliminate_derived(query), instance) == evaluate_sentence(
+            query, instance
+        )
+        assert evaluate_sentence(to_nnf(query), instance) == evaluate_sentence(query, instance)
+
+
+def test_nnf_pushes_negation_to_atoms():
+    nnf = to_nnf(parse_query("!(R(u) & exists v. Q(v))"))
+    for node in nnf.walk():
+        if isinstance(node, Not):
+            assert isinstance(node.operand, Atom)
+
+
+def test_standardize_apart():
+    query = parse_query("(exists u. R(u)) & exists u. Q(u)")
+    renamed = standardize_apart(query)
+    bound = [node.variable for node in renamed.walk() if isinstance(node, (Exists, Forall))]
+    assert len(bound) == len(set(bound))
+
+
+def test_fragment_classification():
+    assert is_positive_existential(parse_query("exists u. R(u) & Q(u)"))
+    assert not is_positive_existential(parse_query("!R(u)"))
+    assert is_union_of_conjunctive_queries(parse_query("(exists u. R(u) & Q(u)) | p"))
+    assert not is_union_of_conjunctive_queries(parse_query("!p | q"))
+
+
+def test_quantifier_depth_and_variable_count():
+    query = parse_query("exists u. exists v. S(u, v)")
+    assert quantifier_depth(query) == 2
+    assert count_data_variables(query) == 2
+
+
+def test_active_query_characterises_adom(simple_schema):
+    instance = DatabaseInstance.of(
+        simple_schema, Fact.of("R", "e1"), Fact.of("S", "e2", "e3"), Fact.of("p")
+    )
+    active = active_query(simple_schema, "u")
+    found = {sigma["u"] for sigma in answers(active, instance)}
+    assert found == set(instance.active_domain())
+
+
+def test_fresh_variable_names_avoid_collisions():
+    names = fresh_variable_names(3, avoid=frozenset({"w1"}))
+    assert "w1" not in names
+    assert len(set(names)) == 3
+
+
+def test_query_builder_validates(simple_schema):
+    builder = QueryBuilder(simple_schema)
+    guard = builder.and_(builder.prop("p"), builder.atom("R", "u"))
+    assert guard.free_variables() == frozenset({"u"})
+    import pytest
+
+    from repro.errors import ArityError
+
+    with pytest.raises(ArityError):
+        builder.atom("R", "u", "v")
+    parsed = builder.parse("exists u. R(u)")
+    assert parsed.is_sentence()
+
+
+def test_query_operator_sugar(simple_schema):
+    builder = QueryBuilder(simple_schema)
+    query = builder.prop("p") & ~builder.atom("Q", "u")
+    instance = DatabaseInstance.of(simple_schema, Fact.of("p"), Fact.of("R", "e1"))
+    assert satisfies(instance, query, {"u": "e1"})

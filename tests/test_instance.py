@@ -1,0 +1,121 @@
+"""Tests for database instances and their algebra."""
+
+import pytest
+
+from repro.database.instance import DatabaseInstance, Fact
+from repro.database.schema import Schema
+from repro.errors import ArityError, SchemaError
+
+
+def test_fact_basics():
+    fact = Fact.of("R", "e1", "e2")
+    assert fact.arity == 2
+    assert fact.values == frozenset({"e1", "e2"})
+    assert str(fact) == "R(e1, e2)"
+    assert str(Fact.of("p")) == "p"
+
+
+def test_fact_rename():
+    fact = Fact.of("R", "e1", "e2").rename({"e1": "x"})
+    assert fact.arguments == ("x", "e2")
+
+
+def test_instance_construction_and_lookup(simple_schema, sample_instance):
+    assert len(sample_instance) == 5
+    assert sample_instance.holds("R", "e1")
+    assert not sample_instance.holds("R", "e3")
+    assert sample_instance.holds_proposition("p")
+    assert sample_instance.active_domain() == frozenset({"e1", "e2", "e3"})
+
+
+def test_instance_rejects_wrong_arity(simple_schema):
+    with pytest.raises(ArityError):
+        DatabaseInstance.of(simple_schema, Fact.of("R", "e1", "e2"))
+
+
+def test_instance_rejects_unknown_relation(simple_schema):
+    from repro.errors import UnknownRelationError
+
+    with pytest.raises(UnknownRelationError):
+        DatabaseInstance.of(simple_schema, Fact.of("T", "e1"))
+
+
+def test_instance_union_and_difference(simple_schema):
+    left = DatabaseInstance.of(simple_schema, Fact.of("R", "e1"), Fact.of("p"))
+    right = DatabaseInstance.of(simple_schema, Fact.of("R", "e2"))
+    union = left + right
+    assert len(union) == 3
+    difference = union - right
+    assert difference == left
+
+
+def test_apply_update_additions_win(simple_schema):
+    instance = DatabaseInstance.of(simple_schema, Fact.of("R", "e1"))
+    updated = instance.apply_update([Fact.of("R", "e1")], [Fact.of("R", "e1")])
+    assert updated.holds("R", "e1")
+
+
+def test_from_dict(simple_schema):
+    instance = DatabaseInstance.from_dict(
+        simple_schema, {"p": True, "R": ["e1", "e2"], "S": [("e1", "e2")]}
+    )
+    assert instance.holds("S", "e1", "e2")
+    assert instance.holds_proposition("p")
+    assert len(instance) == 4
+
+
+def test_from_dict_rejects_non_boolean_proposition(simple_schema):
+    with pytest.raises(SchemaError):
+        DatabaseInstance.from_dict(simple_schema, {"p": ["e1"]})
+
+
+def test_holds_proposition_requires_nullary(simple_schema, sample_instance):
+    with pytest.raises(SchemaError):
+        sample_instance.holds_proposition("R")
+
+
+def test_rename_values(simple_schema, sample_instance):
+    renamed = sample_instance.rename_values({"e1": "x1"})
+    assert renamed.holds("R", "x1")
+    assert not renamed.holds("R", "e1")
+    assert renamed.holds("S", "x1", "e3")
+
+
+def test_is_isomorphic_to(simple_schema):
+    left = DatabaseInstance.of(simple_schema, Fact.of("S", "e1", "e2"))
+    right = DatabaseInstance.of(simple_schema, Fact.of("S", "a", "b"))
+    assert left.is_isomorphic_to(right, {"e1": "a", "e2": "b"})
+    assert not left.is_isomorphic_to(right, {"e1": "b", "e2": "a"})
+    assert not left.is_isomorphic_to(right, {"e1": "a"})
+
+
+def test_algebra_requires_same_schema(simple_schema):
+    other_schema = Schema.of(("R", 1))
+    left = DatabaseInstance.of(simple_schema, Fact.of("R", "e1"))
+    right = DatabaseInstance.of(other_schema, Fact.of("R", "e1"))
+    with pytest.raises(SchemaError):
+        left + right
+
+
+def test_true_propositions_and_restrict(simple_schema, sample_instance):
+    assert sample_instance.true_propositions() == frozenset({"p"})
+    only_r = sample_instance.restrict_to_relations(["R"])
+    assert len(only_r) == 2
+
+
+def test_facts_containing(sample_instance):
+    facts = sample_instance.facts_containing("e1")
+    assert {str(fact) for fact in facts} == {"R(e1)", "S(e1, e3)"}
+
+
+def test_instance_equality_and_hash(simple_schema):
+    left = DatabaseInstance.of(simple_schema, Fact.of("R", "e1"))
+    right = DatabaseInstance.of(simple_schema, Fact.of("R", "e1"))
+    assert left == right
+    assert hash(left) == hash(right)
+    assert left != DatabaseInstance.empty(simple_schema)
+
+
+def test_pretty_rendering(sample_instance):
+    text = sample_instance.pretty()
+    assert "R:" in text and "p" in text

@@ -1,0 +1,184 @@
+"""Tests for MSO-FO syntax, semantics, FO-LTL sugar and verification patterns."""
+
+import pytest
+
+from repro.casestudies.students import students_progression_property, students_system
+from repro.dms.semantics import execute_labels
+from repro.errors import FormulaError
+from repro.fol.parser import parse_query
+from repro.fol.syntax import Atom
+from repro.msofo.foltl import (
+    Always,
+    Eventually,
+    GlobalForall,
+    Next,
+    StateQuery,
+    TImplies,
+    Until,
+    to_msofo,
+)
+from repro.msofo.patterns import (
+    constrained_model_checking_formula,
+    proposition_reachability_formula,
+    repeated_reachability_formula,
+    response_formula,
+    runs_characterisation_formula,
+    safety_formula,
+    student_progression_formula,
+)
+from repro.msofo.semantics import RunAssignment, evaluate, holds_on_run
+from repro.msofo.syntax import (
+    And,
+    ExistsData,
+    ExistsPosition,
+    ExistsSet,
+    ForallPosition,
+    InSet,
+    Not,
+    PositionLess,
+    QueryAt,
+    successor,
+)
+
+
+@pytest.fixture
+def figure1_run(example31, figure1_labels):
+    return execute_labels(example31, figure1_labels).to_run()
+
+
+def test_formula_free_variables():
+    formula = ExistsPosition("x", QueryAt(parse_query("R(u)"), "x"))
+    assert formula.free_data_variables() == frozenset({"u"})
+    assert not formula.is_sentence()
+    closed = ExistsData("u", formula)
+    assert closed.is_sentence()
+    assert closed.size() > formula.size()
+
+
+def test_query_at_and_position_order(figure1_run):
+    p_holds = QueryAt(Atom("p", ()), "x")
+    assert evaluate(p_holds, figure1_run, RunAssignment(positions={"x": 0}))
+    assert not evaluate(p_holds, figure1_run, RunAssignment(positions={"x": 2}))
+    assert evaluate(
+        PositionLess("x", "y"), figure1_run, RunAssignment(positions={"x": 1, "y": 5})
+    )
+
+
+def test_unbound_variable_raises(figure1_run):
+    with pytest.raises(FormulaError):
+        evaluate(QueryAt(Atom("p", ()), "x"), figure1_run, RunAssignment())
+
+
+def test_data_quantification_over_gadom(figure1_run):
+    # Some element is eventually in Q.
+    formula = ExistsData("u", ExistsPosition("x", QueryAt(Atom("Q", ("u",)), "x")))
+    assert holds_on_run(formula, figure1_run)
+    # Not every element of Gadom is ever in Q (e.g. e1 never is).
+    from repro.msofo.syntax import ForallData
+
+    all_in_q = ForallData("u", ExistsPosition("x", QueryAt(Atom("Q", ("u",)), "x")))
+    assert not holds_on_run(all_in_q, figure1_run)
+
+
+def test_active_domain_restriction_on_query_at(figure1_run):
+    """Appendix B: Q@x is false when a free variable refers outside adom(I_x)."""
+    negated = QueryAt(parse_query("!Q(u)"), "x")
+    # At position 0 the active domain is empty, so even the negated query fails for e1.
+    assert not evaluate(
+        negated, figure1_run, RunAssignment(positions={"x": 0}, data={"u": "e1"})
+    )
+    # At position 1, e1 is active and not in Q, so the negated query holds.
+    assert evaluate(
+        negated, figure1_run, RunAssignment(positions={"x": 1}, data={"u": "e1"})
+    )
+
+
+def test_set_quantification(figure1_run):
+    # There is a set of positions containing position 0.
+    formula = ExistsSet("X", ExistsPosition("x", And(InSet("x", "X"), Not(ExistsPosition("y", PositionLess("y", "x"))))))
+    assert holds_on_run(formula, figure1_run)
+
+
+def test_successor_macro(figure1_run):
+    formula = ExistsPosition(
+        "x",
+        ExistsPosition(
+            "y",
+            And(successor("x", "y"), And(QueryAt(Atom("p", ()), "x"), Not(QueryAt(Atom("p", ()), "y")))),
+        ),
+    )
+    assert holds_on_run(formula, figure1_run)
+
+
+def test_reachability_and_safety_patterns(figure1_run):
+    assert holds_on_run(proposition_reachability_formula("p"), figure1_run)
+    assert holds_on_run(safety_formula(parse_query("exists u. R(u) & Q(u)")), figure1_run)
+    assert not holds_on_run(safety_formula(parse_query("p")), figure1_run)
+
+
+def test_response_and_repeated_reachability(figure1_run):
+    assert holds_on_run(
+        response_formula(parse_query("exists u. R(u) & Q(u)"), parse_query("p")), figure1_run
+    )
+    assert not holds_on_run(repeated_reachability_formula(parse_query("p")), figure1_run)
+
+
+def test_constrained_model_checking_reduction(figure1_run):
+    constraint = parse_query("exists u. R(u)")
+    spec = proposition_reachability_formula("p")
+    formula = constrained_model_checking_formula(constraint, spec)
+    # The constraint fails at position 0, so the implication holds trivially.
+    assert holds_on_run(formula, figure1_run)
+
+
+def test_student_progression_formula_semantics():
+    system = students_system()
+    good = execute_labels(
+        system,
+        [
+            ("enrol", {"s": "e1"}),
+            ("graduate", {"s": "e1"}),
+        ],
+    ).to_run()
+    bad = execute_labels(
+        system,
+        [
+            ("enrol", {"s": "e1"}),
+            ("enrol", {"s": "e2"}),
+            ("graduate", {"s": "e1"}),
+        ],
+    ).to_run()
+    formula = students_progression_property()
+    assert holds_on_run(formula, good)
+    assert not holds_on_run(formula, bad)
+
+
+def test_foltl_translation_equivalences(figure1_run):
+    eventually_no_p = Eventually(StateQuery(parse_query("!p")))
+    assert holds_on_run(to_msofo(eventually_no_p), figure1_run)
+    always_p = Always(StateQuery(parse_query("p")))
+    assert not holds_on_run(to_msofo(always_p), figure1_run)
+    next_something = Next(StateQuery(parse_query("exists u. R(u)")))
+    assert holds_on_run(to_msofo(next_something), figure1_run)
+    until = Until(StateQuery(parse_query("p")), StateQuery(parse_query("exists u. Q(u)")))
+    assert holds_on_run(to_msofo(until), figure1_run)
+    nested = GlobalForall(
+        "u",
+        Always(TImplies(StateQuery(parse_query("R(u)")), Eventually(StateQuery(parse_query("true"))))),
+    )
+    assert holds_on_run(to_msofo(nested), figure1_run)
+
+
+def test_runs_characterisation_formula_structure(example31):
+    formula = runs_characterisation_formula(example31)
+    assert formula.is_sentence()
+    # One universally quantified set variable per action.
+    from repro.msofo.syntax import ForallSet
+
+    set_quantifiers = [node for node in formula.walk() if isinstance(node, ForallSet)]
+    assert len(set_quantifiers) == len(example31.actions)
+
+
+def test_holds_on_run_requires_sentence(figure1_run):
+    with pytest.raises(FormulaError):
+        holds_on_run(QueryAt(Atom("p", ()), "x"), figure1_run)

@@ -1,0 +1,219 @@
+"""Tests for nested words, MSONW evaluation and visibly pushdown automata."""
+
+import pytest
+
+from repro.errors import NestedWordError
+from repro.nestedwords.alphabet import LetterKind, VisibleAlphabet
+from repro.nestedwords.mso import (
+    And,
+    Exists,
+    ExistsSet,
+    Forall,
+    InSet,
+    Less,
+    Letter,
+    Matched,
+    Not,
+    conjunction,
+    disjunction,
+    evaluate_nw,
+    holds_on_nested_word,
+)
+from repro.nestedwords.vpa import BOTTOM, InternalTransition, PopTransition, PushTransition, VPA
+from repro.nestedwords.word import NestedWord
+
+
+@pytest.fixture
+def alphabet():
+    return VisibleAlphabet.of(push=["<a", "<b"], pop=[">a", ">b"], internal=["."])
+
+
+@pytest.fixture
+def example_62_word(alphabet):
+    """The nested word of Example 6.2: ↓a ↓a ↑a ↓b ↓a ↑b • ↑b ↓b ↓a ↑a."""
+    letters = ["<a", "<a", ">a", "<b", "<a", ">b", ".", ">b", "<b", "<a", ">a"]
+    return NestedWord.from_letters(alphabet, letters)
+
+
+def test_visible_alphabet_partitions(alphabet):
+    assert alphabet.kind("<a") == LetterKind.PUSH
+    assert alphabet.kind(">b") == LetterKind.POP
+    assert alphabet.kind(".") == LetterKind.INTERNAL
+    assert len(alphabet) == 5
+    with pytest.raises(NestedWordError):
+        alphabet.kind("z")
+    with pytest.raises(NestedWordError):
+        VisibleAlphabet.of(push=["x"], pop=["x"])
+
+
+def test_nesting_relation_is_lifo(example_62_word):
+    word = example_62_word
+    # Matching from Example 6.2: (2,3), (5,6), (4,8), (10,11); 1 and 9 pending.
+    assert word.matches(2, 3)
+    assert word.matches(5, 6)
+    assert word.matches(4, 8)
+    assert word.matches(10, 11)
+    assert word.pending_pushes == (1, 9)
+    assert word.pending_pops == ()
+    word.check_invariants()
+    assert not word.is_well_matched()
+
+
+def test_unmatched_pushes_up_to(example_62_word):
+    assert example_62_word.unmatched_pushes_up_to(4) == (1, 4)
+    assert example_62_word.unmatched_pushes_up_to(11) == (1, 9)
+
+
+def test_nested_word_accessors(example_62_word):
+    assert len(example_62_word) == 11
+    assert example_62_word.letter_at(7) == "."
+    assert example_62_word.kind_at(7) == LetterKind.INTERNAL
+    assert example_62_word.matching_pop(4) == 8
+    assert example_62_word.matching_push(8) == 4
+    assert example_62_word.matching_pop(1) is None
+    with pytest.raises(NestedWordError):
+        example_62_word.letter_at(0)
+
+
+def test_pending_pops(alphabet):
+    word = NestedWord.from_letters(alphabet, [">a", "<a"])
+    assert word.pending_pops == (1,)
+    assert word.pending_pushes == (2,)
+
+
+def test_rejects_letters_outside_alphabet(alphabet):
+    with pytest.raises(NestedWordError):
+        NestedWord.from_letters(alphabet, ["oops"])
+
+
+def test_msonw_letter_order_and_matching(example_62_word):
+    formula = Exists("x", Exists("y", And(Matched("x", "y"), And(Letter("<b", "x"), Letter(">b", "y")))))
+    assert holds_on_nested_word(formula, example_62_word)
+    below = Forall("x", Forall("y", Not(And(Matched("x", "y"), Less("y", "x")))))
+    assert holds_on_nested_word(below, example_62_word)
+
+
+def test_msonw_example_63_formula(example_62_word):
+    """The ϕ_{a,b}(x, y) property of Example 6.3 holds for (2, 1)."""
+    x, y = "x", "y"
+    x1, y1, z = "x1", "y1", "z"
+    phi = Exists(
+        x1,
+        Exists(
+            y1,
+            conjunction(
+                Letter("<a", x1),
+                Letter(">b", y1),
+                Less(x, x1),
+                Less(y, y1),
+                Matched(x1, y1),
+                Forall(
+                    z,
+                    And(
+                        Not(conjunction(Less(x, z), Less(z, x1), Letter("<a", z))),
+                        Not(conjunction(Less(y, z), Less(z, y1), Letter(">b", z))),
+                    ),
+                ),
+            ),
+        ),
+    )
+    from repro.nestedwords.mso import NWAssignment
+
+    assert evaluate_nw(phi, example_62_word, NWAssignment(positions={"x": 2, "y": 1}))
+    assert evaluate_nw(phi, example_62_word, NWAssignment(positions={"x": 4, "y": 5}))
+    assert not evaluate_nw(phi, example_62_word, NWAssignment(positions={"x": 9, "y": 9}))
+
+
+def test_msonw_set_quantification(example_62_word):
+    formula = ExistsSet("X", Forall("x", InSet("x", "X")))
+    assert holds_on_nested_word(formula, example_62_word)
+
+
+def test_msonw_sentence_check(example_62_word):
+    from repro.errors import FormulaError
+
+    with pytest.raises(FormulaError):
+        holds_on_nested_word(Letter("<a", "x"), example_62_word)
+
+
+@pytest.fixture
+def matched_ab_vpa(alphabet):
+    """A VPA accepting words whose <a pushes are matched by >a pops (final = q0)."""
+    return VPA.create(
+        alphabet=alphabet,
+        states=["q0"],
+        initial_states=["q0"],
+        final_states=["q0"],
+        push_transitions=[
+            PushTransition("q0", "<a", "q0", "A"),
+            PushTransition("q0", "<b", "q0", "B"),
+        ],
+        pop_transitions=[
+            PopTransition("q0", ">a", "A", "q0"),
+            PopTransition("q0", ">b", "B", "q0"),
+        ],
+        internal_transitions=[InternalTransition("q0", ".", "q0")],
+    )
+
+
+def test_vpa_membership(matched_ab_vpa, alphabet):
+    assert matched_ab_vpa.accepts(["<a", ">a"])
+    assert matched_ab_vpa.accepts(["<a", "<b", ">b", ">a", "."])
+    # Mismatched push/pop kinds are rejected.
+    assert not matched_ab_vpa.accepts(["<a", ">b"])
+    # Pending pops (no matching push) are rejected: no BOTTOM transition.
+    assert not matched_ab_vpa.accepts([">a"])
+    # Pending pushes are fine (acceptance by final state only).
+    assert matched_ab_vpa.accepts(["<a"])
+
+
+def test_vpa_emptiness_and_summaries(alphabet):
+    automaton = VPA.create(
+        alphabet=alphabet,
+        states=["q0", "q1", "sink"],
+        initial_states=["q0"],
+        final_states=["q1"],
+        push_transitions=[PushTransition("q0", "<a", "q0", "A")],
+        pop_transitions=[PopTransition("q0", ">a", "A", "q1")],
+        internal_transitions=[],
+    )
+    assert not automaton.is_empty()
+    assert ("q0", "q1") in automaton.well_matched_summaries()
+    unreachable_final = VPA.create(
+        alphabet=alphabet,
+        states=["q0", "q1"],
+        initial_states=["q0"],
+        final_states=["q1"],
+        push_transitions=[],
+        pop_transitions=[PopTransition("q0", ">a", "A", "q1")],  # needs an A that is never pushed
+        internal_transitions=[],
+    )
+    assert unreachable_final.is_empty()
+
+
+def test_vpa_product(matched_ab_vpa, alphabet):
+    internal_only = VPA.create(
+        alphabet=alphabet,
+        states=["s"],
+        initial_states=["s"],
+        final_states=["s"],
+        push_transitions=[PushTransition("s", "<a", "s", "X"), PushTransition("s", "<b", "s", "X")],
+        pop_transitions=[PopTransition("s", ">a", "X", "s"), PopTransition("s", ">b", "X", "s")],
+        internal_transitions=[],
+    )
+    product = matched_ab_vpa.product(internal_only)
+    assert product.accepts(["<a", ">a"])
+    # The second automaton has no internal transition for ".", so the product rejects it.
+    assert not product.accepts(["."])
+    assert not product.is_empty()
+
+
+def test_vpa_rejects_mismatched_letter_classes(alphabet):
+    with pytest.raises(NestedWordError):
+        VPA.create(
+            alphabet=alphabet,
+            states=["q"],
+            initial_states=["q"],
+            final_states=["q"],
+            push_transitions=[PushTransition("q", ">a", "q", "A")],
+        )

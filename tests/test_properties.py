@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database.instance import DatabaseInstance, Fact
+from repro.database.schema import Schema
+from repro.database.substitution import Substitution
+from repro.encoding.analyzer import EncodingAnalyzer
+from repro.encoding.encoder import encode_run
+from repro.fol.evaluator import evaluate_sentence
+from repro.fol.normalize import eliminate_derived, to_nnf
+from repro.nestedwords.alphabet import VisibleAlphabet
+from repro.nestedwords.word import NestedWord
+from repro.recency.abstraction import abstract_run
+from repro.recency.canonical import is_canonical_run, runs_equivalent_modulo_permutation
+from repro.recency.concretize import concretize_word
+from repro.recency.explorer import iterate_b_bounded_runs
+from repro.recency.sequence import SequenceNumbering
+from repro.workloads.generators import RandomDMSParameters, random_dms
+
+# ---------------------------------------------------------------------------
+# Database instances
+# ---------------------------------------------------------------------------
+
+_SCHEMA = Schema.of(("p", 0), ("R", 1), ("S", 2))
+_VALUES = st.sampled_from([f"e{i}" for i in range(1, 7)])
+
+
+def _facts():
+    unary = st.builds(lambda v: Fact.of("R", v), _VALUES)
+    binary = st.builds(lambda v, w: Fact.of("S", v, w), _VALUES, _VALUES)
+    nullary = st.just(Fact.of("p"))
+    return st.one_of(unary, binary, nullary)
+
+
+_INSTANCES = st.builds(lambda facts: DatabaseInstance(_SCHEMA, facts), st.lists(_facts(), max_size=8))
+
+
+@given(_INSTANCES, _INSTANCES)
+def test_instance_union_is_commutative_and_idempotent(left, right):
+    assert left + right == right + left
+    assert left + left == left
+    assert (left + right).facts == left.facts | right.facts
+
+
+@given(_INSTANCES, _INSTANCES)
+def test_instance_difference_laws(left, right):
+    assert (left - right).facts == left.facts - right.facts
+    assert (left - right) + right == left + right
+
+
+@given(_INSTANCES)
+def test_active_domain_matches_fact_values(instance):
+    expected = set()
+    for fact in instance:
+        expected |= set(fact.arguments)
+    assert instance.active_domain() == frozenset(expected)
+
+
+@given(_INSTANCES, st.dictionaries(_VALUES, st.sampled_from([f"x{i}" for i in range(1, 7)]), max_size=6))
+def test_renaming_preserves_cardinality_when_injective(instance, mapping):
+    distinct = len(set(mapping.values())) == len(mapping)
+    renamed = instance.rename_values(mapping)
+    if distinct:
+        assert len(renamed) == len(instance)
+    assert len(renamed) <= len(instance)
+
+
+# ---------------------------------------------------------------------------
+# Substitutions and sequence numberings
+# ---------------------------------------------------------------------------
+
+
+@given(st.dictionaries(st.sampled_from(["u", "v", "w"]), _VALUES, max_size=3))
+def test_substitution_restrict_then_merge_is_identity(bindings):
+    sigma = Substitution(bindings)
+    assert sigma.restrict(sigma.domain) == sigma
+    assert Substitution.empty().merge(sigma) == sigma
+
+
+@given(st.integers(min_value=0, max_value=8), st.integers(min_value=1, max_value=4))
+def test_sequence_numbering_extension_is_monotone(count, extra):
+    numbering = SequenceNumbering.canonical(count)
+    fresh = [f"f{i}" for i in range(extra)]
+    extended = numbering.extend_with(fresh)
+    assert extended.highest() == count + extra
+    for value in fresh:
+        assert extended[value] > count
+    # Order of fresh values follows their listing order.
+    numbers = [extended[value] for value in fresh]
+    assert numbers == sorted(numbers)
+
+
+# ---------------------------------------------------------------------------
+# Query normalisation preserves semantics
+# ---------------------------------------------------------------------------
+
+_SENTENCES = st.sampled_from(
+    [
+        "p -> exists u. R(u)",
+        "forall u. R(u) -> exists v. S(u, v)",
+        "!(exists u. R(u) & !p)",
+        "p <-> exists u, v. S(u, v)",
+        "exists u. !R(u)",
+    ]
+)
+
+
+@given(_INSTANCES, _SENTENCES)
+def test_nnf_preserves_semantics(instance, text):
+    from repro.fol.parser import parse_query
+
+    query = parse_query(text)
+    assert evaluate_sentence(query, instance) == evaluate_sentence(to_nnf(query), instance)
+    assert evaluate_sentence(query, instance) == evaluate_sentence(
+        eliminate_derived(query), instance
+    )
+
+
+# ---------------------------------------------------------------------------
+# Nested words
+# ---------------------------------------------------------------------------
+
+_NW_ALPHABET = VisibleAlphabet.of(push=["<"], pop=[">"], internal=["."])
+
+
+@given(st.lists(st.sampled_from(["<", ">", "."]), max_size=20))
+def test_nesting_relation_invariants(letters):
+    word = NestedWord.from_letters(_NW_ALPHABET, letters)
+    word.check_invariants()
+    matched_pushes = {push for push, _ in word.nesting}
+    matched_pops = {pop for _, pop in word.nesting}
+    pushes = {i + 1 for i, letter in enumerate(letters) if letter == "<"}
+    pops = {i + 1 for i, letter in enumerate(letters) if letter == ">"}
+    assert matched_pushes | set(word.pending_pushes) == pushes
+    assert matched_pops | set(word.pending_pops) == pops
+    # Every pop is matched to the closest earlier unmatched push.
+    for push, pop in word.nesting:
+        assert push < pop
+
+
+# ---------------------------------------------------------------------------
+# Recency abstraction / concretisation round trips on random systems
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=6))
+def test_abstraction_concretisation_roundtrip_random_systems(seed):
+    system = random_dms(seed, RandomDMSParameters(relations=2, max_arity=2, actions=3, max_fresh=2))
+    bound = 2
+    for run in iterate_b_bounded_runs(system, bound, depth=2, max_runs=8):
+        if not run.steps:
+            continue
+        word = abstract_run(run)
+        canonical = concretize_word(system, word, bound)
+        assert abstract_run(canonical) == word
+        assert is_canonical_run(canonical)
+        assert runs_equivalent_modulo_permutation(run, canonical)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=5))
+def test_encodings_of_random_runs_are_valid(seed):
+    system = random_dms(seed, RandomDMSParameters(relations=2, max_arity=2, actions=3, max_fresh=2))
+    bound = 2
+    for run in iterate_b_bounded_runs(system, bound, depth=2, max_runs=6):
+        if not run.steps:
+            continue
+        analyzer = EncodingAnalyzer(system, bound, encode_run(system, run))
+        report = analyzer.check_validity()
+        assert report.valid, report
+        # Remark 6.1: unmatched pushes count the active domain before each block.
+        for block_number in range(1, analyzer.block_count() + 1):
+            assert analyzer.adom_size_from_nesting(block_number) == len(
+                analyzer.database_before(block_number).active_domain()
+            )

@@ -1,0 +1,104 @@
+"""Additional edge-case tests: runs, steps, result types and error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.dms.configuration import Configuration
+from repro.dms.run import ExtendedRun, Run, Step
+from repro.dms.semantics import execute_labels, initial_configuration
+from repro.errors import ExecutionError
+from repro.modelcheck.result import ModelCheckingResult, ReachabilityResult, Verdict
+
+
+def test_error_hierarchy_is_rooted_at_repro_error():
+    leaf_errors = [
+        errors.SchemaError,
+        errors.ArityError,
+        errors.UnknownRelationError,
+        errors.QueryError,
+        errors.QueryParseError,
+        errors.SubstitutionError,
+        errors.ActionError,
+        errors.SystemError_,
+        errors.ExecutionError,
+        errors.RecencyError,
+        errors.EncodingError,
+        errors.NestedWordError,
+        errors.FormulaError,
+        errors.ModelCheckingError,
+        errors.TransformError,
+        errors.CounterMachineError,
+    ]
+    for error_type in leaf_errors:
+        assert issubclass(error_type, errors.ReproError)
+    assert issubclass(errors.ArityError, errors.SchemaError)
+    assert issubclass(errors.QueryParseError, errors.QueryError)
+
+
+def test_run_requires_at_least_one_instance():
+    with pytest.raises(ExecutionError):
+        Run([])
+
+
+def test_run_accessors(example31, figure1_labels):
+    extended = execute_labels(example31, figure1_labels)
+    run = extended.to_run()
+    assert run[0].holds_proposition("p")
+    assert list(run.positions()) == list(range(9))
+    assert run == Run(run.instances)
+    assert hash(run) == hash(Run(run.instances))
+    assert "length=9" in repr(run)
+
+
+def test_extended_run_step_consistency(example31, figure1_labels):
+    extended = execute_labels(example31, figure1_labels)
+    steps = extended.steps
+    # Re-assembling with a hole must fail.
+    with pytest.raises(ExecutionError):
+        ExtendedRun(extended.initial, [steps[0], steps[2]])
+    # Step accessors.
+    first = steps[0]
+    assert first.label[0] == "alpha"
+    assert first.fresh_values() == ("e1", "e2", "e3")
+    assert "alpha" in str(first)
+    assert extended.final() == steps[-1].target
+    assert extended.history() == steps[-1].target.history
+    assert "alpha" in extended.pretty()
+
+
+def test_configuration_consistency_check(example31):
+    configuration = initial_configuration(example31)
+    assert configuration.is_consistent()
+    inconsistent = Configuration(instance=configuration.instance, history=frozenset())
+    assert inconsistent.is_consistent()  # empty adom is trivially contained
+
+
+def test_verdict_truthiness_and_results():
+    assert bool(Verdict.HOLDS)
+    assert not bool(Verdict.FAILS)
+    assert not bool(Verdict.UNKNOWN)
+    result = ModelCheckingResult(verdict=Verdict.HOLDS, runs_checked=3, depth=2, bound=1)
+    assert result.holds and not result.fails
+    assert "holds" in repr(result)
+    reach = ReachabilityResult(reachable=Verdict.UNKNOWN, configurations_explored=7)
+    assert not reach.found
+    assert "unknown" in repr(reach)
+
+
+def test_symbolic_label_and_block_str(example31, figure1_labels):
+    from repro.encoding.blocks import Block
+    from repro.recency.abstraction import SymbolicLabel, SymbolicSubstitution
+
+    label = SymbolicLabel("beta", SymbolicSubstitution.of({"u": 1, "v1": -1, "v2": -2}))
+    block = Block(label=label, recent_size=2, surviving=frozenset({0}), fresh_count=2)
+    assert "beta" in str(block)
+    assert block.length() == 6
+    assert block.pop_indices() == (0, 1)
+    assert block.push_indices() == (0, -1, -2)
+
+
+def test_validity_report_bool():
+    from repro.encoding.analyzer import ValidityReport
+
+    assert bool(ValidityReport(True))
+    assert not bool(ValidityReport(False, 3, "m", "mismatch"))

@@ -1,0 +1,87 @@
+"""Tests for relational schemas."""
+
+import pytest
+
+from repro.database.schema import RelationSymbol, Schema
+from repro.errors import ArityError, SchemaError, UnknownRelationError
+
+
+def test_relation_symbol_basics():
+    symbol = RelationSymbol("R", 2)
+    assert symbol.name == "R"
+    assert symbol.arity == 2
+    assert not symbol.is_proposition
+    assert str(symbol) == "R/2"
+
+
+def test_nullary_relation_is_proposition():
+    assert RelationSymbol("p", 0).is_proposition
+
+
+def test_relation_symbol_rejects_bad_input():
+    with pytest.raises(SchemaError):
+        RelationSymbol("", 1)
+    with pytest.raises(SchemaError):
+        RelationSymbol("R", -1)
+
+
+def test_schema_of_and_lookup():
+    schema = Schema.of(("p", 0), ("R", 1))
+    assert schema.arity_of("R") == 1
+    assert schema.relation("p").is_proposition
+    assert "R" in schema
+    assert RelationSymbol("R", 1) in schema
+    assert RelationSymbol("R", 2) not in schema
+    assert len(schema) == 2
+
+
+def test_schema_rejects_duplicate_names_with_different_arities():
+    with pytest.raises(SchemaError):
+        Schema.of(("R", 1), ("R", 2))
+
+
+def test_schema_duplicate_identical_declaration_is_collapsed():
+    schema = Schema.of(("R", 1), ("R", 1))
+    assert len(schema) == 1
+
+
+def test_unknown_relation_raises():
+    schema = Schema.of(("R", 1))
+    with pytest.raises(UnknownRelationError):
+        schema.relation("S")
+
+
+def test_check_atom_arity():
+    schema = Schema.of(("R", 2))
+    schema.check_atom("R", ("a", "b"))
+    with pytest.raises(ArityError):
+        schema.check_atom("R", ("a",))
+
+
+def test_schema_partitions():
+    schema = Schema.of(("p", 0), ("q", 0), ("R", 1), ("S", 3))
+    assert {rel.name for rel in schema.propositions} == {"p", "q"}
+    assert {rel.name for rel in schema.non_nullary} == {"R", "S"}
+    assert schema.max_arity == 3
+
+
+def test_schema_extend_restrict_union():
+    schema = Schema.of(("R", 1))
+    extended = schema.extend(("S", 2))
+    assert "S" in extended and "R" in extended
+    restricted = extended.restrict(["S"])
+    assert "R" not in restricted
+    union = schema.union(restricted)
+    assert set(union.names) == {"R", "S"}
+
+
+def test_schema_equality_and_hash():
+    left = Schema.of(("R", 1), ("p", 0))
+    right = Schema.of(("p", 0), ("R", 1))
+    assert left == right
+    assert hash(left) == hash(right)
+
+
+def test_schema_from_mapping():
+    schema = Schema.from_mapping({"R": 2, "p": 0})
+    assert schema.arity_of("R") == 2

@@ -1,0 +1,78 @@
+"""Tests for substitutions and variable databases."""
+
+import pytest
+
+from repro.database.instance import Fact
+from repro.database.schema import Schema
+from repro.database.substitution import Substitution, VariableDatabase, substitute_instance
+from repro.errors import SubstitutionError
+
+
+def test_substitution_mapping_protocol():
+    sigma = Substitution({"u": "e1", "v": "e2"})
+    assert sigma["u"] == "e1"
+    assert len(sigma) == 2
+    assert set(sigma) == {"u", "v"}
+    assert "u" in sigma
+
+
+def test_substitution_missing_variable_raises():
+    sigma = Substitution({"u": "e1"})
+    with pytest.raises(SubstitutionError):
+        sigma["w"]
+
+
+def test_substitution_restrict_and_extend():
+    sigma = Substitution({"u": "e1", "v": "e2"})
+    assert sigma.restrict(["u"]) == Substitution({"u": "e1"})
+    extended = sigma.extend("w", "e3")
+    assert extended["w"] == "e3"
+    assert "w" not in sigma
+
+
+def test_substitution_merge_and_injectivity():
+    sigma = Substitution({"u": "e1"}).merge({"v": "e1"})
+    assert sigma.is_injective_on(["u"]) is True
+    assert sigma.is_injective_on(["u", "v"]) is False
+
+
+def test_substitution_equality_and_hash():
+    assert Substitution({"u": "e1"}) == Substitution({"u": "e1"})
+    assert hash(Substitution({"u": "e1"})) == hash(Substitution({"u": "e1"}))
+    assert Substitution({"u": "e1"}) == {"u": "e1"}
+
+
+def test_variable_database_substitute():
+    schema = Schema.of(("R", 2), ("p", 0))
+    database = VariableDatabase.of(schema, Fact.of("R", "u", "v"), Fact.of("p"))
+    assert database.variables() == frozenset({"u", "v"})
+    instance = database.substitute(Substitution({"u": "e1", "v": "e2"}))
+    assert instance.holds("R", "e1", "e2")
+    assert instance.holds_proposition("p")
+
+
+def test_variable_database_substitute_missing_binding():
+    schema = Schema.of(("R", 1))
+    database = VariableDatabase.of(schema, Fact.of("R", "u"))
+    with pytest.raises(SubstitutionError):
+        database.substitute(Substitution({}))
+
+
+def test_variable_database_rename_and_union():
+    schema = Schema.of(("R", 1), ("Q", 1))
+    left = VariableDatabase.of(schema, Fact.of("R", "u"))
+    right = VariableDatabase.of(schema, Fact.of("Q", "v"))
+    union = left.union(right.rename_variables({"v": "w"}))
+    assert union.variables() == frozenset({"u", "w"})
+
+
+def test_substitute_instance_function():
+    schema = Schema.of(("R", 1))
+    database = VariableDatabase.of(schema, Fact.of("R", "u"))
+    instance = substitute_instance(database, {"u": "e9"})
+    assert instance.holds("R", "e9")
+
+
+def test_empty_substitution():
+    assert len(Substitution.empty()) == 0
+    assert Substitution.of(u="e1")["u"] == "e1"
