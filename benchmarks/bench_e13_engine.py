@@ -1,0 +1,50 @@
+"""E13 — unified exploration engine vs the frozen seed explorer.
+
+Runs the same exhaustive reachability search (a predicate that never
+holds) through the seed path (full-domain guard enumeration, full edge
+retention, prefix threading) and the engine path (``Recent_b`` guard
+enumeration, interning, parent-map witnesses), on the booking and
+warehouse case studies.  Asserts the acceptance criteria of the engine
+PR: identical exploration statistics, ≥ 1.5× throughput on the booking
+case study at bound 2 / depth 6, and reduced peak edge memory in
+``counts-only`` mode.
+
+Set ``REPRO_BENCH_QUICK=1`` to run a shrunken smoke version (used by CI)
+that skips the timing-ratio assertion — wall-clock ratios on tiny inputs
+are noise-dominated.
+"""
+
+import os
+
+from repro.harness.experiments import experiment_e13_engine
+from repro.harness.reporting import print_experiment
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def test_e13_engine(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e13_engine, QUICK)
+    print_experiment("E13", "Unified exploration engine vs seed explorer", rows)
+    by_case = {row["case"]: row for row in rows}
+
+    for row in rows:
+        if "strategies_agree" in row:
+            # Mode sweep: every (strategy, retention) combination agrees
+            # on the discovered configuration set, and only "full" mode
+            # retains edge objects.
+            assert row["strategies_agree"], row
+            assert row["full_retains_edges"] and row["lean_modes_retain_none"], row
+            continue
+        # The engine path must agree with the seed explorer on the
+        # explored fragment (same configurations, edges, truncation).
+        assert row["results_match"], row
+        # counts-only mode retains no edge objects at all.
+        assert row["counts_only_retained_edges"] == 0
+        assert row["seed_retained_edges"] > 0
+        # ... and its peak memory is below the seed's full retention.
+        assert row["counts_only_peak_kb"] < row["seed_peak_kb"], row
+
+    if not QUICK:
+        booking = by_case["booking"]
+        assert booking["bound"] == 2 and booking["depth"] == 6
+        assert booking["speedup"] >= 1.5, booking

@@ -6,18 +6,25 @@ a bounded-depth, canonically-branching explorer that materialises a
 finite fragment of ``C_S`` as an explicit relational transition system,
 usable for reachability analysis and as the unbounded-recency baseline of
 the benchmarks.
+
+The explorer is a thin adapter over the unified exploration engine
+(:mod:`repro.search`): frontier strategy (``"bfs"``/``"dfs"``/
+``"best-first"``), edge-retention mode (``"full"``/``"parents-only"``/
+``"counts-only"``) and limits are passed straight through, and witnesses
+are reconstructed from the engine's parent map instead of threading run
+prefixes through the frontier.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.dms.configuration import Configuration
-from repro.dms.run import ExtendedRun, Step
+from repro.dms.run import ExtendedRun
 from repro.dms.semantics import enumerate_successors, initial_configuration
 from repro.dms.system import DMS
+from repro.search import RETAIN_FULL, Engine, SearchLimits, SearchResult, iterate_paths
 
 __all__ = ["ExplorationLimits", "ExplorationResult", "ConfigurationGraphExplorer", "iterate_runs"]
 
@@ -36,6 +43,14 @@ class ExplorationLimits:
     max_configurations: int = 100_000
     max_steps: int = 500_000
 
+    def as_search_limits(self) -> SearchLimits:
+        """The engine-level form of these limits."""
+        return SearchLimits(
+            max_depth=self.max_depth,
+            max_configurations=self.max_configurations,
+            max_steps=self.max_steps,
+        )
+
 
 @dataclass
 class ExplorationResult:
@@ -46,6 +61,21 @@ class ExplorationResult:
     edges: list = field(default_factory=list)
     depth_reached: int = 0
     truncated: bool = False
+    edges_generated: int = 0
+    retention: str = RETAIN_FULL
+
+    @classmethod
+    def from_search(cls, search: SearchResult) -> "ExplorationResult":
+        """Project an engine :class:`~repro.search.SearchResult`."""
+        return cls(
+            initial=search.initial,
+            configurations=set(search.states()),
+            edges=search.edges,
+            depth_reached=search.depth_reached,
+            truncated=search.truncated,
+            edges_generated=search.edge_count,
+            retention=search.retention,
+        )
 
     @property
     def configuration_count(self) -> int:
@@ -54,20 +84,42 @@ class ExplorationResult:
 
     @property
     def edge_count(self) -> int:
-        """Number of transition edges discovered."""
-        return len(self.edges)
+        """Number of transition edges generated (independent of retention)."""
+        return max(self.edges_generated, len(self.edges))
 
     def successors_of(self, configuration: Configuration) -> list:
-        """All explored steps leaving ``configuration``."""
+        """All explored steps leaving ``configuration`` (``"full"`` retention only)."""
         return [step for step in self.edges if step.source == configuration]
 
 
 class ConfigurationGraphExplorer:
-    """Breadth-first bounded explorer of the (canonical) configuration graph."""
+    """Bounded explorer of the (canonical) configuration graph.
 
-    def __init__(self, system: DMS, limits: ExplorationLimits | None = None) -> None:
+    Args:
+        system: the DMS to explore.
+        limits: depth/state/edge limits (defaults to :class:`ExplorationLimits`).
+        strategy: frontier strategy — ``"bfs"`` (default), ``"dfs"`` or
+            ``"best-first"`` (requires ``heuristic``).
+        heuristic: ``heuristic(configuration, depth) -> comparable`` for
+            the best-first strategy.
+        retention: edge-retention mode — ``"full"`` (default),
+            ``"parents-only"`` or ``"counts-only"``.
+    """
+
+    def __init__(
+        self,
+        system: DMS,
+        limits: ExplorationLimits | None = None,
+        *,
+        strategy: str = "bfs",
+        heuristic: Callable[[Configuration, int], object] | None = None,
+        retention: str = RETAIN_FULL,
+    ) -> None:
         self._system = system
         self._limits = limits or ExplorationLimits()
+        self._strategy = strategy
+        self._heuristic = heuristic
+        self._retention = retention
 
     @property
     def system(self) -> DMS:
@@ -79,43 +131,39 @@ class ConfigurationGraphExplorer:
         """The exploration limits."""
         return self._limits
 
+    @property
+    def strategy(self) -> str:
+        """The frontier strategy in use."""
+        return self._strategy
+
+    @property
+    def retention(self) -> str:
+        """The edge-retention mode in use."""
+        return self._retention
+
+    def _engine(self) -> Engine:
+        return Engine(
+            successors=lambda configuration: enumerate_successors(self._system, configuration),
+            limits=self._limits.as_search_limits(),
+            strategy=self._strategy,
+            heuristic=self._heuristic,
+            retention=self._retention,
+        )
+
     def explore(
         self,
         on_configuration: Callable[[Configuration, int], None] | None = None,
     ) -> ExplorationResult:
-        """Run a breadth-first exploration up to the configured limits.
+        """Run an exploration up to the configured limits.
 
         Args:
             on_configuration: optional callback invoked with each newly
                 discovered configuration and its depth.
         """
-        initial = initial_configuration(self._system)
-        result = ExplorationResult(initial=initial)
-        result.configurations.add(initial)
-        if on_configuration:
-            on_configuration(initial, 0)
-        frontier: deque[tuple[Configuration, int]] = deque([(initial, 0)])
-        steps_generated = 0
-        while frontier:
-            configuration, depth = frontier.popleft()
-            result.depth_reached = max(result.depth_reached, depth)
-            if depth >= self._limits.max_depth:
-                continue
-            for step in enumerate_successors(self._system, configuration):
-                steps_generated += 1
-                result.edges.append(step)
-                if step.target not in result.configurations:
-                    result.configurations.add(step.target)
-                    if on_configuration:
-                        on_configuration(step.target, depth + 1)
-                    frontier.append((step.target, depth + 1))
-                if (
-                    len(result.configurations) >= self._limits.max_configurations
-                    or steps_generated >= self._limits.max_steps
-                ):
-                    result.truncated = True
-                    return result
-        return result
+        search = self._engine().explore(
+            initial_configuration(self._system), on_state=on_configuration
+        )
+        return ExplorationResult.from_search(search)
 
     def find_configuration(
         self, predicate: Callable[[Configuration], bool]
@@ -123,39 +171,15 @@ class ConfigurationGraphExplorer:
         """Search for a configuration satisfying ``predicate``.
 
         Returns the witnessing extended run (or ``None``) together with the
-        exploration statistics.  The search is breadth-first so the witness
-        has minimal length.
+        exploration statistics.  Under the default breadth-first strategy
+        the witness has minimal length; it is reconstructed from the
+        engine's parent map.
         """
-        initial = initial_configuration(self._system)
-        result = ExplorationResult(initial=initial)
-        result.configurations.add(initial)
-        if predicate(initial):
-            return ExtendedRun(initial), result
-        frontier: deque[tuple[Configuration, int, ExtendedRun]] = deque(
-            [(initial, 0, ExtendedRun(initial))]
-        )
-        steps_generated = 0
-        while frontier:
-            configuration, depth, prefix = frontier.popleft()
-            result.depth_reached = max(result.depth_reached, depth)
-            if depth >= self._limits.max_depth:
-                continue
-            for step in enumerate_successors(self._system, configuration):
-                steps_generated += 1
-                result.edges.append(step)
-                extended = prefix.extend(step)
-                if predicate(step.target):
-                    return extended, result
-                if step.target not in result.configurations:
-                    result.configurations.add(step.target)
-                    frontier.append((step.target, depth + 1, extended))
-                if (
-                    len(result.configurations) >= self._limits.max_configurations
-                    or steps_generated >= self._limits.max_steps
-                ):
-                    result.truncated = True
-                    return None, result
-        return None, result
+        path, search = self._engine().search(initial_configuration(self._system), predicate)
+        result = ExplorationResult.from_search(search)
+        if path is None:
+            return None, result
+        return ExtendedRun(result.initial, path), result
 
 
 def iterate_runs(system: DMS, depth: int, max_runs: int | None = None) -> Iterator[ExtendedRun]:
@@ -164,26 +188,11 @@ def iterate_runs(system: DMS, depth: int, max_runs: int | None = None) -> Iterat
 
     The enumeration is depth-first and deterministic; ``max_runs`` truncates
     it.  Used by the cross-validation tests and by the model checker's
-    run-enumeration backend.
+    run-enumeration backend.  The traversal uses the engine's explicit
+    stack, so arbitrary depths are supported (no recursion limit).
     """
-    count = 0
-
-    def recurse(prefix: ExtendedRun, remaining: int) -> Iterator[ExtendedRun]:
-        nonlocal count
-        if max_runs is not None and count >= max_runs:
-            return
-        if remaining == 0:
-            count += 1
-            yield prefix
-            return
-        steps = list(enumerate_successors(system, prefix.final()))
-        if not steps:
-            count += 1
-            yield prefix
-            return
-        for step in steps:
-            if max_runs is not None and count >= max_runs:
-                return
-            yield from recurse(prefix.extend(step), remaining - 1)
-
-    yield from recurse(ExtendedRun(initial_configuration(system)), depth)
+    initial = initial_configuration(system)
+    for steps in iterate_paths(
+        initial, lambda configuration: enumerate_successors(system, configuration), depth, max_runs
+    ):
+        yield ExtendedRun(initial, steps)

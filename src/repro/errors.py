@@ -63,6 +63,10 @@ class FormulaError(ReproError):
     """An MSO-FO or MSONW formula is malformed or evaluated with missing bindings."""
 
 
+class SearchError(ReproError):
+    """Raised on invalid exploration-engine configuration or use."""
+
+
 class ModelCheckingError(ReproError):
     """The model checker was invoked with inconsistent arguments."""
 

@@ -35,6 +35,8 @@ from repro.recency.canonical import runs_equivalent_modulo_permutation
 from repro.recency.concretize import concretize_word
 from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer, iterate_b_bounded_runs
 from repro.recency.semantics import execute_b_bounded_labels, minimal_recency_bound
+from repro.search import RETAIN_COUNTS, RETAIN_PARENTS
+from repro.search.baseline import SeedExplorationLimits, SeedRecencyExplorer
 from repro.transforms.freshness import weaken_freshness
 from repro.transforms.overlapping import standard_substitution
 from repro.workloads.generators import RandomDMSParameters, random_dms
@@ -52,6 +54,7 @@ __all__ = [
     "experiment_e10_booking",
     "experiment_e11_transforms",
     "experiment_e12_bulk",
+    "experiment_e13_engine",
     "all_experiments",
 ]
 
@@ -403,7 +406,14 @@ def experiment_e10_booking(max_depth: int = 5) -> list[dict]:
     """Bounded analysis of the Appendix C booking agency."""
     system = booking_agency_system()
     rows = []
-    explorer = RecencyExplorer(system, bound=4, limits=RecencyExplorationLimits(max_depth=max_depth, max_configurations=4000))
+    # Only sizes are reported, so the sweep runs in the engine's
+    # counts-only retention: no edge objects are held in memory.
+    explorer = RecencyExplorer(
+        system,
+        bound=4,
+        limits=RecencyExplorationLimits(max_depth=max_depth, max_configurations=4000),
+        retention=RETAIN_COUNTS,
+    )
     exploration = explorer.explore()
     rows.append(
         {
@@ -481,12 +491,16 @@ def experiment_e12_bulk(product_counts: tuple[int, ...] = (1, 2, 3)) -> list[dic
     rows = []
     for products in product_counts:
         system = warehouse_system()
+        # The witness is reconstructed from the engine's parent map, so
+        # the deep bulk-flush search keeps one spanning-tree edge per
+        # configuration instead of the full edge list.
         explorer = RecencyExplorer(
             system,
             bound=products + 2,
             limits=RecencyExplorationLimits(
                 max_depth=4 * products + 4, max_configurations=50000
             ),
+            retention=RETAIN_PARENTS,
         )
 
         def all_ordered(configuration) -> bool:
@@ -511,6 +525,124 @@ def experiment_e12_bulk(product_counts: tuple[int, ...] = (1, 2, 3)) -> list[dic
     return rows
 
 
+# -- E13: unified exploration engine vs the seed explorer ---------------------------------------------------
+
+
+def experiment_e13_engine(quick: bool = False) -> list[dict]:
+    """Throughput and memory of the engine path against the frozen seed explorer.
+
+    For each case study the same exhaustive predicate search (a condition
+    that never holds, i.e. the worst case for reachability) runs once
+    through :mod:`repro.search.baseline` — the seed breadth-first
+    explorer with full-domain guard enumeration, full edge retention and
+    prefix threading — and once through the engine path
+    (:class:`~repro.recency.explorer.RecencyExplorer` with parents-only
+    retention).  Peak memory is compared between a seed ``explore`` (all
+    edges retained) and an engine ``counts-only`` exploration, and an
+    :func:`~repro.workloads.sweeps.exploration_mode_sweep` over the
+    booking study checks that every (strategy, retention) combination
+    discovers the same configuration set.
+
+    ``quick`` shrinks the depths for CI smoke runs.
+    """
+    import time
+    import tracemalloc
+
+    from repro.workloads.sweeps import exploration_mode_sweep
+
+    cases = [
+        ("booking", booking_agency_system(), 2, 4 if quick else 6),
+        ("warehouse", warehouse_system(), 5, 6 if quick else 12),
+    ]
+    rows = []
+    for name, system, bound, depth in cases:
+        never = lambda configuration: False  # noqa: E731 - exhaustive search
+
+        seed = SeedRecencyExplorer(system, bound, SeedExplorationLimits(max_depth=depth))
+        started = time.perf_counter()
+        seed_witness, seed_stats = seed.find_configuration(never)
+        seed_seconds = time.perf_counter() - started
+
+        engine_explorer = RecencyExplorer(
+            system,
+            bound,
+            RecencyExplorationLimits(max_depth=depth),
+            retention=RETAIN_PARENTS,
+        )
+        started = time.perf_counter()
+        engine_witness, engine_stats = engine_explorer.find_configuration(never)
+        engine_seconds = time.perf_counter() - started
+
+        tracemalloc.start()
+        seed_exploration = seed.explore()
+        _, seed_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        counts_only = RecencyExplorer(
+            system, bound, RecencyExplorationLimits(max_depth=depth), retention=RETAIN_COUNTS
+        )
+        tracemalloc.start()
+        counts_exploration = counts_only.explore()
+        _, engine_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        rows.append(
+            {
+                "case": name,
+                "bound": bound,
+                "depth": depth,
+                "configurations": engine_stats.configuration_count,
+                "edges": engine_stats.edge_count,
+                "seed_seconds": round(seed_seconds, 4),
+                "engine_seconds": round(engine_seconds, 4),
+                "speedup": round(seed_seconds / engine_seconds, 2) if engine_seconds else None,
+                "seed_peak_kb": seed_peak // 1024,
+                "counts_only_peak_kb": engine_peak // 1024,
+                "seed_retained_edges": seed_exploration.edge_count,
+                "counts_only_retained_edges": len(counts_exploration.edges),
+                "results_match": (
+                    seed_witness is None
+                    and engine_witness is None
+                    and seed_stats.configuration_count == engine_stats.configuration_count
+                    and seed_stats.edge_count == engine_stats.edge_count
+                    and seed_stats.truncated == engine_stats.truncated
+                ),
+            }
+        )
+
+    # Strategy/retention plurality: on an un-truncated exploration every
+    # engine mode must discover the same configuration set.
+    booking = booking_agency_system()
+    mode_rows = exploration_mode_sweep(
+        booking,
+        bound=2,
+        strategies=("bfs", "dfs", "best-first"),
+        max_depth=3 if quick else 4,
+        heuristic=lambda conf, depth: depth,
+    )
+    configuration_counts = {point.as_row()["configurations"] for point in mode_rows}
+    rows.append(
+        {
+            "case": "booking (mode sweep)",
+            "bound": 2,
+            "depth": 3 if quick else 4,
+            "modes": len(mode_rows),
+            "strategies_agree": len(configuration_counts) == 1,
+            "full_retains_edges": all(
+                point.as_row()["retained_edges"] > 0
+                for point in mode_rows
+                if point.as_row()["retention"] == "full"
+            ),
+            "lean_modes_retain_none": all(
+                point.as_row()["retained_edges"] == 0
+                for point in mode_rows
+                if point.as_row()["retention"] != "full"
+            ),
+        }
+    )
+    return rows
+
+
 def all_experiments() -> dict:
     """Run every experiment and return ``{id: rows}`` (used by the harness CLI)."""
     return {
@@ -526,4 +658,5 @@ def all_experiments() -> dict:
         "E10": experiment_e10_booking(),
         "E11": experiment_e11_transforms(),
         "E12": experiment_e12_bulk(),
+        "E13": experiment_e13_engine(quick=True),
     }

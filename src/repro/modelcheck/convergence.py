@@ -17,6 +17,7 @@ from repro.fol.syntax import Query
 from repro.modelcheck.reachability import query_reachable, query_reachable_bounded
 from repro.modelcheck.result import Verdict
 from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
+from repro.search import RETAIN_COUNTS, RETAIN_PARENTS
 
 __all__ = ["BoundSweepEntry", "reachability_bound_sweep", "state_space_bound_sweep", "convergence_bound"]
 
@@ -40,11 +41,24 @@ def reachability_bound_sweep(
     condition: Query | str,
     bounds: tuple[int, ...] = (0, 1, 2, 3, 4),
     max_depth: int = 6,
+    *,
+    strategy: str = "bfs",
+    heuristic=None,
+    retention: str = RETAIN_PARENTS,
 ) -> tuple[BoundSweepEntry, ...]:
-    """Reachability verdict and explored state space for increasing bounds."""
+    """Reachability verdict and explored state space for increasing bounds.
+
+    ``strategy`` (with its ``heuristic`` for ``"best-first"``) and
+    ``retention`` are passed through to the exploration engine; the
+    default keeps only parent links, so sweeping large bounds does not
+    hold every edge in memory.
+    """
     rows = []
     for bound in bounds:
-        result = query_reachable_bounded(system, condition, bound, max_depth=max_depth)
+        result = query_reachable_bounded(
+            system, condition, bound, max_depth=max_depth,
+            strategy=strategy, heuristic=heuristic, retention=retention,
+        )
         rows.append(
             BoundSweepEntry(
                 bound=bound,
@@ -57,12 +71,25 @@ def reachability_bound_sweep(
 
 
 def state_space_bound_sweep(
-    system: DMS, bounds: tuple[int, ...] = (0, 1, 2, 3), max_depth: int = 5
+    system: DMS,
+    bounds: tuple[int, ...] = (0, 1, 2, 3),
+    max_depth: int = 5,
+    *,
+    strategy: str = "bfs",
+    heuristic=None,
+    retention: str = RETAIN_COUNTS,
 ) -> tuple[BoundSweepEntry, ...]:
-    """How many configurations/edges are explored as the bound grows (no property)."""
+    """How many configurations/edges are explored as the bound grows (no property).
+
+    Only sizes are reported, so the sweep defaults to the engine's
+    ``"counts-only"`` retention: no edge objects are held in memory.
+    """
     rows = []
     for bound in bounds:
-        explorer = RecencyExplorer(system, bound, RecencyExplorationLimits(max_depth=max_depth))
+        explorer = RecencyExplorer(
+            system, bound, RecencyExplorationLimits(max_depth=max_depth),
+            strategy=strategy, heuristic=heuristic, retention=retention,
+        )
         result = explorer.explore()
         rows.append(
             BoundSweepEntry(
@@ -80,6 +107,9 @@ def convergence_bound(
     condition: Query | str,
     max_bound: int = 8,
     max_depth: int = 6,
+    *,
+    strategy: str = "bfs",
+    heuristic=None,
 ) -> int | None:
     """The least bound at which the bounded reachability verdict matches the
     unbounded (depth-bounded) verdict.
@@ -88,9 +118,13 @@ def convergence_bound(
     exhaustive exploration depths, indicates the behaviour of interest
     genuinely needs a deeper recency window.
     """
-    reference = query_reachable(system, condition, max_depth=max_depth)
+    reference = query_reachable(
+        system, condition, max_depth=max_depth, strategy=strategy, heuristic=heuristic
+    )
     for bound in range(max_bound + 1):
-        bounded = query_reachable_bounded(system, condition, bound, max_depth=max_depth)
+        bounded = query_reachable_bounded(
+            system, condition, bound, max_depth=max_depth, strategy=strategy, heuristic=heuristic
+        )
         if bounded.reachable == reference.reachable:
             return bound
     return None

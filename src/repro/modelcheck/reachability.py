@@ -10,6 +10,19 @@ undecidable in general (Theorem 4.1); the library offers
   (:func:`proposition_reachable_bounded`),
 
 both returning three-valued :class:`~repro.modelcheck.result.ReachabilityResult`.
+
+All queries route through the unified exploration engine
+(:mod:`repro.search`).  The ``strategy`` argument selects the frontier
+(``"bfs"`` — the default, guaranteeing minimal witnesses — ``"dfs"`` or
+``"best-first"`` with a ``heuristic``); witnesses are reconstructed from
+the engine's parent map, so only one spanning-tree edge per discovered
+configuration is retained instead of the full edge list.
+
+Truncation contract: whenever the exploration is cut short by
+``max_configurations``/``max_steps`` — even exactly on the last
+generated successor — an unreached condition is reported
+:attr:`~repro.modelcheck.result.Verdict.UNKNOWN`, never
+:attr:`~repro.modelcheck.result.Verdict.FAILS`.
 """
 
 from __future__ import annotations
@@ -24,6 +37,7 @@ from repro.fol.evaluator import evaluate_sentence
 from repro.fol.syntax import Query
 from repro.modelcheck.result import ReachabilityResult, Verdict
 from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
+from repro.search import RETAIN_PARENTS
 
 __all__ = [
     "query_reachable",
@@ -48,16 +62,25 @@ def query_reachable(
     condition: Query | str,
     max_depth: int = 6,
     limits: ExplorationLimits | None = None,
+    *,
+    strategy: str = "bfs",
+    heuristic: Callable | None = None,
+    retention: str = RETAIN_PARENTS,
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable (unbounded semantics)?
 
     ``condition`` is either a boolean FOL(R) query or a proposition name.
     The exploration is canonical (fresh values are the least unused
-    standard names) and bounded by ``max_depth``.
+    standard names) and bounded by ``max_depth``; ``strategy`` and
+    ``retention`` are passed through to the engine.
     """
     predicate = _instance_predicate(condition, system)
     explorer = ConfigurationGraphExplorer(
-        system, limits or ExplorationLimits(max_depth=max_depth)
+        system,
+        limits or ExplorationLimits(max_depth=max_depth),
+        strategy=strategy,
+        heuristic=heuristic,
+        retention=retention,
     )
     witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
     if witness is not None:
@@ -77,10 +100,25 @@ def query_reachable(
 
 
 def proposition_reachable(
-    system: DMS, proposition: str, max_depth: int = 6, limits: ExplorationLimits | None = None
+    system: DMS,
+    proposition: str,
+    max_depth: int = 6,
+    limits: ExplorationLimits | None = None,
+    *,
+    strategy: str = "bfs",
+    heuristic: Callable | None = None,
+    retention: str = RETAIN_PARENTS,
 ) -> ReachabilityResult:
     """Propositional reachability (Example 4.2) in the unbounded semantics."""
-    return query_reachable(system, proposition, max_depth=max_depth, limits=limits)
+    return query_reachable(
+        system,
+        proposition,
+        max_depth=max_depth,
+        limits=limits,
+        strategy=strategy,
+        heuristic=heuristic,
+        retention=retention,
+    )
 
 
 def query_reachable_bounded(
@@ -89,11 +127,20 @@ def query_reachable_bounded(
     bound: int,
     max_depth: int = 6,
     limits: RecencyExplorationLimits | None = None,
+    *,
+    strategy: str = "bfs",
+    heuristic: Callable | None = None,
+    retention: str = RETAIN_PARENTS,
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable along a b-bounded run?"""
     predicate = _instance_predicate(condition, system)
     explorer = RecencyExplorer(
-        system, bound, limits or RecencyExplorationLimits(max_depth=max_depth)
+        system,
+        bound,
+        limits or RecencyExplorationLimits(max_depth=max_depth),
+        strategy=strategy,
+        heuristic=heuristic,
+        retention=retention,
     )
     witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
     if witness is not None:
@@ -118,6 +165,19 @@ def proposition_reachable_bounded(
     bound: int,
     max_depth: int = 6,
     limits: RecencyExplorationLimits | None = None,
+    *,
+    strategy: str = "bfs",
+    heuristic: Callable | None = None,
+    retention: str = RETAIN_PARENTS,
 ) -> ReachabilityResult:
     """Propositional reachability restricted to b-bounded runs."""
-    return query_reachable_bounded(system, proposition, bound, max_depth=max_depth, limits=limits)
+    return query_reachable_bounded(
+        system,
+        proposition,
+        bound,
+        max_depth=max_depth,
+        limits=limits,
+        strategy=strategy,
+        heuristic=heuristic,
+        retention=retention,
+    )

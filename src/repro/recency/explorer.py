@@ -4,11 +4,17 @@ The symbolic alphabet is finite, so the canonical b-bounded graph is
 finitely branching; this explorer materialises its fragment up to a depth
 bound.  It is the workhorse behind the recency-bounded model checker and
 the convergence experiments (E9).
+
+Like :class:`repro.dms.graph.ConfigurationGraphExplorer`, this explorer
+is a thin adapter over the unified engine (:mod:`repro.search`):
+configurations are hash-consed, the frontier strategy and edge-retention
+mode are pluggable, and predicate search reconstructs minimal witnesses
+from the engine's parent map instead of threading run prefixes through
+the frontier.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
@@ -20,6 +26,7 @@ from repro.recency.semantics import (
     enumerate_b_bounded_successors,
     initial_recency_configuration,
 )
+from repro.search import RETAIN_FULL, Engine, SearchLimits, SearchResult, iterate_paths
 
 __all__ = ["RecencyExplorationLimits", "RecencyExplorationResult", "RecencyExplorer", "iterate_b_bounded_runs"]
 
@@ -32,6 +39,14 @@ class RecencyExplorationLimits:
     max_configurations: int = 100_000
     max_steps: int = 500_000
 
+    def as_search_limits(self) -> SearchLimits:
+        """The engine-level form of these limits."""
+        return SearchLimits(
+            max_depth=self.max_depth,
+            max_configurations=self.max_configurations,
+            max_steps=self.max_steps,
+        )
+
 
 @dataclass
 class RecencyExplorationResult:
@@ -43,6 +58,22 @@ class RecencyExplorationResult:
     edges: list = field(default_factory=list)
     depth_reached: int = 0
     truncated: bool = False
+    edges_generated: int = 0
+    retention: str = RETAIN_FULL
+
+    @classmethod
+    def from_search(cls, bound: int, search: SearchResult) -> "RecencyExplorationResult":
+        """Project an engine :class:`~repro.search.SearchResult`."""
+        return cls(
+            bound=bound,
+            initial=search.initial,
+            configurations=set(search.states()),
+            edges=search.edges,
+            depth_reached=search.depth_reached,
+            truncated=search.truncated,
+            edges_generated=search.edge_count,
+            retention=search.retention,
+        )
 
     @property
     def configuration_count(self) -> int:
@@ -51,19 +82,41 @@ class RecencyExplorationResult:
 
     @property
     def edge_count(self) -> int:
-        """Number of edges discovered."""
-        return len(self.edges)
+        """Number of edges generated (independent of retention)."""
+        return max(self.edges_generated, len(self.edges))
 
 
 class RecencyExplorer:
-    """Breadth-first bounded explorer of the canonical b-bounded graph."""
+    """Bounded explorer of the canonical b-bounded graph.
+
+    Args:
+        system: the DMS to explore.
+        bound: the recency bound ``b``.
+        limits: depth/state/edge limits.
+        strategy: frontier strategy — ``"bfs"`` (default), ``"dfs"`` or
+            ``"best-first"`` (requires ``heuristic``).
+        heuristic: ``heuristic(configuration, depth) -> comparable`` for
+            the best-first strategy.
+        retention: edge-retention mode — ``"full"`` (default),
+            ``"parents-only"`` or ``"counts-only"``.
+    """
 
     def __init__(
-        self, system: DMS, bound: int, limits: RecencyExplorationLimits | None = None
+        self,
+        system: DMS,
+        bound: int,
+        limits: RecencyExplorationLimits | None = None,
+        *,
+        strategy: str = "bfs",
+        heuristic: Callable[[RecencyConfiguration, int], object] | None = None,
+        retention: str = RETAIN_FULL,
     ) -> None:
         self._system = system
         self._bound = bound
         self._limits = limits or RecencyExplorationLimits()
+        self._strategy = strategy
+        self._heuristic = heuristic
+        self._retention = retention
 
     @property
     def system(self) -> DMS:
@@ -80,76 +133,54 @@ class RecencyExplorer:
         """The exploration limits."""
         return self._limits
 
+    @property
+    def strategy(self) -> str:
+        """The frontier strategy in use."""
+        return self._strategy
+
+    @property
+    def retention(self) -> str:
+        """The edge-retention mode in use."""
+        return self._retention
+
+    def _engine(self) -> Engine:
+        system, bound = self._system, self._bound
+        return Engine(
+            successors=lambda configuration: enumerate_b_bounded_successors(
+                system, configuration, bound
+            ),
+            limits=self._limits.as_search_limits(),
+            strategy=self._strategy,
+            heuristic=self._heuristic,
+            retention=self._retention,
+        )
+
     def explore(
         self, on_configuration: Callable[[RecencyConfiguration, int], None] | None = None
     ) -> RecencyExplorationResult:
-        """Breadth-first exploration up to the configured limits."""
-        initial = initial_recency_configuration(self._system)
-        result = RecencyExplorationResult(bound=self._bound, initial=initial)
-        result.configurations.add(initial)
-        if on_configuration:
-            on_configuration(initial, 0)
-        frontier: deque[tuple[RecencyConfiguration, int]] = deque([(initial, 0)])
-        steps_generated = 0
-        while frontier:
-            configuration, depth = frontier.popleft()
-            result.depth_reached = max(result.depth_reached, depth)
-            if depth >= self._limits.max_depth:
-                continue
-            for step in enumerate_b_bounded_successors(self._system, configuration, self._bound):
-                steps_generated += 1
-                result.edges.append(step)
-                if step.target not in result.configurations:
-                    result.configurations.add(step.target)
-                    if on_configuration:
-                        on_configuration(step.target, depth + 1)
-                    frontier.append((step.target, depth + 1))
-                if (
-                    len(result.configurations) >= self._limits.max_configurations
-                    or steps_generated >= self._limits.max_steps
-                ):
-                    result.truncated = True
-                    return result
-        return result
+        """Exploration up to the configured limits."""
+        search = self._engine().explore(
+            initial_recency_configuration(self._system), on_state=on_configuration
+        )
+        return RecencyExplorationResult.from_search(self._bound, search)
 
     def find_configuration(
         self, predicate: Callable[[RecencyConfiguration], bool]
     ) -> tuple[RecencyBoundedRun | None, RecencyExplorationResult]:
-        """Breadth-first search for a configuration satisfying ``predicate``.
+        """Search for a configuration satisfying ``predicate``.
 
-        Returns a minimal witnessing b-bounded run prefix (or ``None``)
-        plus exploration statistics.
+        Returns a witnessing b-bounded run prefix (or ``None``) plus
+        exploration statistics.  Under the default breadth-first strategy
+        the witness is minimal; it is reconstructed from the engine's
+        parent map.
         """
-        initial = initial_recency_configuration(self._system)
-        result = RecencyExplorationResult(bound=self._bound, initial=initial)
-        result.configurations.add(initial)
-        if predicate(initial):
-            return RecencyBoundedRun(self._bound, initial), result
-        frontier: deque[tuple[RecencyConfiguration, int, RecencyBoundedRun]] = deque(
-            [(initial, 0, RecencyBoundedRun(self._bound, initial))]
+        path, search = self._engine().search(
+            initial_recency_configuration(self._system), predicate
         )
-        steps_generated = 0
-        while frontier:
-            configuration, depth, prefix = frontier.popleft()
-            result.depth_reached = max(result.depth_reached, depth)
-            if depth >= self._limits.max_depth:
-                continue
-            for step in enumerate_b_bounded_successors(self._system, configuration, self._bound):
-                steps_generated += 1
-                result.edges.append(step)
-                extended = prefix.extend(step)
-                if predicate(step.target):
-                    return extended, result
-                if step.target not in result.configurations:
-                    result.configurations.add(step.target)
-                    frontier.append((step.target, depth + 1, extended))
-                if (
-                    len(result.configurations) >= self._limits.max_configurations
-                    or steps_generated >= self._limits.max_steps
-                ):
-                    result.truncated = True
-                    return None, result
-        return None, result
+        result = RecencyExplorationResult.from_search(self._bound, search)
+        if path is None:
+            return None, result
+        return RecencyBoundedRun(self._bound, result.initial, path), result
 
 
 def iterate_b_bounded_runs(
@@ -158,26 +189,15 @@ def iterate_b_bounded_runs(
     """Enumerate canonical b-bounded run prefixes of up to ``depth`` steps.
 
     A prefix is yielded when it reaches ``depth`` steps or ends in a
-    configuration with no b-bounded successor (dead end).
+    configuration with no b-bounded successor (dead end).  The traversal
+    uses the engine's explicit stack, so depths well beyond the
+    interpreter recursion limit (≥ 2000) are supported.
     """
-    count = 0
-
-    def recurse(prefix: RecencyBoundedRun, remaining: int) -> Iterator[RecencyBoundedRun]:
-        nonlocal count
-        if max_runs is not None and count >= max_runs:
-            return
-        if remaining == 0:
-            count += 1
-            yield prefix
-            return
-        steps = list(enumerate_b_bounded_successors(system, prefix.final(), bound))
-        if not steps:
-            count += 1
-            yield prefix
-            return
-        for step in steps:
-            if max_runs is not None and count >= max_runs:
-                return
-            yield from recurse(prefix.extend(step), remaining - 1)
-
-    yield from recurse(RecencyBoundedRun(bound, initial_recency_configuration(system)), depth)
+    initial = initial_recency_configuration(system)
+    for steps in iterate_paths(
+        initial,
+        lambda configuration: enumerate_b_bounded_successors(system, configuration, bound),
+        depth,
+        max_runs,
+    ):
+        yield RecencyBoundedRun(bound, initial, steps)

@@ -12,6 +12,7 @@ A b-bounded configuration is a triple ``⟨I, H, seq_no⟩``; an edge
 
 from __future__ import annotations
 
+from itertools import product
 from typing import Iterator, Mapping, Sequence
 
 from repro.database.domain import FreshValueAllocator, Value
@@ -22,7 +23,7 @@ from repro.dms.configuration import Configuration
 from repro.dms.semantics import apply_action, is_instantiating_substitution
 from repro.dms.system import DMS
 from repro.errors import ExecutionError, RecencyError
-from repro.fol.evaluator import iter_answers
+from repro.fol.evaluator import iter_answers, satisfies
 from repro.recency.recent import recent_elements
 from repro.recency.sequence import SequenceNumbering
 
@@ -239,6 +240,39 @@ def apply_action_b_bounded(
     )
 
 
+def _recent_parameter_bindings(
+    action: Action, configuration: RecencyConfiguration, recent: frozenset
+) -> list[Substitution] | None:
+    """Satisfying parameter bindings drawn directly from ``Recent_b``.
+
+    Every parameter of a b-bounded step must lie in ``Recent_b``, so for
+    well-formed actions (guard free variables == parameters) it suffices
+    to test the guard on the ``|Recent_b|^|u⃗|`` candidate bindings
+    instead of materialising all guard answers over the full active
+    domain — ``Recent_b`` has at most ``b`` elements while the active
+    domain keeps growing with the run.  Returns ``None`` when the action
+    is not amenable (non-strict action whose guard mentions other
+    variables), in which case the caller falls back to full guard-answer
+    enumeration.
+    """
+    parameters = action.parameters
+    if action.guard.free_variables() != set(parameters):
+        return None
+    instance = configuration.instance
+    if not parameters:
+        return [Substitution.empty()] if satisfies(instance, action.guard, {}) else []
+    candidates = sorted(recent, key=repr)
+    bindings = [
+        Substitution(dict(zip(parameters, combo)))
+        for combo in product(candidates, repeat=len(parameters))
+    ]
+    satisfying = [b for b in bindings if satisfies(instance, action.guard, b)]
+    # Keep the exact deterministic order of the seed enumeration (sorted
+    # guard answers projected onto the parameters).
+    satisfying.sort(key=lambda s: repr(sorted(s.items(), key=repr)))
+    return satisfying
+
+
 def enumerate_b_bounded_successors(
     system: DMS,
     configuration: RecencyConfiguration,
@@ -248,11 +282,28 @@ def enumerate_b_bounded_successors(
     """Enumerate the canonical b-bounded successors of a configuration.
 
     Guard answers are filtered so that every parameter lies in
-    ``Recent_b``; fresh values are the least unused standard names.
+    ``Recent_b``; fresh values are the least unused standard names.  For
+    well-formed actions the guard is evaluated only on parameter
+    bindings over ``Recent_b`` (see :func:`_recent_parameter_bindings`);
+    the successor stream is identical to exhaustive guard-answer
+    enumeration, in the same deterministic order.
     """
     chosen = tuple(actions) if actions is not None else system.actions
     recent = configuration.recent(bound)
     for action in chosen:
+        recent_bindings = _recent_parameter_bindings(action, configuration, recent)
+        if recent_bindings is not None:
+            for guard_binding in recent_bindings:
+                allocator = FreshValueAllocator(used=configuration.history)
+                fresh_values = allocator.fresh_many(len(action.fresh))
+                sigma = guard_binding.merge(dict(zip(action.fresh, fresh_values)))
+                target = apply_action_b_bounded(action, configuration, sigma, bound, check=False)
+                if system.constraints and not system.constraints.satisfied_by(target.instance):
+                    continue
+                yield RecencyStep(
+                    source=configuration, action=action, substitution=sigma, target=target
+                )
+            continue
         answers = sorted(
             iter_answers(action.guard, configuration.instance),
             key=lambda s: repr(sorted(s.items(), key=repr)),

@@ -1,0 +1,83 @@
+"""Unified high-performance exploration engine.
+
+This package is the single substrate behind every graph exploration in
+the reproduction: reachability in the unbounded configuration graph
+``C_S`` (:mod:`repro.dms.graph`), recency-bounded exploration of
+``C_S^b`` (:mod:`repro.recency.explorer`), run enumeration for the model
+checker, and the E9/E10/E12/E13 experiment sweeps.
+
+Quick start::
+
+    from repro.search import Engine, SearchLimits, RETAIN_PARENTS
+
+    engine = Engine(
+        successors=lambda conf: enumerate_b_bounded_successors(system, conf, 2),
+        limits=SearchLimits(max_depth=6),
+        strategy="bfs",              # or "dfs" / "best-first" + heuristic
+        retention=RETAIN_PARENTS,    # or "full" / "counts-only"
+    )
+    witness, result = engine.search(initial, predicate)
+
+Choosing a strategy
+-------------------
+
+* ``"bfs"`` (default) — level order; predicate search returns
+  minimal-length witnesses.  Use it whenever witness minimality or the
+  seed explorers' exact visit order matters.
+* ``"dfs"`` — dives deep quickly; useful to find *some* witness in deep
+  but narrow graphs with a small frontier.
+* ``"best-first"`` — orders the frontier by a user heuristic
+  ``heuristic(state, depth)``; use for guided search towards a target.
+
+Choosing a memory mode
+----------------------
+
+* ``"full"`` — keep every generated edge; required by callers that
+  post-process the edge list.
+* ``"parents-only"`` — keep one spanning-tree edge per state, enough for
+  witness reconstruction (the default for reachability queries).
+* ``"counts-only"`` — keep only counters; the mode for state-space size
+  sweeps over large graphs.
+
+See ``src/repro/search/README.md`` for the full design notes and
+:mod:`repro.search.baseline` for the frozen seed implementations used by
+the differential tests and the E13 benchmark.
+"""
+
+from repro.errors import SearchError
+from repro.search.engine import (
+    RETAIN_COUNTS,
+    RETAIN_FULL,
+    RETAIN_PARENTS,
+    RETENTION_MODES,
+    Engine,
+    SearchLimits,
+    SearchResult,
+    iterate_paths,
+)
+from repro.search.frontier import (
+    BestFirstFrontier,
+    BFSFrontier,
+    DFSFrontier,
+    Frontier,
+    make_frontier,
+)
+from repro.search.interning import InternTable
+
+__all__ = [
+    "RETAIN_COUNTS",
+    "RETAIN_FULL",
+    "RETAIN_PARENTS",
+    "RETENTION_MODES",
+    "BestFirstFrontier",
+    "BFSFrontier",
+    "DFSFrontier",
+    "Engine",
+    "Frontier",
+    "InternTable",
+    "SearchError",
+    "SearchLimits",
+    "SearchResult",
+    "iterate_paths",
+    "make_frontier",
+]

@@ -1,0 +1,393 @@
+"""The unified exploration engine.
+
+Both execution semantics of the reproduction — the unbounded
+configuration graph ``C_S`` (:mod:`repro.dms`) and the recency-bounded
+graph ``C_S^b`` (:mod:`repro.recency`) — explore a transition system
+whose states are immutable configurations and whose edges are step
+objects carrying ``.source`` and ``.target``.  The :class:`Engine` is
+the single implementation of that exploration, parameterised over
+
+* a **successor function** ``successors(state) -> iterable of edges``,
+* a **frontier strategy** (``"bfs"``, ``"dfs"`` or ``"best-first"`` with
+  a user heuristic — see :mod:`repro.search.frontier`),
+* an **edge-retention mode** bounding memory (see below), and
+* :class:`SearchLimits` bounding depth, state count and edge count.
+
+States are hash-consed through an :class:`~repro.search.interning.InternTable`:
+each distinct state is deep-hashed exactly once, after which the
+frontier, the visited set and the parent map operate on dense integer
+ids.
+
+Edge-retention modes
+--------------------
+
+``"full"``
+    every generated edge is kept (``SearchResult.edges``) together with
+    the parent map; this matches the seed explorers' behaviour.
+``"parents-only"``
+    only the spanning-tree edge through which each state was first
+    discovered is kept (the parent map), enough to reconstruct
+    witnesses; per-state memory is O(1) instead of O(out-degree).
+``"counts-only"``
+    no edge objects are retained at all, only counters — the mode for
+    large state-space sweeps that only report sizes.
+
+Predicate search (:meth:`Engine.search`) always maintains the parent
+map — regardless of retention — because witnesses are reconstructed by
+walking parent links back to the root; under the ``"bfs"`` strategy the
+reconstructed witness has minimal length.  This replaces the seed
+behaviour of threading whole run prefixes through the frontier, which
+copied and re-validated a length-``k`` prefix on every generated edge.
+
+Depth-bounded completeness
+--------------------------
+
+Non-FIFO strategies can first reach a state along a long path — possibly
+at the depth horizon, where it would never be expanded.  The engine
+tracks the best known depth per state and *re-opens* a state whenever it
+is re-reached strictly shallower, so every state reachable within
+``max_depth`` is expanded regardless of strategy.  Under ``"bfs"``
+states are always discovered at minimal depth, so re-opening never
+triggers and the behaviour matches the seed explorers exactly; under
+``"dfs"``/``"best-first"`` a re-opened state is expanded again, so
+``edge_count`` may count some edges more than once.
+
+Truncation semantics
+--------------------
+
+The engine reproduces the seed explorers' truncation behaviour exactly:
+limits are checked after *every generated edge*, and hitting
+``max_configurations`` or ``max_steps`` — even exactly on the last
+successor of an otherwise-complete exploration — marks the result
+``truncated``.  Callers that map truncated explorations to ``UNKNOWN``
+verdicts (reachability) therefore keep their three-valued contracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import SearchError
+from repro.search.frontier import make_frontier
+from repro.search.interning import InternTable
+
+__all__ = [
+    "RETAIN_COUNTS",
+    "RETAIN_FULL",
+    "RETAIN_PARENTS",
+    "RETENTION_MODES",
+    "Engine",
+    "SearchLimits",
+    "SearchResult",
+    "iterate_paths",
+]
+
+RETAIN_FULL = "full"
+RETAIN_PARENTS = "parents-only"
+RETAIN_COUNTS = "counts-only"
+RETENTION_MODES = (RETAIN_FULL, RETAIN_PARENTS, RETAIN_COUNTS)
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Limits bounding an exploration.
+
+    Attributes:
+        max_depth: maximum number of edges along any explored path.
+        max_configurations: stop after this many distinct states.
+        max_steps: stop after this many edges have been generated.
+    """
+
+    max_depth: int = 6
+    max_configurations: int = 100_000
+    max_steps: int = 500_000
+
+
+@dataclass
+class SearchResult:
+    """Outcome of an engine exploration.
+
+    Attributes:
+        initial: the canonical initial state.
+        interning: the intern table holding every discovered state.
+        edges: retained edge objects (populated in ``"full"`` mode only).
+        edge_count: number of edges *generated*, independent of retention.
+        depth_reached: largest depth at which a state was expanded.
+        truncated: whether a limit cut the exploration short.
+        parents: ``state_id -> (parent_id, edge)`` spanning-tree links
+            (empty in ``"counts-only"`` explorations).
+        retention: the edge-retention mode used.
+    """
+
+    initial: Any
+    interning: InternTable = field(default_factory=InternTable)
+    edges: list = field(default_factory=list)
+    edge_count: int = 0
+    depth_reached: int = 0
+    truncated: bool = False
+    parents: dict = field(default_factory=dict)
+    retention: str = RETAIN_FULL
+
+    @property
+    def state_count(self) -> int:
+        """Number of distinct states discovered."""
+        return len(self.interning)
+
+    def states(self) -> Iterator[Any]:
+        """The canonical states in discovery order."""
+        return self.interning.states()
+
+    def path_to(self, state: Any) -> list:
+        """The spanning-tree path (list of edges) from the root to ``state``.
+
+        Raises:
+            SearchError: when the state was never discovered or the
+                parent map was not retained.
+        """
+        state_id = self.interning.id_of(state)
+        if state_id is None:
+            raise SearchError(f"state {state!r} was not discovered by this exploration")
+        return self.path_to_id(state_id)
+
+    def path_to_id(self, state_id: int) -> list:
+        """Like :meth:`path_to` but addressed by interned id."""
+        if not self.parents and state_id != 0:
+            raise SearchError(
+                "witness reconstruction requires the parent map; "
+                f"re-run with retention '{RETAIN_FULL}' or '{RETAIN_PARENTS}'"
+            )
+        path: list = []
+        current = state_id
+        while current != 0:
+            parent, edge = self.parents[current]
+            path.append(edge)
+            current = parent
+        path.reverse()
+        return path
+
+
+class Engine:
+    """Generic bounded explorer of a successor relation (see module docs)."""
+
+    __slots__ = ("_successors", "_limits", "_strategy", "_heuristic", "_retention")
+
+    def __init__(
+        self,
+        successors: Callable[[Any], Iterable],
+        *,
+        limits: SearchLimits | None = None,
+        strategy: str = "bfs",
+        heuristic: Callable[[Any, int], Any] | None = None,
+        retention: str = RETAIN_FULL,
+    ) -> None:
+        if retention not in RETENTION_MODES:
+            raise SearchError(
+                f"unknown edge-retention mode {retention!r}; expected one of {RETENTION_MODES}"
+            )
+        # Validate the strategy/heuristic combination eagerly.
+        make_frontier(strategy, heuristic)
+        self._successors = successors
+        self._limits = limits or SearchLimits()
+        self._strategy = strategy
+        self._heuristic = heuristic
+        self._retention = retention
+
+    @property
+    def limits(self) -> SearchLimits:
+        """The exploration limits."""
+        return self._limits
+
+    @property
+    def strategy(self) -> str:
+        """The frontier strategy name."""
+        return self._strategy
+
+    @property
+    def retention(self) -> str:
+        """The edge-retention mode."""
+        return self._retention
+
+    # -- exhaustive exploration ------------------------------------------------
+
+    def explore(
+        self,
+        initial: Any,
+        on_state: Callable[[Any, int], None] | None = None,
+    ) -> SearchResult:
+        """Explore every reachable state within the limits.
+
+        ``on_state`` is invoked with each newly discovered canonical
+        state and its discovery depth (the initial state at depth 0).
+        """
+        keep_edges = self._retention == RETAIN_FULL
+        keep_parents = self._retention != RETAIN_COUNTS
+        result = SearchResult(initial=initial, retention=self._retention)
+        table = result.interning
+        root_id, root, _ = table.intern(initial)
+        result.initial = root
+        if on_state:
+            on_state(root, 0)
+        frontier = make_frontier(self._strategy, self._heuristic)
+        frontier.push(root_id, 0, root)
+        depths = {root_id: 0}
+        limits = self._limits
+        successors = self._successors
+        while frontier:
+            state_id, depth = frontier.pop()
+            if depth > depths[state_id]:
+                continue  # stale entry: the state was re-opened at a smaller depth
+            state = table.state_of(state_id)
+            if depth > result.depth_reached:
+                result.depth_reached = depth
+            if depth >= limits.max_depth:
+                continue
+            for edge in successors(state):
+                result.edge_count += 1
+                if keep_edges:
+                    result.edges.append(edge)
+                target_id, target, is_new = table.intern(edge.target)
+                if is_new:
+                    depths[target_id] = depth + 1
+                    if keep_parents:
+                        result.parents[target_id] = (state_id, edge)
+                    if on_state:
+                        on_state(target, depth + 1)
+                    frontier.push(target_id, depth + 1, target)
+                elif depth + 1 < depths[target_id]:
+                    # Non-FIFO strategies can first reach a state along a
+                    # long path (possibly at the depth horizon, where it
+                    # would never be expanded); re-open it at the smaller
+                    # depth so depth-bounded exploration stays complete.
+                    depths[target_id] = depth + 1
+                    if keep_parents:
+                        result.parents[target_id] = (state_id, edge)
+                    frontier.push(target_id, depth + 1, target)
+                if len(table) >= limits.max_configurations or result.edge_count >= limits.max_steps:
+                    result.truncated = True
+                    return result
+        return result
+
+    # -- early-exit predicate search -------------------------------------------
+
+    def search(
+        self,
+        initial: Any,
+        predicate: Callable[[Any], bool],
+    ) -> tuple[list | None, SearchResult]:
+        """Search for a state satisfying ``predicate``.
+
+        Returns ``(path, result)`` where ``path`` is the list of edges
+        from the root to the first satisfying state found (``[]`` when
+        the initial state satisfies the predicate, ``None`` when no
+        satisfying state was found within the limits).  The parent map
+        is always retained so the witness can be reconstructed; under
+        the ``"bfs"`` strategy it is a minimal-length witness.
+        """
+        keep_edges = self._retention == RETAIN_FULL
+        result = SearchResult(initial=initial, retention=self._retention)
+        table = result.interning
+        root_id, root, _ = table.intern(initial)
+        result.initial = root
+        if predicate(root):
+            return [], result
+        frontier = make_frontier(self._strategy, self._heuristic)
+        frontier.push(root_id, 0, root)
+        depths = {root_id: 0}
+        limits = self._limits
+        successors = self._successors
+        while frontier:
+            state_id, depth = frontier.pop()
+            if depth > depths[state_id]:
+                continue  # stale entry: the state was re-opened at a smaller depth
+            state = table.state_of(state_id)
+            if depth > result.depth_reached:
+                result.depth_reached = depth
+            if depth >= limits.max_depth:
+                continue
+            for edge in successors(state):
+                result.edge_count += 1
+                if keep_edges:
+                    result.edges.append(edge)
+                if predicate(edge.target):
+                    path = result.path_to_id(state_id)
+                    path.append(edge)
+                    return path, result
+                target_id, target, is_new = table.intern(edge.target)
+                if is_new:
+                    depths[target_id] = depth + 1
+                    result.parents[target_id] = (state_id, edge)
+                    frontier.push(target_id, depth + 1, target)
+                elif depth + 1 < depths[target_id]:
+                    depths[target_id] = depth + 1
+                    result.parents[target_id] = (state_id, edge)
+                    frontier.push(target_id, depth + 1, target)
+                if len(table) >= limits.max_configurations or result.edge_count >= limits.max_steps:
+                    result.truncated = True
+                    return None, result
+        return None, result
+
+    # -- path enumeration ------------------------------------------------------
+
+    def iterate_paths(
+        self,
+        initial: Any,
+        depth: int,
+        max_paths: int | None = None,
+    ) -> Iterator[tuple]:
+        """Enumerate maximal paths as tuples of edges (explicit-stack DFS).
+
+        A path is yielded when it reaches ``depth`` edges or ends in a
+        state with no successor (dead end).  The enumeration order is
+        depth-first in successor order — identical to the recursive seed
+        enumeration — but uses an explicit stack of iterators, so it is
+        not limited by the interpreter recursion limit and supports
+        depths in the thousands.  ``max_paths`` truncates the
+        enumeration after that many yielded paths.
+        """
+        return iterate_paths(initial, self._successors, depth, max_paths)
+
+
+def iterate_paths(
+    initial: Any,
+    successors: Callable[[Any], Iterable],
+    depth: int,
+    max_paths: int | None = None,
+) -> Iterator[tuple]:
+    """Module-level form of :meth:`Engine.iterate_paths` (see there)."""
+    if depth < 0:
+        raise SearchError("path enumeration depth must be non-negative")
+    if max_paths is not None and max_paths <= 0:
+        return
+    count = 0
+
+    def expansion(state: Any, remaining: int) -> list | None:
+        """The successor edges to descend into, or ``None`` at a leaf."""
+        if remaining == 0:
+            return None
+        steps = list(successors(state))
+        return steps if steps else None
+
+    root_steps = expansion(initial, depth)
+    if root_steps is None:
+        yield ()
+        return
+    path: list = []
+    stack: list[Iterator] = [iter(root_steps)]
+    while stack:
+        edge = next(stack[-1], None)
+        if edge is None:
+            stack.pop()
+            if path:
+                path.pop()
+            continue
+        path.append(edge)
+        child_steps = expansion(edge.target, depth - len(path))
+        if child_steps is None:
+            count += 1
+            yield tuple(path)
+            path.pop()
+            if max_paths is not None and count >= max_paths:
+                return
+        else:
+            stack.append(iter(child_steps))

@@ -6,12 +6,13 @@ Each sweep returns a tuple of dictionaries (rows) so that the harness and
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.workloads.generators import RandomDMSParameters, random_dms
 
-__all__ = ["SweepPoint", "sweep", "dms_family"]
+__all__ = ["SweepPoint", "sweep", "dms_family", "exploration_mode_sweep"]
 
 
 @dataclass(frozen=True)
@@ -37,6 +38,59 @@ def sweep(
     for parameters in parameter_grid:
         points.append(SweepPoint(parameters=dict(parameters), measurements=measure(parameters)))
     return tuple(points)
+
+
+def exploration_mode_sweep(
+    system,
+    bound: int,
+    strategies: Sequence[str] = ("bfs", "dfs"),
+    retentions: Sequence[str] = ("full", "parents-only", "counts-only"),
+    max_depth: int = 4,
+    heuristic: Callable | None = None,
+) -> tuple[SweepPoint, ...]:
+    """Explore one system under every (strategy, retention) combination.
+
+    Measures discovered configurations/edges, retained edge objects and
+    wall-clock seconds per engine mode.  Used by
+    :func:`repro.harness.experiments.experiment_e13_engine` (and the E13
+    benchmark), which checks that on un-truncated explorations every
+    strategy discovers the same configuration set and that the memory
+    modes shrink edge retention as documented.
+    """
+    from repro.errors import SearchError
+    from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
+
+    if "best-first" in strategies and heuristic is None:
+        raise SearchError(
+            "exploration_mode_sweep: the 'best-first' strategy requires a "
+            "heuristic(configuration, depth)"
+        )
+
+    def measure(parameters: dict) -> dict:
+        explorer = RecencyExplorer(
+            system,
+            bound,
+            RecencyExplorationLimits(max_depth=max_depth),
+            strategy=parameters["strategy"],
+            heuristic=heuristic,
+            retention=parameters["retention"],
+        )
+        started = time.perf_counter()
+        result = explorer.explore()
+        elapsed = time.perf_counter() - started
+        return {
+            "configurations": result.configuration_count,
+            "edges": result.edge_count,
+            "retained_edges": len(result.edges),
+            "seconds": round(elapsed, 4),
+        }
+
+    grid = [
+        {"strategy": strategy, "retention": retention}
+        for strategy in strategies
+        for retention in retentions
+    ]
+    return sweep(grid, measure)
 
 
 def dms_family(

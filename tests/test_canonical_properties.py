@@ -1,0 +1,156 @@
+"""Property-based tests for run equivalence modulo permutation (Appendix E).
+
+Hypothesis generates random permutations of the fresh values injected
+along real b-bounded runs of the Example 3.1 system:
+
+* renaming a run by *any* bijection of its fresh values must be accepted
+  by :func:`repro.recency.canonical.run_isomorphism` (with the witness
+  bijection extending the permutation), while
+* perturbed runs — a different action sequence, or a *non-injective*
+  renaming collapsing two fresh values — must always be rejected.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.casestudies.simple import example_31_system
+from repro.database.substitution import Substitution
+from repro.recency.canonical import run_isomorphism, runs_equivalent_modulo_permutation
+from repro.recency.explorer import iterate_b_bounded_runs
+from repro.recency.semantics import (
+    RecencyBoundedRun,
+    RecencyConfiguration,
+    RecencyStep,
+)
+from repro.recency.sequence import SequenceNumbering
+
+SYSTEM = example_31_system()
+# Mixing enumeration depths yields run prefixes of different lengths
+# (the Example 3.1 graph has no dead ends, so every prefix of a single
+# enumeration has exactly the requested depth).
+RUNS = [
+    run
+    for depth in (2, 3)
+    for run in iterate_b_bounded_runs(SYSTEM, 2, depth)
+    if len(run) >= 1
+]
+assert RUNS, "the Example 3.1 system must have non-trivial 2-bounded runs"
+
+
+def fresh_values_of(run: RecencyBoundedRun) -> list:
+    """The fresh values injected along the run, in order of appearance."""
+    values = []
+    for step in run.steps:
+        for variable in step.action.fresh:
+            values.append(step.substitution[variable])
+    return values
+
+
+def rename_configuration(
+    configuration: RecencyConfiguration, mapping: dict
+) -> RecencyConfiguration:
+    return RecencyConfiguration(
+        instance=configuration.instance.rename_values(mapping),
+        history=frozenset(mapping.get(value, value) for value in configuration.history),
+        seq_no=SequenceNumbering(
+            {mapping.get(value, value): number for value, number in configuration.seq_no.items()}
+        ),
+    )
+
+
+def rename_run(run: RecencyBoundedRun, mapping: dict) -> RecencyBoundedRun:
+    """Apply a value renaming to every configuration and label of a run."""
+    configurations = [rename_configuration(c, mapping) for c in run.configurations()]
+    steps = []
+    for index, step in enumerate(run.steps):
+        steps.append(
+            RecencyStep(
+                source=configurations[index],
+                action=step.action,
+                substitution=Substitution(
+                    {var: mapping.get(value, value) for var, value in step.substitution.items()}
+                ),
+                target=configurations[index + 1],
+            )
+        )
+    return RecencyBoundedRun(run.bound, configurations[0], steps)
+
+
+# -- accepted: arbitrary permutations of the fresh values ----------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_permuted_fresh_values_always_accepted(data):
+    run = data.draw(st.sampled_from(RUNS))
+    fresh = sorted(set(fresh_values_of(run)), key=repr)
+    permuted_values = data.draw(st.permutations(fresh))
+    mapping = dict(zip(fresh, permuted_values))
+    permuted = rename_run(run, mapping)
+
+    isomorphism = run_isomorphism(run, permuted)
+    assert isomorphism is not None
+    # The witness bijection is exactly the permutation on the fresh values.
+    assert {value: isomorphism[value] for value in fresh} == mapping
+    assert runs_equivalent_modulo_permutation(run, permuted)
+    # Equivalence is symmetric: the inverse permutation witnesses the converse.
+    assert runs_equivalent_modulo_permutation(permuted, run)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_identity_permutation_is_reflexive(data):
+    run = data.draw(st.sampled_from(RUNS))
+    assert runs_equivalent_modulo_permutation(run, run)
+
+
+# -- rejected: different action sequences --------------------------------------
+
+ACTION_MISMATCH_PAIRS = [
+    (left, right)
+    for left in RUNS
+    for right in RUNS
+    if len(left.steps) == len(right.steps)
+    and [s.action.name for s in left.steps] != [s.action.name for s in right.steps]
+]
+assert ACTION_MISMATCH_PAIRS, "need run pairs with diverging action sequences"
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_mismatched_action_sequences_always_rejected(data):
+    left, right = data.draw(st.sampled_from(ACTION_MISMATCH_PAIRS))
+    assert run_isomorphism(left, right) is None
+    assert not runs_equivalent_modulo_permutation(left, right)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_different_lengths_always_rejected(data):
+    left = data.draw(st.sampled_from(RUNS))
+    right = data.draw(st.sampled_from([run for run in RUNS if len(run) != len(left)]))
+    assert run_isomorphism(left, right) is None
+
+
+# -- rejected: non-injective renamings -----------------------------------------
+
+RUNS_WITH_TWO_FRESH = [run for run in RUNS if len(set(fresh_values_of(run))) >= 2]
+assert RUNS_WITH_TWO_FRESH, "need runs injecting at least two distinct fresh values"
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_non_injective_renaming_always_rejected(data):
+    run = data.draw(st.sampled_from(RUNS_WITH_TWO_FRESH))
+    fresh = sorted(set(fresh_values_of(run)), key=repr)
+    collapsed_value = data.draw(st.sampled_from(fresh))
+    into_value = data.draw(st.sampled_from([value for value in fresh if value != collapsed_value]))
+    mapping = {collapsed_value: into_value}
+    collapsed = rename_run(run, mapping)
+
+    # The candidate λ maps two distinct fresh values of the original run
+    # to the same value, so it cannot be an isomorphism.
+    assert run_isomorphism(run, collapsed) is None
+    assert not runs_equivalent_modulo_permutation(run, collapsed)
