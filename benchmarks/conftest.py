@@ -3,18 +3,82 @@
 Every benchmark runs its experiment exactly once inside pytest-benchmark's
 timer (rounds=1) — the experiments are end-to-end pipelines, not
 micro-kernels — and prints the rows recorded in EXPERIMENTS.md.
+
+Besides printing, :func:`run_once` persists every run to
+``benchmarks/results/BENCH_E<n>.json`` — machine-readable timings plus
+the experiment rows — so the performance trajectory of the repo is
+recorded run over run instead of scrolling away in terminal output.
+The file is keyed by test node name: a module with several benchmark
+tests accumulates one entry per test.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import re
+import time
+from pathlib import Path
+
 import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _experiment_id(module_name: str) -> str | None:
+    """``bench_e13_engine`` -> ``E13`` (None for modules off the naming scheme)."""
+    match = re.match(r"bench_(e\d+)_", module_name)
+    return match.group(1).upper() if match else None
+
+
+def persist_bench_result(identifier: str, node_name: str, payload: dict) -> Path:
+    """Merge one benchmark payload into ``results/BENCH_<identifier>.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{identifier}.json"
+    document = {"experiment": identifier, "results": {}}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict):
+                document = loaded
+        except (json.JSONDecodeError, OSError):
+            pass  # a corrupt results file is replaced, never fatal to the bench
+    if not isinstance(document.get("results"), dict):
+        document["results"] = {}
+    document["results"][node_name] = payload
+    path.write_text(json.dumps(document, indent=2, default=str, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture
-def run_once():
-    """Return a helper that benchmarks a callable with a single round."""
+def run_once(request):
+    """Return a helper that benchmarks a callable with a single round.
+
+    The helper times the call (independently of pytest-benchmark, so it
+    also works under ``--benchmark-disable``), writes the machine-readable
+    record to ``benchmarks/results/BENCH_E*.json`` and returns the
+    experiment rows unchanged.
+    """
 
     def runner(benchmark, function, *args, **kwargs):
-        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        started = time.perf_counter()
+        result = benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        elapsed = time.perf_counter() - started
+        identifier = _experiment_id(request.module.__name__)
+        if identifier is not None:
+            persist_bench_result(
+                identifier,
+                request.node.name,
+                {
+                    "module": request.module.__name__,
+                    "function": getattr(function, "__name__", str(function)),
+                    "seconds": round(elapsed, 6),
+                    "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                    "python": platform.python_version(),
+                    "machine": platform.machine(),
+                    "rows": result,
+                },
+            )
+        return result
 
     return runner

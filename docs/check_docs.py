@@ -1,0 +1,82 @@
+"""Documentation checks run by the CI docs job.
+
+Two checks, both against the files as committed:
+
+1. **Executable quickstart** — every fenced ``python`` block in
+   ``README.md`` is executed (in one shared namespace, in order), so the
+   README's quickstart snippet can never drift from the real API.
+2. **Link check** — every relative Markdown link in ``README.md`` and
+   ``docs/*.md`` must point at an existing file or directory (external
+   ``http(s)`` links and pure anchors are skipped; fragment suffixes are
+   stripped).
+
+Run locally with::
+
+    PYTHONPATH=src python docs/check_docs.py
+
+Exits non-zero with a per-failure report when anything is broken.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+# Markdown links, ignoring images; group 1 is the target.
+LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def run_python_snippets(path: Path) -> list[str]:
+    """Execute every ```python block of ``path``; returns failure messages."""
+    failures = []
+    namespace: dict = {"__name__": "__doc_snippet__"}
+    for index, match in enumerate(FENCE.finditer(path.read_text()), start=1):
+        snippet = match.group(1)
+        try:
+            exec(compile(snippet, f"{path.name}#snippet{index}", "exec"), namespace)
+        except Exception as error:  # noqa: BLE001 - report, don't crash the checker
+            failures.append(f"{path.name} python snippet #{index} raised {error!r}")
+    return failures
+
+
+def check_links(path: Path) -> list[str]:
+    """Verify the relative links of one Markdown file; returns failures."""
+    failures = []
+    for match in LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            failures.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+    return failures
+
+
+def main() -> int:
+    failures: list[str] = []
+    readme = REPO / "README.md"
+    if readme.exists():
+        failures += run_python_snippets(readme)
+    else:
+        failures.append("README.md is missing")
+    for markdown in [readme, *sorted((REPO / "docs").glob("*.md"))]:
+        if markdown.exists():
+            failures += check_links(markdown)
+    if failures:
+        print(f"{len(failures)} documentation check(s) failed:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("documentation checks passed (README snippets executed, links resolved)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,21 @@ def main() -> None:
     print(f"safety 'never open and closed at once': verdict={result.verdict.value} "
           f"after checking {result.runs_checked} run prefixes")
 
+    # 4. The same reachability question through the sharded engine: interned
+    #    configurations are hash-partitioned across 4 work-stealing shards
+    #    (workers > 1 would batch successor expansion across processes), and
+    #    the merged result — verdict, statistics, witness — is bit-identical
+    #    to the single-shard exploration of step 2.
+    sharded = proposition_reachable_bounded(
+        system, parse_query("exists t. Closed(t)"), bound=2, max_depth=4,
+        shards=4, workers=1,
+    )
+    assert sharded.found == closed_reachable.found
+    assert sharded.configurations_explored == closed_reachable.configurations_explored
+    assert sharded.witness.steps == closed_reachable.witness.steps
+    print(f"sharded (4 shards) agrees: {sharded.found} "
+          f"({sharded.configurations_explored} configurations explored)")
+
 
 if __name__ == "__main__":
     main()

@@ -24,7 +24,14 @@ from repro.dms.configuration import Configuration
 from repro.dms.run import ExtendedRun
 from repro.dms.semantics import enumerate_successors, initial_configuration
 from repro.dms.system import DMS
-from repro.search import RETAIN_FULL, Engine, SearchLimits, SearchResult, iterate_paths
+from repro.search import (
+    RETAIN_FULL,
+    Engine,
+    SearchLimits,
+    SearchResult,
+    ShardedEngine,
+    iterate_paths,
+)
 
 __all__ = ["ExplorationLimits", "ExplorationResult", "ConfigurationGraphExplorer", "iterate_runs"]
 
@@ -104,6 +111,11 @@ class ConfigurationGraphExplorer:
             the best-first strategy.
         retention: edge-retention mode — ``"full"`` (default),
             ``"parents-only"`` or ``"counts-only"``.
+        shards: hash partitions of the sharded engine; with ``shards`` or
+            ``workers`` above 1 the exploration runs level-synchronously
+            sharded (``"bfs"`` only) with results bit-identical to the
+            single-shard engine (see :mod:`repro.search.sharded`).
+        workers: successor-expansion processes (1 = in-process serial).
     """
 
     def __init__(
@@ -114,12 +126,16 @@ class ConfigurationGraphExplorer:
         strategy: str = "bfs",
         heuristic: Callable[[Configuration, int], object] | None = None,
         retention: str = RETAIN_FULL,
+        shards: int = 1,
+        workers: int = 1,
     ) -> None:
         self._system = system
         self._limits = limits or ExplorationLimits()
         self._strategy = strategy
         self._heuristic = heuristic
         self._retention = retention
+        self._shards = shards
+        self._workers = workers
 
     @property
     def system(self) -> DMS:
@@ -141,9 +157,39 @@ class ConfigurationGraphExplorer:
         """The edge-retention mode in use."""
         return self._retention
 
-    def _engine(self) -> Engine:
+    @property
+    def shards(self) -> int:
+        """Number of hash partitions of the sharded engine."""
+        return self._shards
+
+    @property
+    def workers(self) -> int:
+        """Number of successor-expansion workers."""
+        return self._workers
+
+    @property
+    def backend_name(self) -> str:
+        """The expansion backend explorations will use.
+
+        ``"in-process"`` for the single-shard engine, ``"serial"`` or
+        ``"process"`` for the sharded engine's fallback/multiprocessing
+        backends.
+        """
+        return getattr(self._engine(), "backend_name", "in-process")
+
+    def _engine(self):
+        successors = lambda configuration: enumerate_successors(self._system, configuration)  # noqa: E731
+        if self._shards > 1 or self._workers > 1:
+            return ShardedEngine(
+                successors=successors,
+                limits=self._limits.as_search_limits(),
+                strategy=self._strategy,
+                retention=self._retention,
+                shards=self._shards,
+                workers=self._workers,
+            )
         return Engine(
-            successors=lambda configuration: enumerate_successors(self._system, configuration),
+            successors=successors,
             limits=self._limits.as_search_limits(),
             strategy=self._strategy,
             heuristic=self._heuristic,

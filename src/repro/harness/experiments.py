@@ -27,7 +27,10 @@ from repro.encoding.translate import (
 )
 from repro.modelcheck.checker import RecencyBoundedModelChecker
 from repro.modelcheck.convergence import reachability_bound_sweep, state_space_bound_sweep
-from repro.modelcheck.reachability import proposition_reachable_bounded
+from repro.modelcheck.reachability import (
+    proposition_reachable_bounded,
+    query_reachable_bounded,
+)
 from repro.msofo.patterns import proposition_reachability_formula, safety_formula
 from repro.msofo.semantics import holds_on_run
 from repro.recency.abstraction import abstract_run, symbolic_alphabet
@@ -55,6 +58,7 @@ __all__ = [
     "experiment_e11_transforms",
     "experiment_e12_bulk",
     "experiment_e13_engine",
+    "experiment_e14_sharded",
     "all_experiments",
 ]
 
@@ -643,6 +647,112 @@ def experiment_e13_engine(quick: bool = False) -> list[dict]:
     return rows
 
 
+# -- E14: sharded work-stealing exploration vs the single-shard engine ---------------------------------------
+
+def experiment_e14_sharded(quick: bool = False) -> list[dict]:
+    """Sharded exploration (:mod:`repro.search.sharded`) against the 1-shard engine.
+
+    For the booking and warehouse case studies at recency bound 2, the
+    same exhaustive predicate search (a condition that never holds — the
+    reachability worst case) runs through the plain single-shard engine
+    and through the sharded engine under a ``(shards, workers)`` grid.
+    Each sharded row records the expansion backend used (``process``
+    when the fork-based pool is available and ``workers > 1``, else the
+    deterministic ``serial`` fallback), wall-clock seconds, the speedup
+    over the single-shard run and whether the explored fragment matches
+    the single-shard one bit-for-bit (configuration count, edge count,
+    truncation flag).  A final witness row checks that a *reachable*
+    condition yields the identical minimal witness through both paths.
+
+    ``quick`` shrinks the depths for CI smoke runs.
+    """
+    import time
+
+    from repro.fol.syntax import Atom, Exists
+
+    grid = ((1, 1), (4, 1), (4, 2), (4, 4))
+    cases = [
+        ("booking", booking_agency_system(), 2, 4 if quick else 6),
+        ("warehouse", warehouse_system(), 2, 6 if quick else 12),
+    ]
+    rows = []
+    for name, system, bound, depth in cases:
+        never = lambda configuration: False  # noqa: E731 - exhaustive search
+        baseline: dict = {}
+        for shards, workers in grid:
+            explorer = RecencyExplorer(
+                system,
+                bound,
+                RecencyExplorationLimits(max_depth=depth),
+                retention=RETAIN_PARENTS,
+                shards=shards,
+                workers=workers,
+            )
+            backend = explorer.backend_name
+            started = time.perf_counter()
+            witness, stats = explorer.find_configuration(never)
+            seconds = time.perf_counter() - started
+            if shards == 1 and workers == 1:
+                baseline = {
+                    "configurations": stats.configuration_count,
+                    "edges": stats.edge_count,
+                    "truncated": stats.truncated,
+                    "seconds": seconds,
+                }
+            rows.append(
+                {
+                    "case": name,
+                    "bound": bound,
+                    "depth": depth,
+                    "shards": shards,
+                    "workers": workers,
+                    "backend": backend,
+                    "configurations": stats.configuration_count,
+                    "edges": stats.edge_count,
+                    "seconds": round(seconds, 4),
+                    "speedup": round(baseline["seconds"] / seconds, 2) if seconds else None,
+                    "results_match": (
+                        witness is None
+                        and stats.configuration_count == baseline["configurations"]
+                        and stats.edge_count == baseline["edges"]
+                        and stats.truncated == baseline["truncated"]
+                    ),
+                }
+            )
+
+    # Witness determinism: a reachable condition must produce the identical
+    # minimal witness through the single-shard and the sharded paths.
+    booking = booking_agency_system()
+    condition = Exists("x_state", Atom("OAvail", ("x_state",)))
+    reference = query_reachable_bounded(booking, condition, bound=2, max_depth=4)
+    sharded = query_reachable_bounded(
+        booking, condition, bound=2, max_depth=4, shards=4, workers=2
+    )
+    witnesses_equal = (
+        reference.found
+        and sharded.found
+        and reference.witness.steps == sharded.witness.steps
+    )
+    rows.append(
+        {
+            "case": "booking (witness)",
+            "bound": 2,
+            "depth": 4,
+            "shards": 4,
+            "workers": 2,
+            "backend": "-",
+            "configurations": sharded.configurations_explored,
+            "edges": sharded.edges_explored,
+            "seconds": None,
+            "speedup": None,
+            "results_match": witnesses_equal
+            and sharded.configurations_explored == reference.configurations_explored
+            and sharded.edges_explored == reference.edges_explored,
+        }
+    )
+    return rows
+
+
 def all_experiments() -> dict:
     """Run every experiment and return ``{id: rows}`` (used by the harness CLI)."""
     return {
@@ -659,4 +769,5 @@ def all_experiments() -> dict:
         "E11": experiment_e11_transforms(),
         "E12": experiment_e12_bulk(),
         "E13": experiment_e13_engine(quick=True),
+        "E14": experiment_e14_sharded(quick=True),
     }

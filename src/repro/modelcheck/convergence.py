@@ -45,19 +45,24 @@ def reachability_bound_sweep(
     strategy: str = "bfs",
     heuristic=None,
     retention: str = RETAIN_PARENTS,
+    shards: int = 1,
+    workers: int = 1,
 ) -> tuple[BoundSweepEntry, ...]:
     """Reachability verdict and explored state space for increasing bounds.
 
     ``strategy`` (with its ``heuristic`` for ``"best-first"``) and
     ``retention`` are passed through to the exploration engine; the
     default keeps only parent links, so sweeping large bounds does not
-    hold every edge in memory.
+    hold every edge in memory.  ``shards``/``workers`` select the
+    sharded engine for each point of the sweep (bit-identical verdicts;
+    any-shard truncation reports ``UNKNOWN``, never ``FAILS``).
     """
     rows = []
     for bound in bounds:
         result = query_reachable_bounded(
             system, condition, bound, max_depth=max_depth,
             strategy=strategy, heuristic=heuristic, retention=retention,
+            shards=shards, workers=workers,
         )
         rows.append(
             BoundSweepEntry(
@@ -78,17 +83,21 @@ def state_space_bound_sweep(
     strategy: str = "bfs",
     heuristic=None,
     retention: str = RETAIN_COUNTS,
+    shards: int = 1,
+    workers: int = 1,
 ) -> tuple[BoundSweepEntry, ...]:
     """How many configurations/edges are explored as the bound grows (no property).
 
     Only sizes are reported, so the sweep defaults to the engine's
     ``"counts-only"`` retention: no edge objects are held in memory.
+    ``shards``/``workers`` select the sharded engine per point.
     """
     rows = []
     for bound in bounds:
         explorer = RecencyExplorer(
             system, bound, RecencyExplorationLimits(max_depth=max_depth),
             strategy=strategy, heuristic=heuristic, retention=retention,
+            shards=shards, workers=workers,
         )
         result = explorer.explore()
         rows.append(
@@ -110,20 +119,25 @@ def convergence_bound(
     *,
     strategy: str = "bfs",
     heuristic=None,
+    shards: int = 1,
+    workers: int = 1,
 ) -> int | None:
     """The least bound at which the bounded reachability verdict matches the
     unbounded (depth-bounded) verdict.
 
     Returns ``None`` when no bound up to ``max_bound`` agrees — which, for
     exhaustive exploration depths, indicates the behaviour of interest
-    genuinely needs a deeper recency window.
+    genuinely needs a deeper recency window.  ``shards``/``workers``
+    select the sharded engine for every exploration of the scan.
     """
     reference = query_reachable(
-        system, condition, max_depth=max_depth, strategy=strategy, heuristic=heuristic
+        system, condition, max_depth=max_depth, strategy=strategy, heuristic=heuristic,
+        shards=shards, workers=workers,
     )
     for bound in range(max_bound + 1):
         bounded = query_reachable_bounded(
-            system, condition, bound, max_depth=max_depth, strategy=strategy, heuristic=heuristic
+            system, condition, bound, max_depth=max_depth, strategy=strategy,
+            heuristic=heuristic, shards=shards, workers=workers,
         )
         if bounded.reachable == reference.reachable:
             return bound

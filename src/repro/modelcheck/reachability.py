@@ -66,13 +66,19 @@ def query_reachable(
     strategy: str = "bfs",
     heuristic: Callable | None = None,
     retention: str = RETAIN_PARENTS,
+    shards: int = 1,
+    workers: int = 1,
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable (unbounded semantics)?
 
     ``condition`` is either a boolean FOL(R) query or a proposition name.
     The exploration is canonical (fresh values are the least unused
-    standard names) and bounded by ``max_depth``; ``strategy`` and
-    ``retention`` are passed through to the engine.
+    standard names) and bounded by ``max_depth``; ``strategy``,
+    ``retention`` and the ``shards``/``workers`` partitioning of the
+    sharded engine are passed through to the exploration.  Sharded
+    explorations return bit-identical verdicts and witnesses; a
+    truncated exploration (any shard) reports ``UNKNOWN``, never
+    ``FAILS``.
     """
     predicate = _instance_predicate(condition, system)
     explorer = ConfigurationGraphExplorer(
@@ -81,6 +87,8 @@ def query_reachable(
         strategy=strategy,
         heuristic=heuristic,
         retention=retention,
+        shards=shards,
+        workers=workers,
     )
     witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
     if witness is not None:
@@ -108,6 +116,8 @@ def proposition_reachable(
     strategy: str = "bfs",
     heuristic: Callable | None = None,
     retention: str = RETAIN_PARENTS,
+    shards: int = 1,
+    workers: int = 1,
 ) -> ReachabilityResult:
     """Propositional reachability (Example 4.2) in the unbounded semantics."""
     return query_reachable(
@@ -118,6 +128,8 @@ def proposition_reachable(
         strategy=strategy,
         heuristic=heuristic,
         retention=retention,
+        shards=shards,
+        workers=workers,
     )
 
 
@@ -131,8 +143,14 @@ def query_reachable_bounded(
     strategy: str = "bfs",
     heuristic: Callable | None = None,
     retention: str = RETAIN_PARENTS,
+    shards: int = 1,
+    workers: int = 1,
 ) -> ReachabilityResult:
-    """Is an instance satisfying ``condition`` reachable along a b-bounded run?"""
+    """Is an instance satisfying ``condition`` reachable along a b-bounded run?
+
+    ``shards``/``workers`` select the sharded engine (bit-identical
+    results; any-shard truncation reports ``UNKNOWN``, never ``FAILS``).
+    """
     predicate = _instance_predicate(condition, system)
     explorer = RecencyExplorer(
         system,
@@ -141,6 +159,8 @@ def query_reachable_bounded(
         strategy=strategy,
         heuristic=heuristic,
         retention=retention,
+        shards=shards,
+        workers=workers,
     )
     witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
     if witness is not None:
@@ -169,6 +189,8 @@ def proposition_reachable_bounded(
     strategy: str = "bfs",
     heuristic: Callable | None = None,
     retention: str = RETAIN_PARENTS,
+    shards: int = 1,
+    workers: int = 1,
 ) -> ReachabilityResult:
     """Propositional reachability restricted to b-bounded runs."""
     return query_reachable_bounded(
@@ -180,4 +202,6 @@ def proposition_reachable_bounded(
         strategy=strategy,
         heuristic=heuristic,
         retention=retention,
+        shards=shards,
+        workers=workers,
     )

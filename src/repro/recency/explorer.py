@@ -26,7 +26,14 @@ from repro.recency.semantics import (
     enumerate_b_bounded_successors,
     initial_recency_configuration,
 )
-from repro.search import RETAIN_FULL, Engine, SearchLimits, SearchResult, iterate_paths
+from repro.search import (
+    RETAIN_FULL,
+    Engine,
+    SearchLimits,
+    SearchResult,
+    ShardedEngine,
+    iterate_paths,
+)
 
 __all__ = ["RecencyExplorationLimits", "RecencyExplorationResult", "RecencyExplorer", "iterate_b_bounded_runs"]
 
@@ -99,6 +106,11 @@ class RecencyExplorer:
             the best-first strategy.
         retention: edge-retention mode — ``"full"`` (default),
             ``"parents-only"`` or ``"counts-only"``.
+        shards: hash partitions of the sharded engine; with ``shards`` or
+            ``workers`` above 1 the exploration runs level-synchronously
+            sharded (``"bfs"`` only) with results bit-identical to the
+            single-shard engine (see :mod:`repro.search.sharded`).
+        workers: successor-expansion processes (1 = in-process serial).
     """
 
     def __init__(
@@ -110,6 +122,8 @@ class RecencyExplorer:
         strategy: str = "bfs",
         heuristic: Callable[[RecencyConfiguration, int], object] | None = None,
         retention: str = RETAIN_FULL,
+        shards: int = 1,
+        workers: int = 1,
     ) -> None:
         self._system = system
         self._bound = bound
@@ -117,6 +131,8 @@ class RecencyExplorer:
         self._strategy = strategy
         self._heuristic = heuristic
         self._retention = retention
+        self._shards = shards
+        self._workers = workers
 
     @property
     def system(self) -> DMS:
@@ -143,12 +159,42 @@ class RecencyExplorer:
         """The edge-retention mode in use."""
         return self._retention
 
-    def _engine(self) -> Engine:
+    @property
+    def shards(self) -> int:
+        """Number of hash partitions of the sharded engine."""
+        return self._shards
+
+    @property
+    def workers(self) -> int:
+        """Number of successor-expansion workers."""
+        return self._workers
+
+    @property
+    def backend_name(self) -> str:
+        """The expansion backend explorations will use.
+
+        ``"in-process"`` for the single-shard engine, ``"serial"`` or
+        ``"process"`` for the sharded engine's fallback/multiprocessing
+        backends.
+        """
+        return getattr(self._engine(), "backend_name", "in-process")
+
+    def _engine(self):
         system, bound = self._system, self._bound
+        successors = lambda configuration: enumerate_b_bounded_successors(  # noqa: E731
+            system, configuration, bound
+        )
+        if self._shards > 1 or self._workers > 1:
+            return ShardedEngine(
+                successors=successors,
+                limits=self._limits.as_search_limits(),
+                strategy=self._strategy,
+                retention=self._retention,
+                shards=self._shards,
+                workers=self._workers,
+            )
         return Engine(
-            successors=lambda configuration: enumerate_b_bounded_successors(
-                system, configuration, bound
-            ),
+            successors=successors,
             limits=self._limits.as_search_limits(),
             strategy=self._strategy,
             heuristic=self._heuristic,

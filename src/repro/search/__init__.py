@@ -39,7 +39,21 @@ Choosing a memory mode
 * ``"counts-only"`` — keep only counters; the mode for state-space size
   sweeps over large graphs.
 
-See ``src/repro/search/README.md`` for the full design notes and
+Sharded exploration
+-------------------
+
+:class:`~repro.search.sharded.ShardedEngine` runs the ``"bfs"`` strategy
+sharded: interned ids are hash-partitioned across per-level frontiers
+with work stealing, successor expansion is batched across worker
+processes (``workers > 1`` uses a fork-based multiprocessing pool, with
+a deterministic serial fallback), and per-shard partial results are
+folded with the associative :meth:`~repro.search.engine.SearchResult.merge`.
+Results are bit-identical to the single-shard engine's — including
+witnesses and truncation flags (any truncated shard truncates the
+merge, which reachability reports as ``UNKNOWN``, never ``FAILS``).
+
+See ``src/repro/search/README.md`` for the full design notes,
+``docs/architecture.md`` for the layering and sharding design, and
 :mod:`repro.search.baseline` for the frozen seed implementations used by
 the differential tests and the E13 benchmark.
 """
@@ -63,6 +77,15 @@ from repro.search.frontier import (
     make_frontier,
 )
 from repro.search.interning import InternTable
+from repro.search.sharded import (
+    ProcessExpansionBackend,
+    SerialExpansionBackend,
+    ShardedEngine,
+    ShardFrontiers,
+    process_backend_available,
+    shard_of,
+    usable_cpu_count,
+)
 
 __all__ = [
     "RETAIN_COUNTS",
@@ -75,9 +98,16 @@ __all__ = [
     "Engine",
     "Frontier",
     "InternTable",
+    "ProcessExpansionBackend",
     "SearchError",
     "SearchLimits",
     "SearchResult",
+    "SerialExpansionBackend",
+    "ShardFrontiers",
+    "ShardedEngine",
     "iterate_paths",
     "make_frontier",
+    "process_backend_available",
+    "shard_of",
+    "usable_cpu_count",
 ]

@@ -98,10 +98,12 @@ class SeedExplorationResult:
 
     @property
     def configuration_count(self) -> int:
+        """Number of distinct configurations discovered."""
         return len(self.configurations)
 
     @property
     def edge_count(self) -> int:
+        """Number of edges generated (the seed explorer retains all of them)."""
         return len(self.edges)
 
 
@@ -117,11 +119,13 @@ class SeedRecencyExplorer:
 
     @property
     def limits(self) -> SeedExplorationLimits:
+        """The exploration limits."""
         return self._limits
 
     def explore(
         self, on_configuration: Callable[[RecencyConfiguration, int], None] | None = None
     ) -> SeedExplorationResult:
+        """Exhaustive breadth-first exploration, seed behaviour (all edges kept)."""
         initial = initial_recency_configuration(self._system)
         result = SeedExplorationResult(bound=self._bound, initial=initial)
         result.configurations.add(initial)
@@ -155,6 +159,7 @@ class SeedRecencyExplorer:
     def find_configuration(
         self, predicate: Callable[[RecencyConfiguration], bool]
     ) -> tuple[RecencyBoundedRun | None, SeedExplorationResult]:
+        """Predicate search threading whole run prefixes through the frontier."""
         initial = initial_recency_configuration(self._system)
         result = SeedExplorationResult(bound=self._bound, initial=initial)
         result.configurations.add(initial)
@@ -196,6 +201,7 @@ def seed_iterate_b_bounded_runs(
     count = 0
 
     def recurse(prefix: RecencyBoundedRun, remaining: int) -> Iterator[RecencyBoundedRun]:
+        """Depth-first extension of ``prefix`` (seed recursion, kept verbatim)."""
         nonlocal count
         if max_runs is not None and count >= max_runs:
             return

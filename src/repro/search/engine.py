@@ -116,8 +116,12 @@ class SearchResult:
         depth_reached: largest depth at which a state was expanded.
         truncated: whether a limit cut the exploration short.
         parents: ``state_id -> (parent_id, edge)`` spanning-tree links
-            (empty in ``"counts-only"`` explorations).
+            (empty in ``"counts-only"`` explorations).  A ``parent_id``
+            of ``-1`` marks a cross-shard link in a per-shard partial
+            result; :meth:`merge` re-keys it against the merged table.
         retention: the edge-retention mode used.
+        depths: ``state_id -> best known discovery depth``; kept so that
+            :meth:`merge` can resolve parent conflicts deterministically.
     """
 
     initial: Any
@@ -128,6 +132,7 @@ class SearchResult:
     truncated: bool = False
     parents: dict = field(default_factory=dict)
     retention: str = RETAIN_FULL
+    depths: dict = field(default_factory=dict)
 
     @property
     def state_count(self) -> int:
@@ -135,8 +140,26 @@ class SearchResult:
         return len(self.interning)
 
     def states(self) -> Iterator[Any]:
-        """The canonical states in discovery order."""
+        """The canonical states, in discovery order for engine results.
+
+        Merged results (:meth:`merge`) list states in fold order — each
+        operand's states in its own discovery order — which for shard
+        partials is a shard-grouped permutation of the single-shard
+        discovery order (same set, same count).
+        """
         return self.interning.states()
+
+    def root_id(self) -> int:
+        """The interned id of the initial state.
+
+        Engine explorations always intern the root first (id 0); merged
+        results may hold it at any id, so witness reconstruction resolves
+        it through the table instead of assuming 0.
+        """
+        state_id = self.interning.id_of(self.initial)
+        if state_id is None:
+            raise SearchError("the initial state was never interned by this exploration")
+        return state_id
 
     def path_to(self, state: Any) -> list:
         """The spanning-tree path (list of edges) from the root to ``state``.
@@ -152,19 +175,110 @@ class SearchResult:
 
     def path_to_id(self, state_id: int) -> list:
         """Like :meth:`path_to` but addressed by interned id."""
-        if not self.parents and state_id != 0:
+        root = self.root_id()
+        if not self.parents and state_id != root:
             raise SearchError(
                 "witness reconstruction requires the parent map; "
                 f"re-run with retention '{RETAIN_FULL}' or '{RETAIN_PARENTS}'"
             )
         path: list = []
         current = state_id
-        while current != 0:
-            parent, edge = self.parents[current]
+        while current != root:
+            entry = self.parents.get(current)
+            if entry is None:
+                raise SearchError(
+                    f"state id {current} has no parent link; per-shard partial results "
+                    "must be merged (SearchResult.merge) before reconstructing witnesses"
+                )
+            parent, edge = entry
+            if parent < 0:
+                raise SearchError(
+                    f"state id {current} was discovered through a cross-shard edge; "
+                    "merge the shard results before reconstructing witnesses"
+                )
             path.append(edge)
             current = parent
+            if len(path) > len(self.interning):
+                raise SearchError("parent links form a cycle; refusing to reconstruct a witness")
         path.reverse()
         return path
+
+    # -- associative merging of shard results ----------------------------------
+
+    def merge(self, other: "SearchResult") -> "SearchResult":
+        """Combine two results into a new one (associative, non-mutating).
+
+        Designed for folding the per-shard partial results of a sharded
+        exploration (:mod:`repro.search.sharded`), where every state is
+        owned by exactly one shard:
+
+        * the visited sets are unioned (states re-interned left to right,
+          so fold order fixes the merged discovery order);
+        * ``edge_count`` adds up, ``depth_reached`` takes the maximum and
+          ``truncated`` is OR-ed — *any* truncated shard marks the merged
+          result truncated, which reachability maps to ``UNKNOWN`` (never
+          ``FAILS``);
+        * parent links are re-keyed against the merged table via their
+          edge objects, repairing cross-shard links (``parent_id == -1``)
+          so witness reconstruction works across shards.
+
+        When both operands carry a parent link for the same state (which
+        never happens between shard partials), the link discovered at the
+        smaller depth wins and the earlier operand wins ties, keeping the
+        fold associative.  Both operands must share the retention mode.
+
+        Raises:
+            SearchError: on mismatched retention modes.
+        """
+        if self.retention != other.retention:
+            raise SearchError(
+                f"cannot merge results with different retention modes "
+                f"({self.retention!r} vs {other.retention!r})"
+            )
+        merged = SearchResult(initial=self.initial, retention=self.retention)
+        merged.edge_count = self.edge_count + other.edge_count
+        merged.depth_reached = max(self.depth_reached, other.depth_reached)
+        merged.truncated = self.truncated or other.truncated
+        merged.edges = self.edges + other.edges
+        table = merged.interning
+        for operand in (self, other):
+            for local_id, state in enumerate(operand.states()):
+                merged_id, _, _ = table.intern(state)
+                depth = operand.depths.get(local_id)
+                if depth is not None:
+                    known = merged.depths.get(merged_id)
+                    if known is None or depth < known:
+                        merged.depths[merged_id] = depth
+        entry_depths: dict = {}
+        for operand in (self, other):
+            for local_target, (_, edge) in operand.parents.items():
+                target_id = table.id_of(operand.interning.state_of(local_target))
+                candidate_depth = operand.depths.get(local_target)
+                known_depth = entry_depths.get(target_id)
+                if target_id in merged.parents and (
+                    candidate_depth is None or known_depth is None or candidate_depth >= known_depth
+                ):
+                    continue
+                # Resolve the parent against the *union* of the operands'
+                # visited sets — never intern a state neither operand
+                # discovered.  A still-foreign source stays -1 (cross-shard
+                # marker) and resolves once a later fold contributes the
+                # owning shard; after a full merge_all every source is a
+                # discovered state, so no -1 markers survive.
+                parent_id = table.id_of(edge.source)
+                merged.parents[target_id] = (parent_id if parent_id is not None else -1, edge)
+                entry_depths[target_id] = candidate_depth
+        return merged
+
+    @classmethod
+    def merge_all(cls, results: Iterable["SearchResult"]) -> "SearchResult":
+        """Left fold of :meth:`merge` over a non-empty sequence of results."""
+        merged = None
+        for result in results:
+            merged = result if merged is None else merged.merge(result)
+        if merged is None:
+            raise SearchError("merge_all requires at least one result")
+        return merged
 
 
 class Engine:
@@ -230,7 +344,8 @@ class Engine:
             on_state(root, 0)
         frontier = make_frontier(self._strategy, self._heuristic)
         frontier.push(root_id, 0, root)
-        depths = {root_id: 0}
+        depths = result.depths
+        depths[root_id] = 0
         limits = self._limits
         successors = self._successors
         while frontier:
@@ -293,7 +408,8 @@ class Engine:
             return [], result
         frontier = make_frontier(self._strategy, self._heuristic)
         frontier.push(root_id, 0, root)
-        depths = {root_id: 0}
+        depths = result.depths
+        depths[root_id] = 0
         limits = self._limits
         successors = self._successors
         while frontier:

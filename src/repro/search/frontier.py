@@ -37,6 +37,7 @@ class Frontier:
     """Interface of a frontier strategy (see module docstring)."""
 
     def push(self, state_id: int, depth: int, state: Any) -> None:
+        """Add an entry; ``state`` is only inspected by best-first heuristics."""
         raise NotImplementedError
 
     def pop(self) -> tuple[int, int]:
@@ -59,9 +60,11 @@ class BFSFrontier(Frontier):
         self._queue: deque[tuple[int, int]] = deque()
 
     def push(self, state_id: int, depth: int, state: Any) -> None:
+        """Enqueue at the back (``state`` is ignored)."""
         self._queue.append((state_id, depth))
 
     def pop(self) -> tuple[int, int]:
+        """Dequeue the oldest entry (level order)."""
         return self._queue.popleft()
 
     def __len__(self) -> int:
@@ -77,9 +80,11 @@ class DFSFrontier(Frontier):
         self._stack: list[tuple[int, int]] = []
 
     def push(self, state_id: int, depth: int, state: Any) -> None:
+        """Push onto the stack (``state`` is ignored)."""
         self._stack.append((state_id, depth))
 
     def pop(self) -> tuple[int, int]:
+        """Pop the most recently pushed entry."""
         return self._stack.pop()
 
     def __len__(self) -> int:
@@ -97,11 +102,13 @@ class BestFirstFrontier(Frontier):
         self._counter = 0
 
     def push(self, state_id: int, depth: int, state: Any) -> None:
+        """Insert with priority ``heuristic(state, depth)``; FIFO among ties."""
         priority = self._heuristic(state, depth)
         heapq.heappush(self._heap, (priority, self._counter, state_id, depth))
         self._counter += 1
 
     def pop(self) -> tuple[int, int]:
+        """Remove the minimum-priority entry."""
         _, _, state_id, depth = heapq.heappop(self._heap)
         return state_id, depth
 

@@ -1,0 +1,512 @@
+"""Sharded, work-stealing exploration with merged results.
+
+The single-process :class:`~repro.search.engine.Engine` expands one
+state at a time; on the large case studies almost all of that time is
+spent in *successor enumeration* (guard evaluation over the database
+instance, instance construction).  This module parallelises exactly that
+hot loop while keeping the results **bit-identical** to a single-shard
+breadth-first exploration:
+
+* interned configuration ids are hash-partitioned across ``shards``
+  shards — each shard owns the states whose structural hash falls into
+  its partition and keeps **its own frontier**
+  (:class:`ShardFrontiers`);
+* exploration is *level-synchronous*: all states at depth ``d`` are
+  expanded before any state at depth ``d + 1``, in batches
+  (``batch_size`` states per expansion task);
+* when a shard's frontier drains before the level is finished it
+  **steals** the tail half of the fullest remaining frontier, so batch
+  composition stays balanced across shards even under skewed hash
+  partitions (dispatch to actual worker processes is additionally
+  load-balanced by the pool handing batches to whichever worker is
+  free);
+* successor enumeration runs on an expansion backend — a
+  ``multiprocessing`` process pool (:class:`ProcessExpansionBackend`,
+  fork start method) or a deterministic single-process fallback
+  (:class:`SerialExpansionBackend`) that exercises the same shard
+  queues and stealing policy;
+* the coordinator then **replays** the expansions in global discovery
+  (interned-id) order — the exact order in which single-shard BFS pops
+  its FIFO frontier — interning targets, recording parent links and
+  checking limits after every generated edge.
+
+Because interning, parent assignment, limit checks and predicate
+evaluation all happen in the deterministic replay, the merged result is
+bit-identical to the single-shard engine's on the visited set, edge
+counts, truncation flags, parent links and reconstructed witnesses, for
+every retention mode and worker count.  The only speculative work is
+successor enumeration past a limit, which the replay discards.
+
+Each shard accumulates its discoveries in its own partial
+:class:`~repro.search.engine.SearchResult` (states it owns, parent links
+of those states, edges generated from them); the public entry points
+fold the partials with the associative
+:meth:`~repro.search.engine.SearchResult.merge`, which re-keys parent
+links across shard boundaries and ORs truncation flags — any truncated
+shard makes the merged exploration truncated, which the reachability
+layer maps to ``UNKNOWN`` (never ``FAILS``).
+
+Sharding is inherently level-synchronous, so only the ``"bfs"`` frontier
+strategy is supported; requesting ``"dfs"``/``"best-first"`` with more
+than one shard or worker raises :class:`~repro.errors.SearchError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from repro.errors import SearchError
+from repro.search.engine import (
+    RETAIN_COUNTS,
+    RETAIN_FULL,
+    RETENTION_MODES,
+    SearchLimits,
+    SearchResult,
+)
+from repro.search.interning import InternTable
+
+__all__ = [
+    "ShardFrontiers",
+    "ShardedEngine",
+    "SerialExpansionBackend",
+    "ProcessExpansionBackend",
+    "shard_of",
+    "process_backend_available",
+    "usable_cpu_count",
+]
+
+DEFAULT_BATCH_SIZE = 16
+
+
+def shard_of(state: Any, shards: int) -> int:
+    """The shard owning ``state``: its structural hash modulo ``shards``.
+
+    Ownership only balances work across shards — the replay makes the
+    exploration result independent of the partition, so per-process hash
+    randomisation is harmless.
+    """
+    return hash(state) % shards
+
+
+def process_backend_available() -> bool:
+    """Whether the multiprocessing backend can run on this platform.
+
+    The process backend inherits the successor closure via the ``fork``
+    start method, so it is available exactly where fork is (POSIX);
+    elsewhere the engine silently falls back to the deterministic serial
+    backend, which produces identical results.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+class ShardFrontiers:
+    """Per-shard FIFO frontiers with tail-half work stealing.
+
+    One instance holds the frontiers of a single exploration level: the
+    coordinator pushes every ``(state_id, state)`` entry onto its owning
+    shard's queue, and expansion workers drain the queues in batches.
+    :meth:`take_batch` serves a shard from its own queue first; when that
+    queue has drained it steals the tail half of the fullest remaining
+    queue (the classic work-stealing split: the victim keeps the head it
+    is about to process, the thief takes the colder tail).
+    """
+
+    __slots__ = ("_queues",)
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise SearchError("the number of shards must be positive")
+        self._queues: list[deque] = [deque() for _ in range(shards)]
+
+    @property
+    def shards(self) -> int:
+        """Number of shard queues."""
+        return len(self._queues)
+
+    def push(self, shard: int, entry: Any) -> None:
+        """Append ``entry`` to ``shard``'s frontier."""
+        self._queues[shard].append(entry)
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues)
+
+    def __bool__(self) -> bool:
+        return any(self._queues)
+
+    def take_batch(self, shard: int, size: int) -> list:
+        """Up to ``size`` entries for ``shard``, stealing when it drained.
+
+        Returns ``[]`` only when every frontier is empty.
+        """
+        queue = self._queues[shard]
+        if not queue:
+            victim = self._fullest()
+            if victim is None:
+                return []
+            self._steal(victim, into=shard)
+        batch = []
+        while queue and len(batch) < size:
+            batch.append(queue.popleft())
+        return batch
+
+    def _fullest(self) -> int | None:
+        """The index of the fullest non-empty queue (smallest index on ties)."""
+        best: int | None = None
+        for index, queue in enumerate(self._queues):
+            if queue and (best is None or len(queue) > len(self._queues[best])):
+                best = index
+        return best
+
+    def _steal(self, victim: int, into: int) -> None:
+        """Move the tail half (at least one entry) of ``victim`` to ``into``."""
+        source = self._queues[victim]
+        count = max(1, len(source) // 2)
+        stolen = [source.pop() for _ in range(count)]
+        stolen.reverse()  # preserve the tail segment's original order
+        self._queues[into].extend(stolen)
+
+
+# -- expansion backends ------------------------------------------------------------
+
+
+def _drain_batches(frontiers: ShardFrontiers, batch_size: int) -> list[list]:
+    """Materialise all expansion batches of a level, round-robin with stealing.
+
+    A cursor cycles over the shards the way a pool of per-shard workers
+    would: each shard takes batches from its own frontier and steals from
+    the fullest one once its own has drained.
+    """
+    batches: list[list] = []
+    shard = 0
+    shards = frontiers.shards
+    while frontiers:
+        batch = frontiers.take_batch(shard, batch_size)
+        shard = (shard + 1) % shards
+        if batch:
+            batches.append(batch)
+    return batches
+
+
+class SerialExpansionBackend:
+    """Deterministic single-process expansion (the fallback backend).
+
+    Runs the exact same shard-queue draining and stealing schedule as the
+    process backend, then enumerates successors inline.
+    """
+
+    name = "serial"
+
+    def __init__(self, successors: Callable[[Any], Iterable]) -> None:
+        self._successors = successors
+
+    def expand(self, frontiers: ShardFrontiers, batch_size: int) -> dict:
+        """Expand every queued state; returns ``{state_id: [edges]}``."""
+        successors = self._successors
+        expansions: dict = {}
+        for batch in _drain_batches(frontiers, batch_size):
+            for state_id, state in batch:
+                expansions[state_id] = list(successors(state))
+        return expansions
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+_WORKER_SUCCESSORS: Callable[[Any], Iterable] | None = None
+
+
+def _initialise_worker(successors: Callable[[Any], Iterable]) -> None:
+    """Pool initializer: remember the successor function in the worker."""
+    global _WORKER_SUCCESSORS
+    _WORKER_SUCCESSORS = successors
+
+
+def _expand_batch(batch: list) -> list:
+    """Expand one batch in a worker; returns ``[(state_id, [edges]), ...]``."""
+    assert _WORKER_SUCCESSORS is not None, "worker pool was not initialised"
+    return [(state_id, list(_WORKER_SUCCESSORS(state))) for state_id, state in batch]
+
+
+class ProcessExpansionBackend:
+    """Batch successor expansion on a fork-based ``multiprocessing`` pool.
+
+    The successor closure is inherited by the workers through fork (no
+    pickling of the system), while the states shipped out and the edges
+    shipped back cross process boundaries pickled.  Expansion results
+    arrive unordered; determinism is restored by the coordinator replay.
+    """
+
+    name = "process"
+
+    def __init__(self, successors: Callable[[Any], Iterable], workers: int) -> None:
+        if not process_backend_available():
+            raise SearchError(
+                "the multiprocessing expansion backend requires the 'fork' start method"
+            )
+        context = multiprocessing.get_context("fork")
+        self._pool = context.Pool(
+            processes=workers, initializer=_initialise_worker, initargs=(successors,)
+        )
+
+    def expand(self, frontiers: ShardFrontiers, batch_size: int) -> dict:
+        """Expand every queued state across the pool; ``{state_id: [edges]}``."""
+        batches = _drain_batches(frontiers, batch_size)
+        expansions: dict = {}
+        for chunk in self._pool.imap_unordered(_expand_batch, batches):
+            expansions.update(chunk)
+        return expansions
+
+    def close(self) -> None:
+        """Shut the worker pool down."""
+        self._pool.close()
+        self._pool.join()
+
+
+# -- the sharded engine ------------------------------------------------------------
+
+
+class ShardedEngine:
+    """Level-synchronous sharded exploration (see module docs).
+
+    Drop-in for :class:`~repro.search.engine.Engine` on the ``"bfs"``
+    strategy: :meth:`explore` and :meth:`search` return results
+    bit-identical to the single-shard engine's, while successor
+    enumeration is batched across shard workers.
+
+    Args:
+        successors: deterministic successor function
+            ``state -> iterable of edges`` (objects with
+            ``.source``/``.target``).  Must be pure — the engine may
+            enumerate successors speculatively past a limit.
+        limits: depth/state/edge limits (:class:`SearchLimits`).
+        shards: number of hash partitions / per-level frontiers.
+        workers: expansion processes; ``1`` selects the serial backend.
+        retention: edge-retention mode (as for :class:`Engine`).
+        strategy: must be ``"bfs"`` — sharding is level-synchronous.
+        batch_size: states per expansion task.
+    """
+
+    __slots__ = ("_successors", "_limits", "_shards", "_workers", "_retention", "_batch_size")
+
+    def __init__(
+        self,
+        successors: Callable[[Any], Iterable],
+        *,
+        limits: SearchLimits | None = None,
+        shards: int = 1,
+        workers: int = 1,
+        retention: str = RETAIN_FULL,
+        strategy: str = "bfs",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if retention not in RETENTION_MODES:
+            raise SearchError(
+                f"unknown edge-retention mode {retention!r}; expected one of {RETENTION_MODES}"
+            )
+        if strategy != "bfs":
+            raise SearchError(
+                "sharded exploration is level-synchronous and supports only the 'bfs' "
+                f"strategy (got {strategy!r})"
+            )
+        if shards < 1 or workers < 1:
+            raise SearchError("shards and workers must both be positive")
+        if batch_size < 1:
+            raise SearchError("batch_size must be positive")
+        self._successors = successors
+        self._limits = limits or SearchLimits()
+        self._shards = shards
+        self._workers = workers
+        self._retention = retention
+        self._batch_size = batch_size
+
+    @property
+    def limits(self) -> SearchLimits:
+        """The exploration limits."""
+        return self._limits
+
+    @property
+    def shards(self) -> int:
+        """Number of hash partitions."""
+        return self._shards
+
+    @property
+    def workers(self) -> int:
+        """Number of expansion workers."""
+        return self._workers
+
+    @property
+    def retention(self) -> str:
+        """The edge-retention mode."""
+        return self._retention
+
+    @property
+    def strategy(self) -> str:
+        """Always ``"bfs"`` (level-synchronous sharding)."""
+        return "bfs"
+
+    @property
+    def backend_name(self) -> str:
+        """The expansion backend :meth:`explore` will use."""
+        if self._workers > 1 and process_backend_available():
+            return ProcessExpansionBackend.name
+        return SerialExpansionBackend.name
+
+    def _make_backend(self):
+        if self._workers > 1 and process_backend_available():
+            return ProcessExpansionBackend(self._successors, self._workers)
+        return SerialExpansionBackend(self._successors)
+
+    # -- public entry points ---------------------------------------------------
+
+    def explore(
+        self,
+        initial: Any,
+        on_state: Callable[[Any, int], None] | None = None,
+    ) -> SearchResult:
+        """Explore every reachable state within the limits (merged result).
+
+        ``on_state`` fires in global discovery order, exactly as under
+        the single-shard engine.
+        """
+        partials, _ = self._run(initial, on_state=on_state)
+        return self._merged(partials, initial)
+
+    def explore_shards(self, initial: Any) -> list[SearchResult]:
+        """The per-shard partial results of an exploration (one per shard).
+
+        Each partial holds the states its shard owns, the parent links of
+        those states (cross-shard parents marked ``-1``) and the edges
+        generated from them.  Fold them with
+        :meth:`SearchResult.merge_all` to recover the full exploration —
+        this is exactly what :meth:`explore` returns.
+        """
+        partials, _ = self._run(initial)
+        return partials
+
+    def search(
+        self,
+        initial: Any,
+        predicate: Callable[[Any], bool],
+    ) -> tuple[list | None, SearchResult]:
+        """Search for a state satisfying ``predicate``.
+
+        Same contract as :meth:`Engine.search`: returns
+        ``(witness_path, merged_result)``; the parent map is maintained
+        in every retention mode, and the breadth-first replay makes the
+        witness minimal and identical to the single-shard one.
+        """
+        partials, hit = self._run(initial, predicate=predicate)
+        merged = self._merged(partials, initial)
+        if hit is None:
+            return None, merged
+        source, edge = hit
+        if edge is None:
+            return [], merged  # the initial state satisfied the predicate
+        path = merged.path_to(source)
+        path.append(edge)
+        return path, merged
+
+    # -- the coordinator -------------------------------------------------------
+
+    def _merged(self, partials: list[SearchResult], initial: Any) -> SearchResult:
+        merged = SearchResult.merge_all(partials)
+        merged.initial = merged.interning.canonical(initial)
+        return merged
+
+    def _run(
+        self,
+        initial: Any,
+        *,
+        predicate: Callable[[Any], bool] | None = None,
+        on_state: Callable[[Any, int], None] | None = None,
+    ) -> tuple[list[SearchResult], tuple | None]:
+        """Level-synchronous exploration; returns ``(partials, hit)``.
+
+        ``hit`` is ``None`` (no predicate or no match), ``(state, None)``
+        when the initial state matches, or ``(source_state, edge)`` for
+        the first matching edge in single-shard BFS generation order.
+        """
+        shards = self._shards
+        limits = self._limits
+        keep_edges = self._retention == RETAIN_FULL
+        # Predicate search always keeps parent links (witnesses), as Engine.search does.
+        keep_parents = self._retention != RETAIN_COUNTS or predicate is not None
+        partials = [
+            SearchResult(initial=initial, retention=self._retention) for _ in range(shards)
+        ]
+        table = InternTable()  # global dedup; ids are single-shard discovery order
+        owner: dict[int, int] = {}
+        root_id, root, _ = table.intern(initial)
+        root_shard = shard_of(root, shards)
+        owner[root_id] = root_shard
+        root_local, _, _ = partials[root_shard].interning.intern(root)
+        partials[root_shard].depths[root_local] = 0
+        if predicate is not None and predicate(root):
+            return partials, (root, None)
+        if predicate is None and on_state is not None:
+            on_state(root, 0)
+        total_edges = 0
+        level = [root_id]
+        depth = 0
+        backend = self._make_backend()
+        try:
+            while level:
+                for state_id in level:
+                    part = partials[owner[state_id]]
+                    if depth > part.depth_reached:
+                        part.depth_reached = depth
+                if depth >= limits.max_depth:
+                    break
+                frontiers = ShardFrontiers(shards)
+                for state_id in level:
+                    frontiers.push(owner[state_id], (state_id, table.state_of(state_id)))
+                expansions = backend.expand(frontiers, self._batch_size)
+                next_level: list[int] = []
+                # Replay in discovery-id order == the order single-shard BFS
+                # pops its FIFO frontier, so interning, parent links, limit
+                # checks and predicate hits all sequence identically.
+                for state_id in level:
+                    part = partials[owner[state_id]]
+                    source = table.state_of(state_id)
+                    for edge in expansions.get(state_id, ()):
+                        part.edge_count += 1
+                        total_edges += 1
+                        if keep_edges:
+                            part.edges.append(edge)
+                        if predicate is not None and predicate(edge.target):
+                            return partials, (source, edge)
+                        target_id, target, is_new = table.intern(edge.target)
+                        if is_new:
+                            target_shard = shard_of(target, shards)
+                            owner[target_id] = target_shard
+                            target_part = partials[target_shard]
+                            local_id, _, _ = target_part.interning.intern(target)
+                            target_part.depths[local_id] = depth + 1
+                            if keep_parents:
+                                source_local = target_part.interning.id_of(source)
+                                target_part.parents[local_id] = (
+                                    source_local if source_local is not None else -1,
+                                    edge,
+                                )
+                            if predicate is None and on_state is not None:
+                                on_state(target, depth + 1)
+                            next_level.append(target_id)
+                        if len(table) >= limits.max_configurations or total_edges >= limits.max_steps:
+                            part.truncated = True
+                            return partials, None
+                level = next_level
+                depth += 1
+        finally:
+            backend.close()
+        return partials, None

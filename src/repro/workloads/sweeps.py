@@ -12,7 +12,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.workloads.generators import RandomDMSParameters, random_dms
 
-__all__ = ["SweepPoint", "sweep", "dms_family", "exploration_mode_sweep"]
+__all__ = ["SweepPoint", "sweep", "dms_family", "exploration_mode_sweep", "shard_scaling_sweep"]
 
 
 @dataclass(frozen=True)
@@ -90,6 +90,49 @@ def exploration_mode_sweep(
         for strategy in strategies
         for retention in retentions
     ]
+    return sweep(grid, measure)
+
+
+def shard_scaling_sweep(
+    system,
+    bound: int,
+    configurations: Sequence[tuple[int, int]] = ((1, 1), (2, 1), (4, 1), (4, 2), (4, 4)),
+    max_depth: int = 5,
+    retention: str = "counts-only",
+) -> tuple[SweepPoint, ...]:
+    """Explore one system under a grid of ``(shards, workers)`` pairs.
+
+    ``(1, 1)`` is the plain single-shard engine; every other point runs
+    the sharded engine (:mod:`repro.search.sharded`).  Measures
+    discovered configurations/edges, the expansion backend used and
+    wall-clock seconds, so callers (the E14 benchmark, the determinism
+    tests) can check that every point discovers the same fragment and
+    compare scaling.
+    """
+    from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
+
+    def measure(parameters: dict) -> dict:
+        explorer = RecencyExplorer(
+            system,
+            bound,
+            RecencyExplorationLimits(max_depth=max_depth),
+            retention=retention,
+            shards=parameters["shards"],
+            workers=parameters["workers"],
+        )
+        backend = explorer.backend_name
+        started = time.perf_counter()
+        result = explorer.explore()
+        elapsed = time.perf_counter() - started
+        return {
+            "backend": backend,
+            "configurations": result.configuration_count,
+            "edges": result.edge_count,
+            "truncated": result.truncated,
+            "seconds": round(elapsed, 4),
+        }
+
+    grid = [{"shards": shards, "workers": workers} for shards, workers in configurations]
     return sweep(grid, measure)
 
 
