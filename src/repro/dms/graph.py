@@ -116,6 +116,13 @@ class ConfigurationGraphExplorer:
             sharded (``"bfs"`` only) with results bit-identical to the
             single-shard engine (see :mod:`repro.search.sharded`).
         workers: successor-expansion processes (1 = in-process serial).
+        pool: a :class:`repro.runtime.WorkerPool` to borrow warm
+            expansion workers from (context keyed by the system, so
+            explorers over the same system share warm workers).
+
+    The underlying engine is created once per explorer, so successive
+    explorations reuse the same expansion backend (warm workers).  The
+    explorer is a context manager; :meth:`close` releases the backend.
     """
 
     def __init__(
@@ -128,6 +135,7 @@ class ConfigurationGraphExplorer:
         retention: str = RETAIN_FULL,
         shards: int = 1,
         workers: int = 1,
+        pool=None,
     ) -> None:
         self._system = system
         self._limits = limits or ExplorationLimits()
@@ -136,6 +144,8 @@ class ConfigurationGraphExplorer:
         self._retention = retention
         self._shards = shards
         self._workers = workers
+        self._pool = pool
+        self._engine_instance = None
 
     @property
     def system(self) -> DMS:
@@ -178,23 +188,42 @@ class ConfigurationGraphExplorer:
         return getattr(self._engine(), "backend_name", "in-process")
 
     def _engine(self):
-        successors = lambda configuration: enumerate_successors(self._system, configuration)  # noqa: E731
+        if self._engine_instance is not None:
+            return self._engine_instance
+        system = self._system  # capture the system, not the explorer (pool contexts keep the closure alive)
+        successors = lambda configuration: enumerate_successors(system, configuration)  # noqa: E731
         if self._shards > 1 or self._workers > 1:
-            return ShardedEngine(
+            self._engine_instance = ShardedEngine(
                 successors=successors,
                 limits=self._limits.as_search_limits(),
                 strategy=self._strategy,
                 retention=self._retention,
                 shards=self._shards,
                 workers=self._workers,
+                pool=self._pool,
+                pool_key=("dms-graph", id(self._system)) if self._pool is not None else None,
             )
-        return Engine(
-            successors=successors,
-            limits=self._limits.as_search_limits(),
-            strategy=self._strategy,
-            heuristic=self._heuristic,
-            retention=self._retention,
-        )
+        else:
+            self._engine_instance = Engine(
+                successors=successors,
+                limits=self._limits.as_search_limits(),
+                strategy=self._strategy,
+                heuristic=self._heuristic,
+                retention=self._retention,
+            )
+        return self._engine_instance
+
+    def close(self) -> None:
+        """Release the engine's expansion backend (idempotent)."""
+        engine, self._engine_instance = self._engine_instance, None
+        if engine is not None and hasattr(engine, "close"):
+            engine.close()
+
+    def __enter__(self) -> "ConfigurationGraphExplorer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def explore(
         self,

@@ -71,6 +71,14 @@ class ModelCheckingError(ReproError):
     """The model checker was invoked with inconsistent arguments."""
 
 
+class WorkerPoolError(ReproError):
+    """A persistent worker pool was misused or could not serve a request."""
+
+
+class SchedulerError(ReproError):
+    """A sweep point failed permanently (error or timeout after all retries)."""
+
+
 class TransformError(ReproError):
     """A model transformation (Appendix F) cannot be applied."""
 

@@ -1,0 +1,137 @@
+"""Command-line entry point for the experiment harness.
+
+Regenerates the per-experiment artefact rows from the terminal::
+
+    PYTHONPATH=src python -m repro.harness E1            # one experiment
+    PYTHONPATH=src python -m repro.harness all           # every experiment
+
+Experiments whose grids run on the runtime layer accept scheduling
+options; E9 supports the full set::
+
+    PYTHONPATH=src python -m repro.harness E9 --parallel 4 \
+        --checkpoint e9.jsonl --stream          # parallel, checkpointed
+    PYTHONPATH=src python -m repro.harness E9 --checkpoint e9.jsonl \
+        --resume                                # reuse completed points
+
+``--resume`` serves already-checkpointed points from the JSONL memo, so
+an interrupted sweep continues where it stopped and reproduces the
+exact row set of an uninterrupted run.  ``--stream`` prints each point
+as it completes (completion order) before the final table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments
+from repro.harness.reporting import print_experiment, stream_experiment
+
+__all__ = ["main"]
+
+# Which experiments understand which runtime options; anything else is
+# rejected instead of silently ignored.
+_PARALLEL_AWARE = ("E9", "E13", "E14")
+_CHECKPOINT_AWARE = ("E9",)
+_QUICK_AWARE = ("E13", "E14")
+
+# Titles come from the single registry in experiments.py; the CLI only
+# overrides the *runner* for experiments that take runtime options.
+TITLES = {identifier: title for identifier, (title, _) in experiments.EXPERIMENTS.items()}
+
+
+def _runner(identifier: str, options: argparse.Namespace, smoke: bool):
+    """The zero-argument callable regenerating one experiment's rows.
+
+    ``smoke`` selects the CI-smoke depths for the benchmark-scale
+    experiments — the registry's (and ``all_experiments``'s) default —
+    used for ``all`` runs; naming E13/E14 explicitly runs them at full
+    depth unless ``--quick`` is given.
+    """
+    if identifier == "E9":
+        return lambda: experiments.experiment_e9_convergence(
+            parallel=options.parallel,
+            checkpoint=options.checkpoint,
+            resume=options.resume,
+        )
+    if identifier == "E13":
+        return lambda: experiments.experiment_e13_engine(
+            quick=options.quick or smoke, parallel=options.parallel
+        )
+    if identifier == "E14":
+        return lambda: experiments.experiment_e14_sharded(
+            quick=options.quick or smoke, parallel=options.parallel
+        )
+    return experiments.EXPERIMENTS[identifier][1]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the harness CLI; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the experiment rows of the per-experiment index.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        help="experiment id (E1..E14) or 'all' (default)",
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=1,
+        help="concurrent sweep points for grid experiments (E9/E13/E14)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL checkpoint file for E9 (written as points complete)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="serve already-checkpointed E9 points from the memo",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrunken depths for E13/E14 (the CI smoke configuration)",
+    )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="print each sweep point as it completes (E9)",
+    )
+    options = parser.parse_args(argv)
+    requested = options.experiment.upper() if options.experiment != "all" else "all"
+    identifiers = list(TITLES) if requested == "all" else [requested]
+    unknown = [identifier for identifier in identifiers if identifier not in TITLES]
+    if unknown:
+        parser.error(f"unknown experiment {unknown[0]!r}; expected E1..E14 or 'all'")
+    # Reject options the requested experiment would silently ignore
+    # ('all' applies each option to the experiments that understand it).
+    if requested != "all":
+        if options.parallel != 1 and requested not in _PARALLEL_AWARE:
+            parser.error(f"--parallel applies to {'/'.join(_PARALLEL_AWARE)}, not {requested}")
+        if (options.checkpoint or options.resume or options.stream) and requested not in _CHECKPOINT_AWARE:
+            parser.error(
+                f"--checkpoint/--resume/--stream apply to {'/'.join(_CHECKPOINT_AWARE)}, "
+                f"not {requested}"
+            )
+        if options.quick and requested not in _QUICK_AWARE:
+            parser.error(f"--quick applies to {'/'.join(_QUICK_AWARE)}, not {requested}")
+    if options.resume and not options.checkpoint:
+        parser.error("--resume requires --checkpoint (the JSONL memo to resume from)")
+    for identifier in identifiers:
+        if identifier == "E9" and options.stream:
+            stream_experiment(
+                identifier,
+                TITLES[identifier],
+                experiments.experiment_e9_convergence,
+                parallel=options.parallel,
+                checkpoint=options.checkpoint,
+                resume=options.resume,
+            )
+            continue
+        rows = _runner(identifier, options, smoke=requested == "all")()
+        print_experiment(identifier, TITLES[identifier], rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

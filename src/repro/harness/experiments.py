@@ -45,6 +45,7 @@ from repro.transforms.overlapping import standard_substitution
 from repro.workloads.generators import RandomDMSParameters, random_dms
 
 __all__ = [
+    "EXPERIMENTS",
     "experiment_e1_figure1_run",
     "experiment_e2_recency_bound",
     "experiment_e3_encoding",
@@ -365,8 +366,24 @@ def experiment_e8_counter_reductions(max_depth: int = 8) -> list[dict]:
 # -- E9: convergence in the recency bound -----------------------------------------------------------------
 
 
-def experiment_e9_convergence(max_depth: int = 5) -> list[dict]:
-    """Reachability verdicts and explored state space as b increases (Section 5)."""
+def experiment_e9_convergence(
+    max_depth: int = 5,
+    *,
+    parallel: int = 1,
+    checkpoint=None,
+    resume: bool = False,
+    on_point=None,
+) -> list[dict]:
+    """Reachability verdicts and explored state space as b increases (Section 5).
+
+    Both bound sweeps run through the runtime's sweep scheduler:
+    ``parallel`` executes their cells concurrently on forked workers,
+    ``checkpoint``/``resume`` persist completed cells to a shared JSONL
+    memo (an interrupted run resumed from it reproduces the exact row
+    set; the memo is content-keyed, so the two sweeps coexist in one
+    file), and ``on_point`` streams records as cells complete.  Rows are
+    identical for every parallelism level.
+    """
     from repro.fol.parser import parse_query
 
     system = example_31_system()
@@ -375,10 +392,11 @@ def experiment_e9_convergence(max_depth: int = 5) -> list[dict]:
     # requires firing beta, whose parameter must be among the 2 most recent
     # elements: the property becomes reachable only from bound 2 onwards.
     condition = parse_query("!p & exists u. Q(u)")
-    sweep = reachability_bound_sweep(
-        system, condition, bounds=(0, 1, 2, 3), max_depth=max_depth
+    reach = reachability_bound_sweep(
+        system, condition, bounds=(0, 1, 2, 3), max_depth=max_depth,
+        parallel=parallel, checkpoint=checkpoint, resume=resume, on_point=on_point,
     )
-    for entry in sweep:
+    for entry in reach:
         rows.append(
             {
                 "system": system.name,
@@ -389,7 +407,15 @@ def experiment_e9_convergence(max_depth: int = 5) -> list[dict]:
                 "edges": entry.edges,
             }
         )
-    for entry in state_space_bound_sweep(system, bounds=(0, 1, 2), max_depth=max_depth - 1):
+    # The second sweep appends to the same memo: resume whenever a
+    # checkpoint exists so it never clears the first sweep's records
+    # (content keys keep the two sweeps' cells apart).
+    space = state_space_bound_sweep(
+        system, bounds=(0, 1, 2), max_depth=max_depth - 1,
+        parallel=parallel, checkpoint=checkpoint,
+        resume=resume or checkpoint is not None, on_point=on_point,
+    )
+    for entry in space:
         rows.append(
             {
                 "system": system.name,
@@ -532,7 +558,7 @@ def experiment_e12_bulk(product_counts: tuple[int, ...] = (1, 2, 3)) -> list[dic
 # -- E13: unified exploration engine vs the seed explorer ---------------------------------------------------
 
 
-def experiment_e13_engine(quick: bool = False) -> list[dict]:
+def experiment_e13_engine(quick: bool = False, *, parallel: int = 1) -> list[dict]:
     """Throughput and memory of the engine path against the frozen seed explorer.
 
     For each case study the same exhaustive predicate search (a condition
@@ -547,7 +573,10 @@ def experiment_e13_engine(quick: bool = False) -> list[dict]:
     booking study checks that every (strategy, retention) combination
     discovers the same configuration set.
 
-    ``quick`` shrinks the depths for CI smoke runs.
+    ``quick`` shrinks the depths for CI smoke runs.  ``parallel`` runs
+    the mode-sweep grid concurrently through the sweep scheduler (the
+    timed seed-vs-engine comparisons always run sequentially so their
+    wall-clock numbers stay meaningful).
     """
     import time
     import tracemalloc
@@ -623,6 +652,7 @@ def experiment_e13_engine(quick: bool = False) -> list[dict]:
         strategies=("bfs", "dfs", "best-first"),
         max_depth=3 if quick else 4,
         heuristic=lambda conf, depth: depth,
+        parallel=parallel,
     )
     configuration_counts = {point.as_row()["configurations"] for point in mode_rows}
     rows.append(
@@ -649,7 +679,7 @@ def experiment_e13_engine(quick: bool = False) -> list[dict]:
 
 # -- E14: sharded work-stealing exploration vs the single-shard engine ---------------------------------------
 
-def experiment_e14_sharded(quick: bool = False) -> list[dict]:
+def experiment_e14_sharded(quick: bool = False, *, parallel: int = 1, pool=None) -> list[dict]:
     """Sharded exploration (:mod:`repro.search.sharded`) against the 1-shard engine.
 
     For the booking and warehouse case studies at recency bound 2, the
@@ -664,58 +694,79 @@ def experiment_e14_sharded(quick: bool = False) -> list[dict]:
     truncation flag).  A final witness row checks that a *reachable*
     condition yields the identical minimal witness through both paths.
 
-    ``quick`` shrinks the depths for CI smoke runs.
+    ``quick`` shrinks the depths for CI smoke runs.  The grid executes
+    on the sweep scheduler; ``parallel`` overlaps its points (counts
+    stay bit-identical, but per-point seconds then overlap — keep the
+    default when speedup numbers matter), and ``pool`` lends warm
+    expansion workers to sequential runs.
     """
     import time
 
     from repro.fol.syntax import Atom, Exists
+    from repro.workloads.sweeps import sweep
 
     grid = ((1, 1), (4, 1), (4, 2), (4, 4))
     cases = [
         ("booking", booking_agency_system(), 2, 4 if quick else 6),
         ("warehouse", warehouse_system(), 2, 6 if quick else 12),
     ]
+    exploration_pool = pool if parallel <= 1 else None
     rows = []
     for name, system, bound, depth in cases:
         never = lambda configuration: False  # noqa: E731 - exhaustive search
-        baseline: dict = {}
-        for shards, workers in grid:
+
+        def measure(parameters: dict, system=system, bound=bound, depth=depth, never=never) -> dict:
             explorer = RecencyExplorer(
                 system,
                 bound,
                 RecencyExplorationLimits(max_depth=depth),
                 retention=RETAIN_PARENTS,
-                shards=shards,
-                workers=workers,
+                shards=parameters["shards"],
+                workers=parameters["workers"],
+                pool=exploration_pool,
             )
             backend = explorer.backend_name
             started = time.perf_counter()
             witness, stats = explorer.find_configuration(never)
             seconds = time.perf_counter() - started
-            if shards == 1 and workers == 1:
-                baseline = {
-                    "configurations": stats.configuration_count,
-                    "edges": stats.edge_count,
-                    "truncated": stats.truncated,
-                    "seconds": seconds,
-                }
+            return {
+                "backend": backend,
+                "configurations": stats.configuration_count,
+                "edges": stats.edge_count,
+                "truncated": stats.truncated,
+                "witness_found": witness is not None,
+                "seconds": seconds,
+            }
+
+        points = sweep(
+            [{"shards": shards, "workers": workers} for shards, workers in grid],
+            measure,
+            parallel=parallel,
+        )
+        baseline = points[0].measurements  # grid order: (1, 1) is always first
+        for point in points:
+            measured = point.measurements
             rows.append(
                 {
                     "case": name,
                     "bound": bound,
                     "depth": depth,
-                    "shards": shards,
-                    "workers": workers,
-                    "backend": backend,
-                    "configurations": stats.configuration_count,
-                    "edges": stats.edge_count,
-                    "seconds": round(seconds, 4),
-                    "speedup": round(baseline["seconds"] / seconds, 2) if seconds else None,
+                    "shards": point.parameters["shards"],
+                    "workers": point.parameters["workers"],
+                    "backend": measured["backend"],
+                    "configurations": measured["configurations"],
+                    "edges": measured["edges"],
+                    "seconds": round(measured["seconds"], 4),
+                    "speedup": (
+                        round(baseline["seconds"] / measured["seconds"], 2)
+                        if measured["seconds"]
+                        else None
+                    ),
                     "results_match": (
-                        witness is None
-                        and stats.configuration_count == baseline["configurations"]
-                        and stats.edge_count == baseline["edges"]
-                        and stats.truncated == baseline["truncated"]
+                        not measured["witness_found"]
+                        and measured["configurations"] == baseline["configurations"]
+                        and measured["edges"] == baseline["edges"]
+                        and measured["truncated"] == baseline["truncated"]
                     ),
                 }
             )
@@ -753,21 +804,29 @@ def experiment_e14_sharded(quick: bool = False) -> list[dict]:
     return rows
 
 
+# The single experiment registry: ``{id: (title, default runner)}``.
+# The harness CLI derives its titles and dispatch from this table and
+# ``all_experiments`` runs it, so a new experiment is registered exactly
+# once.  The default runners use the CI-smoke configuration where one
+# exists (quick=True for the benchmark-scale experiments).
+EXPERIMENTS: dict = {
+    "E1": ("Figure 1 run replay", experiment_e1_figure1_run),
+    "E2": ("Recency bound of the Figure 1 run", experiment_e2_recency_bound),
+    "E3": ("Nested-word encoding (Figure 2)", experiment_e3_encoding),
+    "E4": ("Abstr/Concr round trip", experiment_e4_abstraction_roundtrip),
+    "E5": ("Validity of encodings", experiment_e5_validity),
+    "E6": ("MSO-FO → MSONW translation", experiment_e6_translation),
+    "E7": ("Size of the reduction formula", experiment_e7_formula_size),
+    "E8": ("Counter-machine reductions", experiment_e8_counter_reductions),
+    "E9": ("Convergence in the recency bound", experiment_e9_convergence),
+    "E10": ("Booking agency case study", experiment_e10_booking),
+    "E11": ("Relaxation transformations", experiment_e11_transforms),
+    "E12": ("Bulk-operation simulation", experiment_e12_bulk),
+    "E13": ("Unified engine vs seed explorer", lambda: experiment_e13_engine(quick=True)),
+    "E14": ("Sharded exploration vs single-shard engine", lambda: experiment_e14_sharded(quick=True)),
+}
+
+
 def all_experiments() -> dict:
     """Run every experiment and return ``{id: rows}`` (used by the harness CLI)."""
-    return {
-        "E1": experiment_e1_figure1_run(),
-        "E2": experiment_e2_recency_bound(),
-        "E3": experiment_e3_encoding(),
-        "E4": experiment_e4_abstraction_roundtrip(),
-        "E5": experiment_e5_validity(),
-        "E6": experiment_e6_translation(),
-        "E7": experiment_e7_formula_size(),
-        "E8": experiment_e8_counter_reductions(),
-        "E9": experiment_e9_convergence(),
-        "E10": experiment_e10_booking(),
-        "E11": experiment_e11_transforms(),
-        "E12": experiment_e12_bulk(),
-        "E13": experiment_e13_engine(quick=True),
-        "E14": experiment_e14_sharded(quick=True),
-    }
+    return {identifier: runner() for identifier, (_, runner) in EXPERIMENTS.items()}

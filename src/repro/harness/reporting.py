@@ -1,10 +1,25 @@
-"""Plain-text reporting helpers for the experiment harness."""
+"""Plain-text reporting helpers for the experiment harness.
+
+Besides the classic aligned-table output (:func:`format_table`,
+:func:`print_experiment`), this module provides the *streaming* surface
+of the runtime layer: :func:`point_printer` builds an ``on_point``
+callback for the sweep scheduler that prints one line per completed
+point — in completion order, while the sweep is still running — and
+:func:`stream_experiment` drives a whole experiment that way before
+printing the final table.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "print_experiment"]
+__all__ = [
+    "format_table",
+    "format_row",
+    "point_printer",
+    "print_experiment",
+    "stream_experiment",
+]
 
 
 def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
@@ -28,8 +43,48 @@ def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) 
     return f"{header}\n{separator}\n{body}"
 
 
+def format_row(row: Mapping) -> str:
+    """One row as a compact ``key=value`` line (for streaming output)."""
+    return "  ".join(f"{key}={value}" for key, value in row.items())
+
+
+def point_printer(identifier: str, out: Callable[[str], None] = print) -> Callable:
+    """An ``on_point`` callback printing each completed sweep point.
+
+    Suitable for :func:`repro.workloads.sweeps.sweep` and the
+    experiment functions that accept ``on_point``: every record is
+    printed the moment its grid point completes (checkpoint-cached
+    points are marked ``memo``), so long-running parallel sweeps report
+    progress instead of going dark until the final table.
+    """
+
+    def on_point(record) -> None:
+        source = "memo" if getattr(record, "cached", False) else "run"
+        out(f"[{identifier}] point {record.index} ({source}): {format_row(record.as_row())}")
+
+    return on_point
+
+
 def print_experiment(identifier: str, title: str, rows: Iterable[Mapping]) -> None:
     """Print one experiment's rows in the format recorded in EXPERIMENTS.md."""
     rows = list(rows)
     print(f"\n=== {identifier}: {title} ===")
     print(format_table(rows))
+
+
+def stream_experiment(
+    identifier: str,
+    title: str,
+    experiment: Callable[..., list],
+    **options,
+) -> list:
+    """Run ``experiment(on_point=...)`` streaming, then print the table.
+
+    ``options`` (``parallel=``, ``checkpoint=``, ``resume=``, depths …)
+    are forwarded to the experiment function; the streaming callback is
+    injected.  Returns the experiment's rows.
+    """
+    print(f"\n=== {identifier}: {title} (streaming) ===")
+    rows = experiment(on_point=point_printer(identifier), **options)
+    print(format_table(rows))
+    return rows

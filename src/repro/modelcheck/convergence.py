@@ -6,6 +6,16 @@ converge to the exact ones in the limit (Example 5.2 derives a concrete
 ``k_mb`` for the booking case study).  The helpers in this module sweep
 the bound and report how verdicts and the amount of explored behaviour
 evolve, which is what experiment E9 measures.
+
+The bound sweeps are grids of independent points, so both sweep
+functions execute through the runtime's
+:class:`~repro.runtime.scheduler.SweepScheduler`: ``parallel=`` runs
+points concurrently on forked workers, ``checkpoint=``/``resume=``
+persist completed points to a JSONL memo and resume interrupted sweeps,
+and ``pool=`` lends warm expansion workers to the explorations of a
+*sequential* sweep (a parent pool is never used from inside forked
+point workers).  Rows are identical regardless of parallelism or
+completion order.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from repro.fol.syntax import Query
 from repro.modelcheck.reachability import query_reachable, query_reachable_bounded
 from repro.modelcheck.result import Verdict
 from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
+from repro.runtime import SweepScheduler
 from repro.search import RETAIN_COUNTS, RETAIN_PARENTS
 
 __all__ = ["BoundSweepEntry", "reachability_bound_sweep", "state_space_bound_sweep", "convergence_bound"]
@@ -36,6 +47,19 @@ class BoundSweepEntry:
         return (self.bound, self.verdict.value, self.configurations, self.edges)
 
 
+def _heuristic_key(heuristic) -> str | None:
+    """A (best-effort) stable memo-key component for a search heuristic.
+
+    Heuristics are callables, so the key uses the qualified name — stable
+    across runs for named functions and per-definition-site for lambdas.
+    Distinct heuristics defined at the same site would collide; name your
+    heuristic when checkpointing a best-first sweep.
+    """
+    if heuristic is None:
+        return None
+    return getattr(heuristic, "__qualname__", repr(heuristic))
+
+
 def reachability_bound_sweep(
     system: DMS,
     condition: Query | str,
@@ -47,6 +71,13 @@ def reachability_bound_sweep(
     retention: str = RETAIN_PARENTS,
     shards: int = 1,
     workers: int = 1,
+    pool=None,
+    parallel: int = 1,
+    timeout: float | None = None,
+    retries: int = 0,
+    checkpoint=None,
+    resume: bool = False,
+    on_point=None,
 ) -> tuple[BoundSweepEntry, ...]:
     """Reachability verdict and explored state space for increasing bounds.
 
@@ -56,23 +87,57 @@ def reachability_bound_sweep(
     hold every edge in memory.  ``shards``/``workers`` select the
     sharded engine for each point of the sweep (bit-identical verdicts;
     any-shard truncation reports ``UNKNOWN``, never ``FAILS``).
+
+    ``parallel`` runs the bounds concurrently through the sweep
+    scheduler; ``checkpoint``/``resume`` memoise completed bounds.  The
+    memo is content-keyed on what determines the result — sweep kind,
+    system, condition, bound, depth, strategy, heuristic (by qualified
+    name) and retention, but not ``shards``/``workers``, which never
+    change results — so a shared checkpoint file cannot serve one
+    query's rows to another.  ``pool`` lends warm expansion workers to
+    sequential sweeps only.  ``on_point`` streams each completed bound.
     """
-    rows = []
-    for bound in bounds:
+    exploration_pool = pool if parallel <= 1 else None
+
+    def measure(parameters: dict) -> dict:
         result = query_reachable_bounded(
-            system, condition, bound, max_depth=max_depth,
+            system, condition, parameters["b"], max_depth=max_depth,
             strategy=strategy, heuristic=heuristic, retention=retention,
-            shards=shards, workers=workers,
+            shards=shards, workers=workers, pool=exploration_pool,
         )
-        rows.append(
-            BoundSweepEntry(
-                bound=bound,
-                verdict=result.reachable,
-                configurations=result.configurations_explored,
-                edges=result.edges_explored,
-            )
+        return {
+            "verdict": result.reachable.value,
+            "configurations": result.configurations_explored,
+            "edges": result.edges_explored,
+        }
+
+    scheduler = SweepScheduler(
+        parallel=parallel, timeout=timeout, retries=retries,
+        checkpoint=checkpoint, resume=resume,
+    )
+    grid = [
+        {
+            "sweep": "reachability-bound",
+            "system": system.name,
+            "condition": condition if isinstance(condition, str) else repr(condition),
+            "b": bound,
+            "max_depth": max_depth,
+            "strategy": strategy,
+            "heuristic": _heuristic_key(heuristic),
+            "retention": retention,
+        }
+        for bound in bounds
+    ]
+    records = scheduler.run(grid, measure, on_point=on_point)
+    return tuple(
+        BoundSweepEntry(
+            bound=record.parameters["b"],
+            verdict=Verdict(record.measurements["verdict"]),
+            configurations=record.measurements["configurations"],
+            edges=record.measurements["edges"],
         )
-    return tuple(rows)
+        for record in records
+    )
 
 
 def state_space_bound_sweep(
@@ -85,30 +150,63 @@ def state_space_bound_sweep(
     retention: str = RETAIN_COUNTS,
     shards: int = 1,
     workers: int = 1,
+    pool=None,
+    parallel: int = 1,
+    timeout: float | None = None,
+    retries: int = 0,
+    checkpoint=None,
+    resume: bool = False,
+    on_point=None,
 ) -> tuple[BoundSweepEntry, ...]:
     """How many configurations/edges are explored as the bound grows (no property).
 
     Only sizes are reported, so the sweep defaults to the engine's
     ``"counts-only"`` retention: no edge objects are held in memory.
-    ``shards``/``workers`` select the sharded engine per point.
+    ``shards``/``workers`` select the sharded engine per point;
+    ``parallel``/``checkpoint``/``resume`` schedule the points as in
+    :func:`reachability_bound_sweep`, with the memo content-keyed the
+    same way.
     """
-    rows = []
-    for bound in bounds:
+    exploration_pool = pool if parallel <= 1 else None
+
+    def measure(parameters: dict) -> dict:
         explorer = RecencyExplorer(
-            system, bound, RecencyExplorationLimits(max_depth=max_depth),
+            system, parameters["b"], RecencyExplorationLimits(max_depth=max_depth),
             strategy=strategy, heuristic=heuristic, retention=retention,
-            shards=shards, workers=workers,
+            shards=shards, workers=workers, pool=exploration_pool,
         )
         result = explorer.explore()
-        rows.append(
-            BoundSweepEntry(
-                bound=bound,
-                verdict=Verdict.UNKNOWN,
-                configurations=result.configuration_count,
-                edges=result.edge_count,
-            )
+        return {
+            "configurations": result.configuration_count,
+            "edges": result.edge_count,
+        }
+
+    scheduler = SweepScheduler(
+        parallel=parallel, timeout=timeout, retries=retries,
+        checkpoint=checkpoint, resume=resume,
+    )
+    grid = [
+        {
+            "sweep": "state-space-bound",
+            "system": system.name,
+            "b": bound,
+            "max_depth": max_depth,
+            "strategy": strategy,
+            "heuristic": _heuristic_key(heuristic),
+            "retention": retention,
+        }
+        for bound in bounds
+    ]
+    records = scheduler.run(grid, measure, on_point=on_point)
+    return tuple(
+        BoundSweepEntry(
+            bound=record.parameters["b"],
+            verdict=Verdict.UNKNOWN,
+            configurations=record.measurements["configurations"],
+            edges=record.measurements["edges"],
         )
-    return tuple(rows)
+        for record in records
+    )
 
 
 def convergence_bound(
@@ -121,6 +219,7 @@ def convergence_bound(
     heuristic=None,
     shards: int = 1,
     workers: int = 1,
+    pool=None,
 ) -> int | None:
     """The least bound at which the bounded reachability verdict matches the
     unbounded (depth-bounded) verdict.
@@ -128,16 +227,17 @@ def convergence_bound(
     Returns ``None`` when no bound up to ``max_bound`` agrees — which, for
     exhaustive exploration depths, indicates the behaviour of interest
     genuinely needs a deeper recency window.  ``shards``/``workers``
-    select the sharded engine for every exploration of the scan.
+    select the sharded engine for every exploration of the scan, and
+    ``pool`` keeps its expansion workers warm across the whole scan.
     """
     reference = query_reachable(
         system, condition, max_depth=max_depth, strategy=strategy, heuristic=heuristic,
-        shards=shards, workers=workers,
+        shards=shards, workers=workers, pool=pool,
     )
     for bound in range(max_bound + 1):
         bounded = query_reachable_bounded(
             system, condition, bound, max_depth=max_depth, strategy=strategy,
-            heuristic=heuristic, shards=shards, workers=workers,
+            heuristic=heuristic, shards=shards, workers=workers, pool=pool,
         )
         if bounded.reachable == reference.reachable:
             return bound

@@ -23,6 +23,12 @@ Truncation contract: whenever the exploration is cut short by
 generated successor — an unreached condition is reported
 :attr:`~repro.modelcheck.result.Verdict.UNKNOWN`, never
 :attr:`~repro.modelcheck.result.Verdict.FAILS`.
+
+Every entry point accepts ``pool=`` (a :class:`repro.runtime.WorkerPool`):
+for *sharded* queries (``shards`` or ``workers`` above 1) repeated calls
+over the same system then reuse warm expansion workers instead of
+forking a pool per call.  Single-shard queries expand in-process and
+ignore the pool.  Verdicts are unaffected either way.
 """
 
 from __future__ import annotations
@@ -68,6 +74,7 @@ def query_reachable(
     retention: str = RETAIN_PARENTS,
     shards: int = 1,
     workers: int = 1,
+    pool=None,
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable (unbounded semantics)?
 
@@ -89,6 +96,7 @@ def query_reachable(
         retention=retention,
         shards=shards,
         workers=workers,
+        pool=pool,
     )
     witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
     if witness is not None:
@@ -118,6 +126,7 @@ def proposition_reachable(
     retention: str = RETAIN_PARENTS,
     shards: int = 1,
     workers: int = 1,
+    pool=None,
 ) -> ReachabilityResult:
     """Propositional reachability (Example 4.2) in the unbounded semantics."""
     return query_reachable(
@@ -130,6 +139,7 @@ def proposition_reachable(
         retention=retention,
         shards=shards,
         workers=workers,
+        pool=pool,
     )
 
 
@@ -145,6 +155,7 @@ def query_reachable_bounded(
     retention: str = RETAIN_PARENTS,
     shards: int = 1,
     workers: int = 1,
+    pool=None,
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable along a b-bounded run?
 
@@ -161,6 +172,7 @@ def query_reachable_bounded(
         retention=retention,
         shards=shards,
         workers=workers,
+        pool=pool,
     )
     witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
     if witness is not None:
@@ -191,6 +203,7 @@ def proposition_reachable_bounded(
     retention: str = RETAIN_PARENTS,
     shards: int = 1,
     workers: int = 1,
+    pool=None,
 ) -> ReachabilityResult:
     """Propositional reachability restricted to b-bounded runs."""
     return query_reachable_bounded(
@@ -204,4 +217,5 @@ def proposition_reachable_bounded(
         retention=retention,
         shards=shards,
         workers=workers,
+        pool=pool,
     )

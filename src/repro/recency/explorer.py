@@ -111,6 +111,15 @@ class RecencyExplorer:
             sharded (``"bfs"`` only) with results bit-identical to the
             single-shard engine (see :mod:`repro.search.sharded`).
         workers: successor-expansion processes (1 = in-process serial).
+        pool: a :class:`repro.runtime.WorkerPool` to borrow warm
+            expansion workers from.  The pool context is keyed by
+            ``(system, bound)``, so explorer instances over the same
+            case-study context share the same warm workers.
+
+    The underlying engine is created once per explorer, so successive
+    explorations through one explorer reuse the same expansion backend
+    (warm worker processes).  The explorer is a context manager;
+    :meth:`close` releases the backend.
     """
 
     def __init__(
@@ -124,6 +133,7 @@ class RecencyExplorer:
         retention: str = RETAIN_FULL,
         shards: int = 1,
         workers: int = 1,
+        pool=None,
     ) -> None:
         self._system = system
         self._bound = bound
@@ -133,6 +143,8 @@ class RecencyExplorer:
         self._retention = retention
         self._shards = shards
         self._workers = workers
+        self._pool = pool
+        self._engine_instance = None
 
     @property
     def system(self) -> DMS:
@@ -180,26 +192,44 @@ class RecencyExplorer:
         return getattr(self._engine(), "backend_name", "in-process")
 
     def _engine(self):
+        if self._engine_instance is not None:
+            return self._engine_instance
         system, bound = self._system, self._bound
         successors = lambda configuration: enumerate_b_bounded_successors(  # noqa: E731
             system, configuration, bound
         )
         if self._shards > 1 or self._workers > 1:
-            return ShardedEngine(
+            self._engine_instance = ShardedEngine(
                 successors=successors,
                 limits=self._limits.as_search_limits(),
                 strategy=self._strategy,
                 retention=self._retention,
                 shards=self._shards,
                 workers=self._workers,
+                pool=self._pool,
+                pool_key=("recency", id(system), bound) if self._pool is not None else None,
             )
-        return Engine(
-            successors=successors,
-            limits=self._limits.as_search_limits(),
-            strategy=self._strategy,
-            heuristic=self._heuristic,
-            retention=self._retention,
-        )
+        else:
+            self._engine_instance = Engine(
+                successors=successors,
+                limits=self._limits.as_search_limits(),
+                strategy=self._strategy,
+                heuristic=self._heuristic,
+                retention=self._retention,
+            )
+        return self._engine_instance
+
+    def close(self) -> None:
+        """Release the engine's expansion backend (idempotent)."""
+        engine, self._engine_instance = self._engine_instance, None
+        if engine is not None and hasattr(engine, "close"):
+            engine.close()
+
+    def __enter__(self) -> "RecencyExplorer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def explore(
         self, on_configuration: Callable[[RecencyConfiguration, int], None] | None = None

@@ -1,0 +1,108 @@
+"""JSONL checkpointing of sweep results.
+
+A :class:`SweepCheckpoint` is an append-only JSON-Lines file with one
+record per completed sweep point::
+
+    {"key": "<canonical parameters>", "parameters": {...}, "measurements": {...}}
+
+The ``key`` is the canonical JSON serialisation of the point's parameter
+assignment (sorted keys, compact separators), which makes the file a
+**content-keyed memo**: a point is identified by *what* was computed,
+not by its position in a grid, so a resumed sweep may reorder, extend or
+interleave grids and still reuse every already-computed point.
+
+Records are appended and flushed one at a time, immediately after each
+point completes, so a sweep killed mid-flight loses at most the point
+that was being written.  :meth:`load` tolerates a torn final line (and
+any other corrupt line) by skipping it — the scheduler simply recomputes
+those points.  Parameters and measurements must be JSON-serialisable;
+every sweep in this library emits flat dictionaries of scalars.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["SweepCheckpoint", "point_key"]
+
+
+def point_key(parameters: Mapping) -> str:
+    """The canonical content key of one parameter assignment."""
+    return json.dumps(dict(parameters), sort_keys=True, separators=(",", ":"), default=str)
+
+
+class SweepCheckpoint:
+    """Append-only JSONL memo of completed sweep points (see module docs)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        """The checkpoint file's location."""
+        return self._path
+
+    def exists(self) -> bool:
+        """Whether any checkpoint data has been written."""
+        return self._path.exists()
+
+    def load(self) -> dict[str, dict]:
+        """``{point_key: measurements}`` for every valid record on disk.
+
+        Corrupt lines (torn final write, manual edits) are skipped; a
+        later record for the same key wins, so re-running a point simply
+        refreshes its memo entry.
+        """
+        if not self._path.exists():
+            return {}
+        memo: dict[str, dict] = {}
+        for line in self._path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (
+                isinstance(record, dict)
+                and isinstance(record.get("key"), str)
+                and isinstance(record.get("measurements"), dict)
+            ):
+                memo[record["key"]] = record["measurements"]
+        return memo
+
+    def record(self, parameters: Mapping, measurements: Mapping) -> None:
+        """Append one completed point (flushed before returning).
+
+        If the file ends in a torn line — the previous run was killed
+        mid-write — a newline is inserted first, so the torn fragment
+        stays isolated (and skipped by :meth:`load`) instead of
+        corrupting this record.
+        """
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            {
+                "key": point_key(parameters),
+                "parameters": dict(parameters),
+                "measurements": dict(measurements),
+            },
+            default=str,
+        )
+        with self._path.open("a+b") as handle:
+            handle.seek(0, 2)
+            if handle.tell() > 0:
+                handle.seek(-1, 2)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(line.encode("utf-8") + b"\n")
+            handle.flush()
+
+    def clear(self) -> None:
+        """Delete the checkpoint file (missing is fine)."""
+        try:
+            self._path.unlink()
+        except FileNotFoundError:
+            pass

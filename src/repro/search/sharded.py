@@ -49,12 +49,19 @@ layer maps to ``UNKNOWN`` (never ``FAILS``).
 Sharding is inherently level-synchronous, so only the ``"bfs"`` frontier
 strategy is supported; requesting ``"dfs"``/``"best-first"`` with more
 than one shard or worker raises :class:`~repro.errors.SearchError`.
+
+Expansion backends live for the **engine's lifetime** (not one fork
+cycle per ``explore()`` call), and an engine given a
+:class:`repro.runtime.WorkerPool` borrows *warm* workers that survive
+the engine itself — see :mod:`repro.runtime` for the pool, the sweep
+scheduler and checkpointed execution built on top of this module.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import weakref
 from collections import deque
 from typing import Any, Callable, Iterable
 
@@ -92,13 +99,19 @@ def shard_of(state: Any, shards: int) -> int:
 
 
 def process_backend_available() -> bool:
-    """Whether the multiprocessing backend can run on this platform.
+    """Whether the multiprocessing backend can run *here*.
 
     The process backend inherits the successor closure via the ``fork``
-    start method, so it is available exactly where fork is (POSIX);
-    elsewhere the engine silently falls back to the deterministic serial
-    backend, which produces identical results.
+    start method, so it is available exactly where fork is (POSIX) —
+    and where the current process may have children at all: inside a
+    daemonic pool worker (e.g. a sweep point running on the runtime's
+    scheduler) Python forbids spawning processes, so nested
+    explorations silently use the deterministic serial backend instead.
+    Results are bit-identical either way; only parallelism is affected,
+    and the outer level already provides it in the nested case.
     """
+    if multiprocessing.current_process().daemon:
+        return False
     return "fork" in multiprocessing.get_all_start_methods()
 
 
@@ -238,6 +251,14 @@ def _expand_batch(batch: list) -> list:
     return [(state_id, list(_WORKER_SUCCESSORS(state))) for state_id, state in batch]
 
 
+def _terminate_pool(pool) -> None:
+    """GC safety net for pools whose owning backend was never closed."""
+    try:
+        pool.terminate()
+    except Exception:  # noqa: BLE001 - finalizers must never raise
+        pass
+
+
 class ProcessExpansionBackend:
     """Batch successor expansion on a fork-based ``multiprocessing`` pool.
 
@@ -245,6 +266,12 @@ class ProcessExpansionBackend:
     pickling of the system), while the states shipped out and the edges
     shipped back cross process boundaries pickled.  Expansion results
     arrive unordered; determinism is restored by the coordinator replay.
+
+    The pool lives for the backend's lifetime — one fork cycle serves
+    every exploration of the owning engine, not one per ``explore()``
+    call.  A backend dropped without :meth:`close` is cleaned up by a GC
+    finalizer.  For *cross-engine* reuse, lease backends from a
+    :class:`repro.runtime.WorkerPool` instead.
     """
 
     name = "process"
@@ -258,6 +285,16 @@ class ProcessExpansionBackend:
         self._pool = context.Pool(
             processes=workers, initializer=_initialise_worker, initargs=(successors,)
         )
+        self._finalizer = weakref.finalize(self, _terminate_pool, self._pool)
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """The pids of the pool's worker processes (sorted).
+
+        Successive explorations through the same backend reuse these
+        exact workers — the regression surface for the per-call
+        pool-rebuild bug.
+        """
+        return tuple(sorted(worker.pid for worker in self._pool._pool))
 
     def expand(self, frontiers: ShardFrontiers, batch_size: int) -> dict:
         """Expand every queued state across the pool; ``{state_id: [edges]}``."""
@@ -268,9 +305,10 @@ class ProcessExpansionBackend:
         return expansions
 
     def close(self) -> None:
-        """Shut the worker pool down."""
-        self._pool.close()
-        self._pool.join()
+        """Shut the worker pool down (idempotent)."""
+        if self._finalizer.detach() is not None:
+            self._pool.close()
+            self._pool.join()
 
 
 # -- the sharded engine ------------------------------------------------------------
@@ -295,9 +333,33 @@ class ShardedEngine:
         retention: edge-retention mode (as for :class:`Engine`).
         strategy: must be ``"bfs"`` — sharding is level-synchronous.
         batch_size: states per expansion task.
+        pool: a :class:`repro.runtime.WorkerPool` to borrow warm
+            expansion workers from.  Leased workers survive the engine
+            (they stay warm in the pool); without a pool the engine owns
+            its backend, created once on first use and reused by every
+            later exploration until :meth:`close`.
+        pool_key: worker-pool context key identifying the successor
+            function's semantics (defaults to the callable's identity).
+            Engines sharing a key share the same warm workers.
+
+    The expansion backend lives for the **engine's lifetime**: repeated
+    :meth:`explore`/:meth:`search` calls reuse the same worker
+    processes instead of forking a fresh pool per call.  The engine is
+    a context manager; ``close()`` releases a pool lease or shuts an
+    owned backend down (a GC finalizer backstops forgotten engines).
     """
 
-    __slots__ = ("_successors", "_limits", "_shards", "_workers", "_retention", "_batch_size")
+    __slots__ = (
+        "_successors",
+        "_limits",
+        "_shards",
+        "_workers",
+        "_retention",
+        "_batch_size",
+        "_pool",
+        "_pool_key",
+        "_backend_instance",
+    )
 
     def __init__(
         self,
@@ -309,6 +371,8 @@ class ShardedEngine:
         retention: str = RETAIN_FULL,
         strategy: str = "bfs",
         batch_size: int = DEFAULT_BATCH_SIZE,
+        pool=None,
+        pool_key: Any = None,
     ) -> None:
         if retention not in RETENTION_MODES:
             raise SearchError(
@@ -329,6 +393,9 @@ class ShardedEngine:
         self._workers = workers
         self._retention = retention
         self._batch_size = batch_size
+        self._pool = pool
+        self._pool_key = pool_key
+        self._backend_instance = None
 
     @property
     def limits(self) -> SearchLimits:
@@ -358,14 +425,48 @@ class ShardedEngine:
     @property
     def backend_name(self) -> str:
         """The expansion backend :meth:`explore` will use."""
+        if self._backend_instance is not None:
+            return self._backend_instance.name
+        if self._pool is not None:
+            return "pooled" if self._pool.uses_processes(self._workers) else "pooled-serial"
         if self._workers > 1 and process_backend_available():
             return ProcessExpansionBackend.name
         return SerialExpansionBackend.name
 
-    def _make_backend(self):
-        if self._workers > 1 and process_backend_available():
-            return ProcessExpansionBackend(self._successors, self._workers)
-        return SerialExpansionBackend(self._successors)
+    def _backend(self):
+        """The engine's expansion backend, created once and then reused.
+
+        Hoisting the backend to engine lifetime is what keeps worker
+        processes warm across successive explorations; previously a
+        fresh pool was forked and torn down inside every ``explore()``.
+        """
+        if self._backend_instance is None:
+            if self._pool is not None:
+                self._backend_instance = self._pool.expansion_backend(
+                    self._successors, key=self._pool_key, workers=self._workers
+                )
+            elif self._workers > 1 and process_backend_available():
+                self._backend_instance = ProcessExpansionBackend(self._successors, self._workers)
+            else:
+                self._backend_instance = SerialExpansionBackend(self._successors)
+        return self._backend_instance
+
+    def close(self) -> None:
+        """Release the expansion backend (idempotent).
+
+        An owned process pool is shut down; a pool lease is released
+        with its workers left warm.  The engine may be used again — the
+        next exploration simply acquires a fresh backend.
+        """
+        backend, self._backend_instance = self._backend_instance, None
+        if backend is not None:
+            backend.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- public entry points ---------------------------------------------------
 
@@ -459,54 +560,53 @@ class ShardedEngine:
         total_edges = 0
         level = [root_id]
         depth = 0
-        backend = self._make_backend()
-        try:
-            while level:
-                for state_id in level:
-                    part = partials[owner[state_id]]
-                    if depth > part.depth_reached:
-                        part.depth_reached = depth
-                if depth >= limits.max_depth:
-                    break
-                frontiers = ShardFrontiers(shards)
-                for state_id in level:
-                    frontiers.push(owner[state_id], (state_id, table.state_of(state_id)))
-                expansions = backend.expand(frontiers, self._batch_size)
-                next_level: list[int] = []
-                # Replay in discovery-id order == the order single-shard BFS
-                # pops its FIFO frontier, so interning, parent links, limit
-                # checks and predicate hits all sequence identically.
-                for state_id in level:
-                    part = partials[owner[state_id]]
-                    source = table.state_of(state_id)
-                    for edge in expansions.get(state_id, ()):
-                        part.edge_count += 1
-                        total_edges += 1
-                        if keep_edges:
-                            part.edges.append(edge)
-                        if predicate is not None and predicate(edge.target):
-                            return partials, (source, edge)
-                        target_id, target, is_new = table.intern(edge.target)
-                        if is_new:
-                            target_shard = shard_of(target, shards)
-                            owner[target_id] = target_shard
-                            target_part = partials[target_shard]
-                            local_id, _, _ = target_part.interning.intern(target)
-                            target_part.depths[local_id] = depth + 1
-                            if keep_parents:
-                                source_local = target_part.interning.id_of(source)
-                                target_part.parents[local_id] = (
-                                    source_local if source_local is not None else -1,
-                                    edge,
-                                )
-                            if predicate is None and on_state is not None:
-                                on_state(target, depth + 1)
-                            next_level.append(target_id)
-                        if len(table) >= limits.max_configurations or total_edges >= limits.max_steps:
-                            part.truncated = True
-                            return partials, None
-                level = next_level
-                depth += 1
-        finally:
-            backend.close()
+        # The backend is engine-lifetime state: acquired once, reused by
+        # every exploration, released by close() — not per call.
+        backend = self._backend()
+        while level:
+            for state_id in level:
+                part = partials[owner[state_id]]
+                if depth > part.depth_reached:
+                    part.depth_reached = depth
+            if depth >= limits.max_depth:
+                break
+            frontiers = ShardFrontiers(shards)
+            for state_id in level:
+                frontiers.push(owner[state_id], (state_id, table.state_of(state_id)))
+            expansions = backend.expand(frontiers, self._batch_size)
+            next_level: list[int] = []
+            # Replay in discovery-id order == the order single-shard BFS
+            # pops its FIFO frontier, so interning, parent links, limit
+            # checks and predicate hits all sequence identically.
+            for state_id in level:
+                part = partials[owner[state_id]]
+                source = table.state_of(state_id)
+                for edge in expansions.get(state_id, ()):
+                    part.edge_count += 1
+                    total_edges += 1
+                    if keep_edges:
+                        part.edges.append(edge)
+                    if predicate is not None and predicate(edge.target):
+                        return partials, (source, edge)
+                    target_id, target, is_new = table.intern(edge.target)
+                    if is_new:
+                        target_shard = shard_of(target, shards)
+                        owner[target_id] = target_shard
+                        target_part = partials[target_shard]
+                        local_id, _, _ = target_part.interning.intern(target)
+                        target_part.depths[local_id] = depth + 1
+                        if keep_parents:
+                            source_local = target_part.interning.id_of(source)
+                            target_part.parents[local_id] = (
+                                source_local if source_local is not None else -1,
+                                edge,
+                            )
+                        if predicate is None and on_state is not None:
+                            on_state(target, depth + 1)
+                        next_level.append(target_id)
+                    if len(table) >= limits.max_configurations or total_edges >= limits.max_steps:
+                        part.truncated = True
+                        return partials, None
+            level = next_level
+            depth += 1
         return partials, None

@@ -2,6 +2,15 @@
 
 Each sweep returns a tuple of dictionaries (rows) so that the harness and
 ``pytest-benchmark`` targets can print them uniformly.
+
+Sweeps execute through the runtime's
+:class:`~repro.runtime.scheduler.SweepScheduler`: every sweep function
+accepts ``parallel=`` (bounded concurrent points on forked workers),
+``checkpoint=``/``resume=`` (JSONL memo of completed points, resumable
+after interruption), per-point ``timeout=``/``retries=``, and
+``on_point=`` (a streaming callback fired as each point completes).  The
+returned points are always in grid order, identical regardless of
+parallelism.
 """
 
 from __future__ import annotations
@@ -10,6 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.runtime import SweepScheduler
 from repro.workloads.generators import RandomDMSParameters, random_dms
 
 __all__ = ["SweepPoint", "sweep", "dms_family", "exploration_mode_sweep", "shard_scaling_sweep"]
@@ -32,12 +42,34 @@ class SweepPoint:
 def sweep(
     parameter_grid: Sequence[dict],
     measure: Callable[[dict], dict],
+    *,
+    parallel: int = 1,
+    pool=None,
+    timeout: float | None = None,
+    retries: int = 0,
+    checkpoint=None,
+    resume: bool = False,
+    on_point: Callable | None = None,
 ) -> tuple[SweepPoint, ...]:
-    """Run ``measure`` on every parameter assignment of the grid."""
-    points = []
-    for parameters in parameter_grid:
-        points.append(SweepPoint(parameters=dict(parameters), measurements=measure(parameters)))
-    return tuple(points)
+    """Run ``measure`` on every parameter assignment of the grid.
+
+    Executes on the sweep scheduler: with ``parallel > 1`` the points
+    run concurrently on forked workers (the measure closure is inherited
+    through fork), with a ``checkpoint`` every completed point is
+    persisted as it finishes and ``resume=True`` serves already-computed
+    points from the memo.  ``on_point`` fires with each
+    :class:`~repro.runtime.scheduler.PointRecord` in completion order;
+    the returned tuple is always in grid order.
+    """
+    scheduler = SweepScheduler(
+        parallel=parallel, pool=pool, timeout=timeout, retries=retries,
+        checkpoint=checkpoint, resume=resume,
+    )
+    records = scheduler.run(parameter_grid, measure, on_point=on_point)
+    return tuple(
+        SweepPoint(parameters=record.parameters, measurements=record.measurements)
+        for record in records
+    )
 
 
 def exploration_mode_sweep(
@@ -47,6 +79,13 @@ def exploration_mode_sweep(
     retentions: Sequence[str] = ("full", "parents-only", "counts-only"),
     max_depth: int = 4,
     heuristic: Callable | None = None,
+    *,
+    parallel: int = 1,
+    timeout: float | None = None,
+    retries: int = 0,
+    checkpoint=None,
+    resume: bool = False,
+    on_point: Callable | None = None,
 ) -> tuple[SweepPoint, ...]:
     """Explore one system under every (strategy, retention) combination.
 
@@ -55,7 +94,9 @@ def exploration_mode_sweep(
     :func:`repro.harness.experiments.experiment_e13_engine` (and the E13
     benchmark), which checks that on un-truncated explorations every
     strategy discovers the same configuration set and that the memory
-    modes shrink edge retention as documented.
+    modes shrink edge retention as documented.  ``parallel``/
+    ``checkpoint``/``resume``/``on_point`` schedule the grid points as
+    in :func:`sweep`.
     """
     from repro.errors import SearchError
     from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
@@ -90,7 +131,10 @@ def exploration_mode_sweep(
         for strategy in strategies
         for retention in retentions
     ]
-    return sweep(grid, measure)
+    return sweep(
+        grid, measure, parallel=parallel, timeout=timeout, retries=retries,
+        checkpoint=checkpoint, resume=resume, on_point=on_point,
+    )
 
 
 def shard_scaling_sweep(
@@ -99,6 +143,14 @@ def shard_scaling_sweep(
     configurations: Sequence[tuple[int, int]] = ((1, 1), (2, 1), (4, 1), (4, 2), (4, 4)),
     max_depth: int = 5,
     retention: str = "counts-only",
+    *,
+    pool=None,
+    parallel: int = 1,
+    timeout: float | None = None,
+    retries: int = 0,
+    checkpoint=None,
+    resume: bool = False,
+    on_point: Callable | None = None,
 ) -> tuple[SweepPoint, ...]:
     """Explore one system under a grid of ``(shards, workers)`` pairs.
 
@@ -107,9 +159,14 @@ def shard_scaling_sweep(
     discovered configurations/edges, the expansion backend used and
     wall-clock seconds, so callers (the E14 benchmark, the determinism
     tests) can check that every point discovers the same fragment and
-    compare scaling.
+    compare scaling.  ``pool`` keeps expansion workers warm across the
+    points of a *sequential* sweep; ``parallel``/``checkpoint``/
+    ``resume`` schedule the points as in :func:`sweep` (timings then
+    overlap — keep ``parallel=1`` when comparing per-point seconds).
     """
     from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
+
+    exploration_pool = pool if parallel <= 1 else None
 
     def measure(parameters: dict) -> dict:
         explorer = RecencyExplorer(
@@ -119,6 +176,7 @@ def shard_scaling_sweep(
             retention=retention,
             shards=parameters["shards"],
             workers=parameters["workers"],
+            pool=exploration_pool,
         )
         backend = explorer.backend_name
         started = time.perf_counter()
@@ -133,7 +191,10 @@ def shard_scaling_sweep(
         }
 
     grid = [{"shards": shards, "workers": workers} for shards, workers in configurations]
-    return sweep(grid, measure)
+    return sweep(
+        grid, measure, parallel=parallel, timeout=timeout, retries=retries,
+        checkpoint=checkpoint, resume=resume, on_point=on_point,
+    )
 
 
 def dms_family(

@@ -235,6 +235,71 @@ def test_merge_is_associative_over_shard_partials():
             assert left.path_to(state) == right.path_to(state)
 
 
+def test_merge_with_empty_partial_is_identity_on_content():
+    # A shard that owned no states contributes an empty partial; merging
+    # it in (either side) must not change the content of the result.
+    engine = ShardedEngine(graph_successors(DAG), limits=SearchLimits(max_depth=5), shards=2)
+    full = engine.explore(Node(0))
+    empty = SearchResult(initial=Node(0), retention=full.retention)
+    for merged in (full.merge(empty), empty.merge(full)):
+        assert set(merged.states()) == set(full.states())
+        assert merged.state_count == full.state_count
+        assert merged.edge_count == full.edge_count
+        assert merged.depth_reached == full.depth_reached
+        assert merged.truncated == full.truncated
+        for state in full.states():
+            if state != full.initial:
+                assert merged.path_to(state) == full.path_to(state)
+    both_empty = empty.merge(SearchResult(initial=Node(0)))
+    assert both_empty.state_count == 0 and both_empty.edge_count == 0
+
+
+def test_merge_results_with_disjoint_intern_tables():
+    # Two explorations of disjoint graphs: the merged table re-keys both
+    # id ranges (each partial numbers its states 0..n-1 locally).
+    left_adjacency = {0: [1, 2]}
+    right_adjacency = {10: [11], 11: [12]}
+    left = Engine(graph_successors(left_adjacency), limits=SearchLimits(max_depth=3)).explore(
+        Node(0)
+    )
+    right = Engine(graph_successors(right_adjacency), limits=SearchLimits(max_depth=3)).explore(
+        Node(10)
+    )
+    assert not set(left.states()) & set(right.states())
+    merged = left.merge(right)
+    assert set(merged.states()) == set(left.states()) | set(right.states())
+    assert merged.state_count == left.state_count + right.state_count
+    assert merged.edge_count == left.edge_count + right.edge_count
+    assert merged.depth_reached == max(left.depth_reached, right.depth_reached)
+    # Parent links survived the re-keying on both sides of the union.
+    assert merged.path_to(Node(2)) == left.path_to(Node(2))
+    merged.initial = Node(10)  # address the right-hand component's root
+    assert merged.path_to(Node(12)) == right.path_to(Node(12))
+
+
+def test_merge_is_associative_under_counts_only_retention():
+    # counts-only partials carry no parent links; the fold must still be
+    # associative on states, counters and flags.
+    engine = ShardedEngine(
+        graph_successors(DAG), limits=SearchLimits(max_depth=5), shards=3, retention=RETAIN_COUNTS
+    )
+    a, b, c = engine.explore_shards(Node(0))
+    assert not a.parents and not b.parents and not c.parents
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert set(left.states()) == set(right.states())
+    assert left.state_count == right.state_count
+    assert left.edge_count == right.edge_count
+    assert left.depth_reached == right.depth_reached
+    assert left.truncated == right.truncated
+    assert left.parents == {} and right.parents == {}
+    reference = Engine(
+        graph_successors(DAG), limits=SearchLimits(max_depth=5), retention=RETAIN_COUNTS
+    ).explore(Node(0))
+    assert set(left.states()) == set(reference.states())
+    assert left.edge_count == reference.edge_count
+
+
 def test_merge_ors_truncation_flags():
     base = SearchResult(initial=Node(0), retention=RETAIN_PARENTS)
     base.interning.intern(Node(0))
@@ -337,6 +402,41 @@ def test_sharded_engine_rejects_non_bfs_and_bad_parameters():
         ShardedEngine(successors, batch_size=0)
     with pytest.raises(SearchError):
         ShardedEngine(successors, retention="sometimes")
+
+
+@pytest.mark.skipif(not process_backend_available(), reason="fork start method unavailable")
+def test_engine_reuses_worker_pids_across_explorations():
+    # Regression for the per-call overhead bug: the process pool used to
+    # be created and destroyed inside every explore() call.  Backend
+    # lifetime is now the engine's lifetime, so two successive
+    # explorations must be served by the *same* worker processes.
+    engine = ShardedEngine(
+        graph_successors(DAG), limits=SearchLimits(max_depth=5), shards=2, workers=2
+    )
+    try:
+        first = engine.explore(Node(0))
+        pids_first = engine._backend().worker_pids()
+        second = engine.explore(Node(0))
+        pids_second = engine._backend().worker_pids()
+        assert pids_first == pids_second and len(pids_first) == 2
+        assert set(first.states()) == set(second.states())
+        assert first.edge_count == second.edge_count
+    finally:
+        engine.close()
+    # close() releases the backend; the next exploration builds a fresh one.
+    third = engine.explore(Node(0))
+    assert set(third.states()) == set(first.states())
+    engine.close()
+
+
+@pytest.mark.skipif(not process_backend_available(), reason="fork start method unavailable")
+def test_engine_context_manager_closes_backend():
+    with ShardedEngine(
+        graph_successors(DAG), limits=SearchLimits(max_depth=5), shards=2, workers=2
+    ) as engine:
+        engine.explore(Node(0))
+        assert engine._backend_instance is not None
+    assert engine._backend_instance is None
 
 
 @pytest.mark.skipif(not process_backend_available(), reason="fork start method unavailable")
