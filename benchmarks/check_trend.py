@@ -1,0 +1,159 @@
+"""Benchmark trend gate: fail CI when a persisted speedup ratio regresses.
+
+Compares a candidate results directory (freshly generated
+``BENCH_E*.json`` files, e.g. from a CI run with
+``REPRO_BENCH_RESULTS=/tmp/bench-fresh``) against the committed baseline
+under ``benchmarks/results/``:
+
+* every **speedup ratio** present in both a baseline row and the
+  matching candidate row must not regress more than ``--tolerance``
+  (default 20%) — *when both sides carry trustworthy timings*.
+  Quick-mode results (``"quick": true`` in the payload, the CI default)
+  are noise-dominated by design and are excluded from ratio
+  comparisons, as are rows whose baseline speedup is below parity
+  (< 1.0): those were recorded under the bench's own CPU floor — e.g.
+  4-worker rows on a 1-CPU host — and carry no performance claim to
+  protect;
+* every **correctness flag** in the candidate rows
+  (``results_match``, ``rows_identical``, ``witness_match``,
+  ``memo_complete``) must be true regardless of mode — a quick run may
+  not prove speed, but it must prove equivalence;
+* both directories must **parse**: corrupt or schema-less result files
+  fail the gate outright.
+
+Files present only in the baseline are reported as "not regenerated"
+and do not fail the gate (CI regenerates the cheap benches only);
+files present only in the candidate are checked for correctness flags.
+
+Usage::
+
+    python benchmarks/check_trend.py --baseline benchmarks/results \
+        --candidate /tmp/bench-fresh [--tolerance 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+CORRECTNESS_FLAGS = ("results_match", "rows_identical", "witness_match", "memo_complete")
+
+
+def load_results(directory: Path) -> dict[str, dict]:
+    """``{file name: parsed document}`` for every BENCH_E*.json present."""
+    documents = {}
+    for path in sorted(directory.glob("BENCH_E*.json")):
+        document = json.loads(path.read_text())  # corrupt files fail the gate
+        if not isinstance(document.get("results"), dict):
+            raise ValueError(f"{path}: missing a 'results' mapping")
+        documents[path.name] = document
+    return documents
+
+
+def check_correctness(file_name: str, document: dict) -> list[str]:
+    """Every correctness flag in every row must be true."""
+    failures = []
+    for node, payload in document["results"].items():
+        for index, row in enumerate(payload.get("rows") or []):
+            if not isinstance(row, dict):
+                continue
+            for flag in CORRECTNESS_FLAGS:
+                if flag in row and row[flag] is not True:
+                    failures.append(f"{file_name}:{node} row {index}: {flag} is {row[flag]!r}")
+    return failures
+
+
+def compare_speedups(
+    file_name: str, baseline: dict, candidate: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """(failures, notes) from ratio comparison of matching rows."""
+    failures: list[str] = []
+    notes: list[str] = []
+    for node, base_payload in baseline["results"].items():
+        cand_payload = candidate["results"].get(node)
+        if cand_payload is None:
+            notes.append(f"{file_name}:{node}: not regenerated; ratios not compared")
+            continue
+        if base_payload.get("quick") or cand_payload.get("quick"):
+            notes.append(f"{file_name}:{node}: quick-mode timings; ratios not compared")
+            continue
+        base_rows = base_payload.get("rows") or []
+        cand_rows = cand_payload.get("rows") or []
+        if len(cand_rows) != len(base_rows):
+            # zip() would silently drop the unmatched tail — a bench that
+            # stops emitting rows must not slip past the gate.
+            failures.append(
+                f"{file_name}:{node}: row count changed "
+                f"{len(base_rows)} -> {len(cand_rows)}; ratios not comparable"
+            )
+            continue
+        for index, (base_row, cand_row) in enumerate(zip(base_rows, cand_rows)):
+            if not (isinstance(base_row, dict) and isinstance(cand_row, dict)):
+                continue
+            base_speedup = base_row.get("speedup")
+            cand_speedup = cand_row.get("speedup")
+            if not isinstance(base_speedup, (int, float)) or not isinstance(
+                cand_speedup, (int, float)
+            ):
+                continue
+            if base_speedup < 1.0:
+                continue  # sub-parity baseline: recorded below the CPU floor, no claim
+            floor = base_speedup * (1.0 - tolerance)
+            if cand_speedup < floor:
+                failures.append(
+                    f"{file_name}:{node} row {index}: speedup regressed "
+                    f"{base_speedup:.2f} -> {cand_speedup:.2f} (floor {floor:.2f})"
+                )
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--candidate", type=Path, required=True)
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    arguments = parser.parse_args(argv)
+
+    try:
+        baseline = load_results(arguments.baseline)
+        candidate = load_results(arguments.candidate)
+    except (ValueError, json.JSONDecodeError, OSError) as error:
+        print(f"bench-trend: unreadable results: {error}")
+        return 1
+
+    failures: list[str] = []
+    notes: list[str] = []
+    for file_name, document in baseline.items():
+        failures.extend(check_correctness(file_name, document))
+    for file_name, document in candidate.items():
+        failures.extend(check_correctness(file_name, document))
+        if file_name not in baseline:
+            notes.append(f"{file_name}: candidate-only (no committed baseline)")
+    for file_name, base_document in baseline.items():
+        cand_document = candidate.get(file_name)
+        if cand_document is None:
+            notes.append(f"{file_name}: not regenerated; ratios not compared")
+            continue
+        ratio_failures, ratio_notes = compare_speedups(
+            file_name, base_document, cand_document, arguments.tolerance
+        )
+        failures.extend(ratio_failures)
+        notes.extend(ratio_notes)
+
+    for note in notes:
+        print(f"bench-trend: note: {note}")
+    if failures:
+        for failure in failures:
+            print(f"bench-trend: FAIL: {failure}")
+        return 1
+    print(
+        f"bench-trend: OK ({len(baseline)} baseline file(s), "
+        f"{len(candidate)} candidate file(s), tolerance {arguments.tolerance:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

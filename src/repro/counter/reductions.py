@@ -24,8 +24,7 @@ from repro.dms.action import Action
 from repro.dms.system import DMS
 from repro.counter.machine import CounterMachine, CounterOperation
 from repro.errors import CounterMachineError
-from repro.fol.parser import parse_query
-from repro.fol.syntax import And, Atom, Exists, Not, atom
+from repro.fol.syntax import And, Exists, Not, atom
 
 __all__ = ["state_proposition", "unary_encoding", "binary_encoding"]
 

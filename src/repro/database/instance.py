@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.database.domain import Value
-from repro.database.schema import RelationSymbol, Schema
+from repro.database.schema import Schema
 from repro.errors import SchemaError
 
 __all__ = ["Fact", "DatabaseInstance"]

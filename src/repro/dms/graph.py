@@ -119,6 +119,12 @@ class ConfigurationGraphExplorer:
         pool: a :class:`repro.runtime.WorkerPool` to borrow warm
             expansion workers from (context keyed by the system, so
             explorers over the same system share warm workers).
+        shared_interning: ship intern ids instead of pickled
+            configurations over the expansion pipes
+            (:mod:`repro.search.shm_interning`).  Default ``None``
+            (auto): on exactly when expansion runs on worker processes
+            and shared memory is available; the in-process fallback is
+            always off.  Results are bit-identical either way.
 
     The underlying engine is created once per explorer, so successive
     explorations reuse the same expansion backend (warm workers).  The
@@ -136,6 +142,7 @@ class ConfigurationGraphExplorer:
         shards: int = 1,
         workers: int = 1,
         pool=None,
+        shared_interning: bool | None = None,
     ) -> None:
         self._system = system
         self._limits = limits or ExplorationLimits()
@@ -145,6 +152,7 @@ class ConfigurationGraphExplorer:
         self._shards = shards
         self._workers = workers
         self._pool = pool
+        self._shared_interning = shared_interning
         self._engine_instance = None
 
     @property
@@ -187,6 +195,11 @@ class ConfigurationGraphExplorer:
         """
         return getattr(self._engine(), "backend_name", "in-process")
 
+    @property
+    def shared_interning(self) -> bool:
+        """Whether explorations move ids instead of pickled states."""
+        return getattr(self._engine(), "shared_interning", False)
+
     def _engine(self):
         if self._engine_instance is not None:
             return self._engine_instance
@@ -202,6 +215,7 @@ class ConfigurationGraphExplorer:
                 workers=self._workers,
                 pool=self._pool,
                 pool_key=("dms-graph", id(self._system)) if self._pool is not None else None,
+                shared_interning=self._shared_interning,
             )
         else:
             self._engine_instance = Engine(

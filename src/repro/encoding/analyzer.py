@@ -29,7 +29,7 @@ from typing import Sequence
 
 from repro.database.instance import DatabaseInstance, Fact
 from repro.dms.system import DMS
-from repro.encoding.alphabet import HeadLetter, InitialLetter, PopLetter, PushLetter
+from repro.encoding.alphabet import PushLetter
 from repro.encoding.blocks import Block, parse_blocks
 from repro.errors import EncodingError
 from repro.fol.evaluator import satisfies

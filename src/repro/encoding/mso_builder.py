@@ -27,7 +27,6 @@ from repro.database.schema import RelationSymbol
 from repro.dms.system import DMS
 from repro.encoding.alphabet import (
     HeadLetter,
-    InitialLetter,
     PopLetter,
     PushLetter,
     encoding_alphabet,
@@ -37,7 +36,6 @@ from repro.nestedwords.mso import (
     And,
     EqualsPos,
     Exists,
-    ExistsSet,
     Forall,
     ForallSet,
     Implies,

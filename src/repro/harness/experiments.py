@@ -13,8 +13,7 @@ from repro.casestudies.simple import (
     figure_1_expected_instances,
     figure_1_labels,
 )
-from repro.casestudies.students import students_progression_property, students_system
-from repro.casestudies.warehouse import new_order_bulk_action, warehouse_base_system, warehouse_system
+from repro.casestudies.warehouse import warehouse_system
 from repro.counter.machine import CounterMachine, control_state_reachable
 from repro.counter.reductions import binary_encoding, state_proposition, unary_encoding
 from repro.dms.semantics import execute_labels
@@ -25,7 +24,6 @@ from repro.encoding.translate import (
     evaluate_specification_via_encoding,
     reduction_formula_size,
 )
-from repro.modelcheck.checker import RecencyBoundedModelChecker
 from repro.modelcheck.convergence import reachability_bound_sweep, state_space_bound_sweep
 from repro.modelcheck.reachability import (
     proposition_reachable_bounded,
@@ -237,7 +235,7 @@ def experiment_e6_translation(bound: int = 2, depth: int = 3) -> list[dict]:
     """Direct evaluation vs evaluation through the encoding, per specification."""
     system = example_31_system()
     from repro.fol.parser import parse_query
-    from repro.msofo.patterns import reachability_formula, response_formula
+    from repro.msofo.patterns import response_formula
 
     specifications = {
         "reach p": proposition_reachability_formula("p"),

@@ -72,6 +72,7 @@ def reachability_bound_sweep(
     shards: int = 1,
     workers: int = 1,
     pool=None,
+    shared_interning: bool | None = None,
     parallel: int = 1,
     timeout: float | None = None,
     retries: int = 0,
@@ -104,6 +105,7 @@ def reachability_bound_sweep(
             system, condition, parameters["b"], max_depth=max_depth,
             strategy=strategy, heuristic=heuristic, retention=retention,
             shards=shards, workers=workers, pool=exploration_pool,
+            shared_interning=shared_interning,
         )
         return {
             "verdict": result.reachable.value,
@@ -151,6 +153,7 @@ def state_space_bound_sweep(
     shards: int = 1,
     workers: int = 1,
     pool=None,
+    shared_interning: bool | None = None,
     parallel: int = 1,
     timeout: float | None = None,
     retries: int = 0,
@@ -174,6 +177,7 @@ def state_space_bound_sweep(
             system, parameters["b"], RecencyExplorationLimits(max_depth=max_depth),
             strategy=strategy, heuristic=heuristic, retention=retention,
             shards=shards, workers=workers, pool=exploration_pool,
+            shared_interning=shared_interning,
         )
         result = explorer.explore()
         return {
@@ -220,6 +224,7 @@ def convergence_bound(
     shards: int = 1,
     workers: int = 1,
     pool=None,
+    shared_interning: bool | None = None,
 ) -> int | None:
     """The least bound at which the bounded reachability verdict matches the
     unbounded (depth-bounded) verdict.
@@ -232,12 +237,13 @@ def convergence_bound(
     """
     reference = query_reachable(
         system, condition, max_depth=max_depth, strategy=strategy, heuristic=heuristic,
-        shards=shards, workers=workers, pool=pool,
+        shards=shards, workers=workers, pool=pool, shared_interning=shared_interning,
     )
     for bound in range(max_bound + 1):
         bounded = query_reachable_bounded(
             system, condition, bound, max_depth=max_depth, strategy=strategy,
             heuristic=heuristic, shards=shards, workers=workers, pool=pool,
+            shared_interning=shared_interning,
         )
         if bounded.reachable == reference.reachable:
             return bound

@@ -28,7 +28,11 @@ Every entry point accepts ``pool=`` (a :class:`repro.runtime.WorkerPool`):
 for *sharded* queries (``shards`` or ``workers`` above 1) repeated calls
 over the same system then reuse warm expansion workers instead of
 forking a pool per call.  Single-shard queries expand in-process and
-ignore the pool.  Verdicts are unaffected either way.
+ignore the pool.  ``shared_interning=`` selects id-only expansion
+traffic through a shared-memory state store
+(:mod:`repro.search.shm_interning`; default auto — on whenever worker
+processes expand and shared memory is available).  Verdicts are
+unaffected either way.
 """
 
 from __future__ import annotations
@@ -75,6 +79,7 @@ def query_reachable(
     shards: int = 1,
     workers: int = 1,
     pool=None,
+    shared_interning: bool | None = None,
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable (unbounded semantics)?
 
@@ -97,6 +102,7 @@ def query_reachable(
         shards=shards,
         workers=workers,
         pool=pool,
+        shared_interning=shared_interning,
     )
     witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
     if witness is not None:
@@ -127,6 +133,7 @@ def proposition_reachable(
     shards: int = 1,
     workers: int = 1,
     pool=None,
+    shared_interning: bool | None = None,
 ) -> ReachabilityResult:
     """Propositional reachability (Example 4.2) in the unbounded semantics."""
     return query_reachable(
@@ -140,6 +147,7 @@ def proposition_reachable(
         shards=shards,
         workers=workers,
         pool=pool,
+        shared_interning=shared_interning,
     )
 
 
@@ -156,6 +164,7 @@ def query_reachable_bounded(
     shards: int = 1,
     workers: int = 1,
     pool=None,
+    shared_interning: bool | None = None,
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable along a b-bounded run?
 
@@ -173,6 +182,7 @@ def query_reachable_bounded(
         shards=shards,
         workers=workers,
         pool=pool,
+        shared_interning=shared_interning,
     )
     witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
     if witness is not None:
@@ -204,6 +214,7 @@ def proposition_reachable_bounded(
     shards: int = 1,
     workers: int = 1,
     pool=None,
+    shared_interning: bool | None = None,
 ) -> ReachabilityResult:
     """Propositional reachability restricted to b-bounded runs."""
     return query_reachable_bounded(
@@ -218,4 +229,5 @@ def proposition_reachable_bounded(
         shards=shards,
         workers=workers,
         pool=pool,
+        shared_interning=shared_interning,
     )

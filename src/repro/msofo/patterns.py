@@ -36,7 +36,6 @@ from repro.msofo.syntax import (
     QueryAt,
     conjunction_formula,
     disjunction_formula,
-    query_at,
     successor,
 )
 

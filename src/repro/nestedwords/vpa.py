@@ -16,7 +16,7 @@ bottom-of-stack symbol ``BOTTOM``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import product as cartesian_product
 from typing import Hashable, Iterable, Sequence
 

@@ -11,7 +11,7 @@ continuing the canonical history.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.database.domain import standard_value
 from repro.database.substitution import Substitution

@@ -22,7 +22,6 @@ from repro.dms.system import DMS
 from repro.recency.semantics import (
     RecencyBoundedRun,
     RecencyConfiguration,
-    RecencyStep,
     enumerate_b_bounded_successors,
     initial_recency_configuration,
 )
@@ -115,6 +114,12 @@ class RecencyExplorer:
             expansion workers from.  The pool context is keyed by
             ``(system, bound)``, so explorer instances over the same
             case-study context share the same warm workers.
+        shared_interning: ship intern ids instead of pickled
+            configurations over the expansion pipes
+            (:mod:`repro.search.shm_interning`).  Default ``None``
+            (auto): on exactly when expansion runs on worker processes
+            and shared memory is available; the in-process fallback is
+            always off.  Results are bit-identical either way.
 
     The underlying engine is created once per explorer, so successive
     explorations through one explorer reuse the same expansion backend
@@ -134,6 +139,7 @@ class RecencyExplorer:
         shards: int = 1,
         workers: int = 1,
         pool=None,
+        shared_interning: bool | None = None,
     ) -> None:
         self._system = system
         self._bound = bound
@@ -144,6 +150,7 @@ class RecencyExplorer:
         self._shards = shards
         self._workers = workers
         self._pool = pool
+        self._shared_interning = shared_interning
         self._engine_instance = None
 
     @property
@@ -191,6 +198,11 @@ class RecencyExplorer:
         """
         return getattr(self._engine(), "backend_name", "in-process")
 
+    @property
+    def shared_interning(self) -> bool:
+        """Whether explorations move ids instead of pickled states."""
+        return getattr(self._engine(), "shared_interning", False)
+
     def _engine(self):
         if self._engine_instance is not None:
             return self._engine_instance
@@ -208,6 +220,7 @@ class RecencyExplorer:
                 workers=self._workers,
                 pool=self._pool,
                 pool_key=("recency", id(system), bound) if self._pool is not None else None,
+                shared_interning=self._shared_interning,
             )
         else:
             self._engine_instance = Engine(

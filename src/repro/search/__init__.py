@@ -52,6 +52,14 @@ Results are bit-identical to the single-shard engine's — including
 witnesses and truncation flags (any truncated shard truncates the
 merge, which reachability reports as ``UNKNOWN``, never ``FAILS``).
 
+Process-backed expansion traffic is **id-only** by default: states are
+interned into a shared-memory slab
+(:mod:`repro.search.shm_interning`) and only intern ids cross the
+worker pipes, deserializing each configuration at most once per
+process.  The ``shared_interning=`` knob forces it on/off; hosts
+without ``multiprocessing.shared_memory`` fall back to pickled traffic
+with identical results.
+
 See ``src/repro/search/README.md`` for the full design notes,
 ``docs/architecture.md`` for the layering and sharding design, and
 :mod:`repro.search.baseline` for the frozen seed implementations used by
@@ -77,6 +85,11 @@ from repro.search.frontier import (
     make_frontier,
 )
 from repro.search.interning import InternTable
+from repro.search.shm_interning import (
+    SharedInternTable,
+    SharedStateStore,
+    shared_memory_available,
+)
 from repro.search.sharded import (
     ProcessExpansionBackend,
     SerialExpansionBackend,
@@ -105,9 +118,12 @@ __all__ = [
     "SerialExpansionBackend",
     "ShardFrontiers",
     "ShardedEngine",
+    "SharedInternTable",
+    "SharedStateStore",
     "iterate_paths",
     "make_frontier",
     "process_backend_available",
     "shard_of",
+    "shared_memory_available",
     "usable_cpu_count",
 ]

@@ -74,6 +74,14 @@ from repro.search.engine import (
     SearchResult,
 )
 from repro.search.interning import InternTable
+from repro.search.shm_interning import (
+    EncodedExpansion,
+    SharedInternTable,
+    SharedStateStore,
+    attached_store,
+    set_process_writer_slot,
+    shared_memory_available,
+)
 
 __all__ = [
     "ShardFrontiers",
@@ -236,27 +244,87 @@ class SerialExpansionBackend:
         """Nothing to release."""
 
 
+def expand_shared_batch(
+    successors: Callable[[Any], Iterable], batch: list, store_name: str
+) -> EncodedExpansion:
+    """Expand one id-only batch against the shared state store.
+
+    Entries are ``(state_id, shared_id, inline_state)`` — ``shared_id``
+    resolves through the per-process store cache (each configuration is
+    deserialized at most once per process); ``inline_state`` carries the
+    rare state the slab could not hold.  Freshly generated targets are
+    interned into this worker's slot, so the returned
+    :class:`EncodedExpansion` ships edges with *ids* in place of source
+    and target configurations.
+    """
+    store = attached_store(store_name)
+    results = []
+    for state_id, shared_id, inline in batch:
+        if shared_id is not None:
+            state = store.get(shared_id)
+        else:
+            state = inline
+            store.put(state)  # give the return trip an id for it too
+        edges = list(successors(state))
+        for edge in edges:
+            store.put(edge.target)
+        results.append((state_id, edges))
+    return EncodedExpansion(store.dumps(results))
+
+
 _WORKER_SUCCESSORS: Callable[[Any], Iterable] | None = None
+_WORKER_STORE_NAME: str | None = None
 
 
-def _initialise_worker(successors: Callable[[Any], Iterable]) -> None:
-    """Pool initializer: remember the successor function in the worker."""
-    global _WORKER_SUCCESSORS
+def _initialise_worker(
+    successors: Callable[[Any], Iterable],
+    store_name: str | None = None,
+    slot_counter=None,
+) -> None:
+    """Pool initializer: remember the successor function in the worker.
+
+    With a shared state store, each worker additionally claims the next
+    writer slot (the counter and its lock are inherited through fork).
+    """
+    global _WORKER_SUCCESSORS, _WORKER_STORE_NAME
     _WORKER_SUCCESSORS = successors
+    _WORKER_STORE_NAME = store_name
+    if slot_counter is not None:
+        with slot_counter.get_lock():
+            slot_counter.value += 1
+            slot = slot_counter.value
+        set_process_writer_slot(slot)
 
 
-def _expand_batch(batch: list) -> list:
-    """Expand one batch in a worker; returns ``[(state_id, [edges]), ...]``."""
+def _expand_batch(batch: list):
+    """Expand one batch in a worker; returns ``[(state_id, [edges]), ...]``.
+
+    Id-only batches (3-tuple entries) are expanded against the shared
+    store and return an :class:`EncodedExpansion` blob instead.
+    """
     assert _WORKER_SUCCESSORS is not None, "worker pool was not initialised"
+    if batch and len(batch[0]) == 3:
+        assert _WORKER_STORE_NAME is not None, "id-only batch without a shared store"
+        return expand_shared_batch(_WORKER_SUCCESSORS, batch, _WORKER_STORE_NAME)
     return [(state_id, list(_WORKER_SUCCESSORS(state))) for state_id, state in batch]
 
 
-def _terminate_pool(pool) -> None:
-    """GC safety net for pools whose owning backend was never closed."""
+def _terminate_pool(pool, store=None) -> None:
+    """GC safety net for pools whose owning backend was never closed.
+
+    Also unlinks the backend-owned shared state store: the per-process
+    attach registry keeps the owner view alive, so the store's own
+    finalizer can only fire through the backend's.
+    """
     try:
         pool.terminate()
     except Exception:  # noqa: BLE001 - finalizers must never raise
         pass
+    if store is not None:
+        try:
+            store.destroy()
+        except Exception:  # noqa: BLE001 - finalizers must never raise
+            pass
 
 
 class ProcessExpansionBackend:
@@ -272,20 +340,35 @@ class ProcessExpansionBackend:
     call.  A backend dropped without :meth:`close` is cleaned up by a GC
     finalizer.  For *cross-engine* reuse, lease backends from a
     :class:`repro.runtime.WorkerPool` instead.
+
+    With ``store`` (a :class:`~repro.search.shm_interning.SharedStateStore`
+    owned by this backend), expansion traffic is id-only: the
+    coordinator ships ``(state_id, shared_id)`` entries and workers
+    answer :class:`EncodedExpansion` blobs.  The store is destroyed
+    (segment unlinked) on :meth:`close`.
     """
 
     name = "process"
 
-    def __init__(self, successors: Callable[[Any], Iterable], workers: int) -> None:
+    def __init__(
+        self,
+        successors: Callable[[Any], Iterable],
+        workers: int,
+        store: SharedStateStore | None = None,
+    ) -> None:
         if not process_backend_available():
             raise SearchError(
                 "the multiprocessing expansion backend requires the 'fork' start method"
             )
         context = multiprocessing.get_context("fork")
+        self.shared_store = store
+        slot_counter = context.Value("i", 0) if store is not None else None
         self._pool = context.Pool(
-            processes=workers, initializer=_initialise_worker, initargs=(successors,)
+            processes=workers,
+            initializer=_initialise_worker,
+            initargs=(successors, store.name if store is not None else None, slot_counter),
         )
-        self._finalizer = weakref.finalize(self, _terminate_pool, self._pool)
+        self._finalizer = weakref.finalize(self, _terminate_pool, self._pool, store)
 
     def worker_pids(self) -> tuple[int, ...]:
         """The pids of the pool's worker processes (sorted).
@@ -301,14 +384,18 @@ class ProcessExpansionBackend:
         batches = _drain_batches(frontiers, batch_size)
         expansions: dict = {}
         for chunk in self._pool.imap_unordered(_expand_batch, batches):
+            if isinstance(chunk, EncodedExpansion):
+                chunk = self.shared_store.loads(chunk.payload)
             expansions.update(chunk)
         return expansions
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent); unlinks an owned store."""
         if self._finalizer.detach() is not None:
             self._pool.close()
             self._pool.join()
+            if self.shared_store is not None:
+                self.shared_store.destroy()
 
 
 # -- the sharded engine ------------------------------------------------------------
@@ -341,6 +428,15 @@ class ShardedEngine:
         pool_key: worker-pool context key identifying the successor
             function's semantics (defaults to the callable's identity).
             Engines sharing a key share the same warm workers.
+        shared_interning: route expansion traffic through a
+            shared-memory state store (:mod:`repro.search.shm_interning`)
+            so workers exchange intern ids instead of pickled states.
+            Default ``None`` (auto): on whenever expansion runs on
+            worker *processes* — pooled or engine-owned — and shared
+            memory is available; always off for the in-process serial
+            fallback.  ``True`` requests it (silently degrading where
+            impossible), ``False`` forces classic pickled traffic.
+            Results are bit-identical either way.
 
     The expansion backend lives for the **engine's lifetime**: repeated
     :meth:`explore`/:meth:`search` calls reuse the same worker
@@ -358,6 +454,7 @@ class ShardedEngine:
         "_batch_size",
         "_pool",
         "_pool_key",
+        "_shared_interning",
         "_backend_instance",
     )
 
@@ -373,6 +470,7 @@ class ShardedEngine:
         batch_size: int = DEFAULT_BATCH_SIZE,
         pool=None,
         pool_key: Any = None,
+        shared_interning: bool | None = None,
     ) -> None:
         if retention not in RETENTION_MODES:
             raise SearchError(
@@ -395,6 +493,7 @@ class ShardedEngine:
         self._batch_size = batch_size
         self._pool = pool
         self._pool_key = pool_key
+        self._shared_interning = shared_interning
         self._backend_instance = None
 
     @property
@@ -433,6 +532,23 @@ class ShardedEngine:
             return ProcessExpansionBackend.name
         return SerialExpansionBackend.name
 
+    @property
+    def shared_interning(self) -> bool:
+        """Whether expansion traffic is (or will be) id-only.
+
+        Reports the *effective* state once a backend exists; before
+        that, the auto policy's prediction: on for process-backed
+        expansion with shared memory available, off otherwise.
+        """
+        backend = self._backend_instance
+        if backend is not None:
+            return getattr(backend, "shared_store", None) is not None
+        if self._shared_interning is False or not shared_memory_available():
+            return False
+        if self._pool is not None:
+            return self._pool.uses_processes(self._workers)
+        return self._workers > 1 and process_backend_available()
+
     def _backend(self):
         """The engine's expansion backend, created once and then reused.
 
@@ -443,10 +559,24 @@ class ShardedEngine:
         if self._backend_instance is None:
             if self._pool is not None:
                 self._backend_instance = self._pool.expansion_backend(
-                    self._successors, key=self._pool_key, workers=self._workers
+                    self._successors,
+                    key=self._pool_key,
+                    workers=self._workers,
+                    shared_interning=self._shared_interning,
                 )
             elif self._workers > 1 and process_backend_available():
-                self._backend_instance = ProcessExpansionBackend(self._successors, self._workers)
+                store = None
+                if self._shared_interning is not False:
+                    # Slot 0 is the coordinator, one slot per worker,
+                    # plus headroom: mp.Pool *does* respawn crashed
+                    # workers, and each replacement claims a fresh slot
+                    # from the initializer counter (an out-of-slots
+                    # replacement degrades to inline traffic, which is
+                    # slower, never wrong).
+                    store = SharedStateStore.create(slots=self._workers + 4)
+                self._backend_instance = ProcessExpansionBackend(
+                    self._successors, self._workers, store=store
+                )
             else:
                 self._backend_instance = SerialExpansionBackend(self._successors)
         return self._backend_instance
@@ -543,10 +673,29 @@ class ShardedEngine:
         keep_edges = self._retention == RETAIN_FULL
         # Predicate search always keeps parent links (witnesses), as Engine.search does.
         keep_parents = self._retention != RETAIN_COUNTS or predicate is not None
-        partials = [
-            SearchResult(initial=initial, retention=self._retention) for _ in range(shards)
-        ]
-        table = InternTable()  # global dedup; ids are single-shard discovery order
+        # The backend is engine-lifetime state: acquired once, reused by
+        # every exploration, released by close() — not per call.  It also
+        # fixes whether this exploration moves ids or pickled states.
+        backend = self._backend()
+        store = getattr(backend, "shared_store", None)
+        if store is not None:
+            # Global dedup; local ids are single-shard discovery order
+            # (bit-identical to InternTable), mirrored into the store so
+            # frontier batches and returned edges carry shared ids only.
+            table = SharedInternTable(store)
+            partials = [
+                SearchResult(
+                    initial=initial,
+                    retention=self._retention,
+                    interning=SharedInternTable(store),
+                )
+                for _ in range(shards)
+            ]
+        else:
+            table = InternTable()  # global dedup; ids are single-shard discovery order
+            partials = [
+                SearchResult(initial=initial, retention=self._retention) for _ in range(shards)
+            ]
         owner: dict[int, int] = {}
         root_id, root, _ = table.intern(initial)
         root_shard = shard_of(root, shards)
@@ -560,9 +709,6 @@ class ShardedEngine:
         total_edges = 0
         level = [root_id]
         depth = 0
-        # The backend is engine-lifetime state: acquired once, reused by
-        # every exploration, released by close() — not per call.
-        backend = self._backend()
         while level:
             for state_id in level:
                 part = partials[owner[state_id]]
@@ -571,8 +717,17 @@ class ShardedEngine:
             if depth >= limits.max_depth:
                 break
             frontiers = ShardFrontiers(shards)
-            for state_id in level:
-                frontiers.push(owner[state_id], (state_id, table.state_of(state_id)))
+            if store is not None:
+                # Id-only frontier entries; a state the slab could not
+                # hold (shared id None) travels inline, which is rare
+                # and always correct.
+                for state_id in level:
+                    shared_id = table.shared_id_of(state_id)
+                    inline = table.state_of(state_id) if shared_id is None else None
+                    frontiers.push(owner[state_id], (state_id, shared_id, inline))
+            else:
+                for state_id in level:
+                    frontiers.push(owner[state_id], (state_id, table.state_of(state_id)))
             expansions = backend.expand(frontiers, self._batch_size)
             next_level: list[int] = []
             # Replay in discovery-id order == the order single-shard BFS

@@ -22,14 +22,14 @@ same arity as ``u⃗``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.database.instance import Fact
 from repro.database.schema import Schema
 from repro.dms.action import Action
 from repro.dms.system import DMS
 from repro.errors import TransformError
-from repro.fol.syntax import And, Atom, Exists, Forall, Implies, Not, Or, Query, conjunction, exists, forall
+from repro.fol.syntax import And, Atom, Implies, Not, Or, Query, conjunction, exists, forall
 
 __all__ = ["BulkAction", "bulk_accessory_schema", "simulate_bulk_action", "compile_bulk_system"]
 

@@ -19,7 +19,7 @@ from itertools import product
 from typing import Iterable
 
 from repro.database.instance import DatabaseInstance, Fact
-from repro.database.schema import RelationSymbol, Schema
+from repro.database.schema import Schema
 from repro.dms.action import Action
 from repro.dms.system import DMS
 from repro.errors import TransformError

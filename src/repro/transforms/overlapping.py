@@ -11,7 +11,7 @@ non-injective) variable substitution.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.dms.action import Action
 from repro.dms.system import DMS

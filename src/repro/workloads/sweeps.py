@@ -145,6 +145,7 @@ def shard_scaling_sweep(
     retention: str = "counts-only",
     *,
     pool=None,
+    shared_interning: bool | None = None,
     parallel: int = 1,
     timeout: float | None = None,
     retries: int = 0,
@@ -177,6 +178,7 @@ def shard_scaling_sweep(
             shards=parameters["shards"],
             workers=parameters["workers"],
             pool=exploration_pool,
+            shared_interning=shared_interning,
         )
         backend = explorer.backend_name
         started = time.perf_counter()

@@ -1,0 +1,137 @@
+"""Tests for the CI bench-trend gate (``benchmarks/check_trend.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_trend", REPO / "benchmarks" / "check_trend.py"
+)
+check_trend = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_trend)
+
+
+def write_results(directory: Path, name: str, results: dict, quick: bool = False) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(
+        json.dumps(
+            {
+                "experiment": name.split("_")[1].split(".")[0],
+                "results": {
+                    node: {"quick": quick, "rows": rows} for node, rows in results.items()
+                },
+            }
+        )
+    )
+
+
+def test_committed_results_pass_their_own_trend_gate(capsys):
+    baseline = REPO / "benchmarks" / "results"
+    code = check_trend.main(["--baseline", str(baseline), "--candidate", str(baseline)])
+    assert code == 0, capsys.readouterr().out
+
+
+def test_regressed_speedup_fails_the_gate(tmp_path, capsys):
+    rows = {"bench": [{"mode": "x", "speedup": 1.0}, {"mode": "y", "speedup": 1.6}]}
+    write_results(tmp_path / "base", "BENCH_E99.json", rows)
+    regressed = {"bench": [{"mode": "x", "speedup": 1.0}, {"mode": "y", "speedup": 1.2}]}
+    write_results(tmp_path / "cand", "BENCH_E99.json", regressed)
+    code = check_trend.main(
+        ["--baseline", str(tmp_path / "base"), "--candidate", str(tmp_path / "cand")]
+    )
+    assert code == 1
+    assert "speedup regressed" in capsys.readouterr().out
+
+
+def test_within_tolerance_passes(tmp_path):
+    rows = {"bench": [{"mode": "y", "speedup": 1.6}]}
+    write_results(tmp_path / "base", "BENCH_E99.json", rows)
+    write_results(tmp_path / "cand", "BENCH_E99.json", {"bench": [{"mode": "y", "speedup": 1.3}]})
+    code = check_trend.main(
+        ["--baseline", str(tmp_path / "base"), "--candidate", str(tmp_path / "cand")]
+    )
+    assert code == 0  # 1.3 >= 1.6 * 0.8
+
+
+def test_sub_parity_baseline_rows_carry_no_claim(tmp_path):
+    # Rows recorded below the bench's CPU floor (speedup < 1.0, e.g.
+    # 4 workers on a 1-CPU host) are noise and must not gate.
+    write_results(tmp_path / "base", "BENCH_E99.json", {"bench": [{"speedup": 0.13}]})
+    write_results(tmp_path / "cand", "BENCH_E99.json", {"bench": [{"speedup": 0.05}]})
+    code = check_trend.main(
+        ["--baseline", str(tmp_path / "base"), "--candidate", str(tmp_path / "cand")]
+    )
+    assert code == 0
+
+
+def test_regression_below_parity_from_a_real_claim_still_fails(tmp_path, capsys):
+    write_results(tmp_path / "base", "BENCH_E99.json", {"bench": [{"speedup": 1.5}]})
+    write_results(tmp_path / "cand", "BENCH_E99.json", {"bench": [{"speedup": 0.7}]})
+    code = check_trend.main(
+        ["--baseline", str(tmp_path / "base"), "--candidate", str(tmp_path / "cand")]
+    )
+    assert code == 1
+    assert "speedup regressed" in capsys.readouterr().out
+
+
+def test_dropped_rows_fail_the_gate(tmp_path, capsys):
+    rows = {"bench": [{"mode": "x", "speedup": 1.0}, {"mode": "y", "speedup": 1.6}]}
+    write_results(tmp_path / "base", "BENCH_E99.json", rows)
+    write_results(tmp_path / "cand", "BENCH_E99.json", {"bench": [{"mode": "x", "speedup": 1.0}]})
+    code = check_trend.main(
+        ["--baseline", str(tmp_path / "base"), "--candidate", str(tmp_path / "cand")]
+    )
+    assert code == 1
+    assert "row count changed" in capsys.readouterr().out
+
+
+def test_quick_candidate_skips_ratio_comparison(tmp_path, capsys):
+    write_results(tmp_path / "base", "BENCH_E99.json", {"bench": [{"speedup": 2.0}]})
+    write_results(
+        tmp_path / "cand", "BENCH_E99.json", {"bench": [{"speedup": 0.5}]}, quick=True
+    )
+    code = check_trend.main(
+        ["--baseline", str(tmp_path / "base"), "--candidate", str(tmp_path / "cand")]
+    )
+    assert code == 0
+    assert "quick-mode timings" in capsys.readouterr().out
+
+
+def test_false_correctness_flag_fails_even_in_quick_mode(tmp_path, capsys):
+    write_results(tmp_path / "base", "BENCH_E99.json", {"bench": [{"speedup": 1.0}]})
+    write_results(
+        tmp_path / "cand",
+        "BENCH_E99.json",
+        {"bench": [{"speedup": 1.0, "results_match": False}]},
+        quick=True,
+    )
+    code = check_trend.main(
+        ["--baseline", str(tmp_path / "base"), "--candidate", str(tmp_path / "cand")]
+    )
+    assert code == 1
+    assert "results_match" in capsys.readouterr().out
+
+
+def test_missing_candidate_file_is_a_note_not_a_failure(tmp_path, capsys):
+    write_results(tmp_path / "base", "BENCH_E99.json", {"bench": [{"speedup": 1.5}]})
+    (tmp_path / "cand").mkdir()
+    code = check_trend.main(
+        ["--baseline", str(tmp_path / "base"), "--candidate", str(tmp_path / "cand")]
+    )
+    assert code == 0
+    assert "not regenerated" in capsys.readouterr().out
+
+
+def test_corrupt_results_fail_the_gate(tmp_path, capsys):
+    (tmp_path / "base").mkdir()
+    (tmp_path / "base" / "BENCH_E99.json").write_text("{not json")
+    (tmp_path / "cand").mkdir()
+    code = check_trend.main(
+        ["--baseline", str(tmp_path / "base"), "--candidate", str(tmp_path / "cand")]
+    )
+    assert code == 1
+    assert "unreadable results" in capsys.readouterr().out

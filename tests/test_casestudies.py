@@ -1,6 +1,5 @@
 """Tests for the case studies (Appendix C booking agency, warehouse, students)."""
 
-import pytest
 
 from repro.casestudies.booking import (
     BOOKING_STATES,

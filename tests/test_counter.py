@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.counter.machine import (
-    CounterMachine,
-    CounterOperation,
-    control_state_reachable,
-)
+from repro.counter.machine import CounterMachine, control_state_reachable
 from repro.counter.reductions import binary_encoding, state_proposition, unary_encoding
 from repro.errors import CounterMachineError
 from repro.fol.normalize import is_union_of_conjunctive_queries

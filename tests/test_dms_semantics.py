@@ -3,7 +3,6 @@
 import pytest
 
 from repro.casestudies.simple import figure_1_expected_instances
-from repro.dms.configuration import Configuration
 from repro.dms.graph import ConfigurationGraphExplorer, ExplorationLimits, iterate_runs
 from repro.dms.semantics import (
     apply_action,

@@ -12,7 +12,7 @@ from repro.encoding.alphabet import (
 )
 from repro.encoding.analyzer import EncodingAnalyzer
 from repro.encoding.blocks import Block, block_letters, parse_blocks
-from repro.encoding.encoder import block_for_step, encode_run, encode_symbolic_word
+from repro.encoding.encoder import encode_run, encode_symbolic_word
 from repro.errors import EncodingError
 from repro.recency.abstraction import SymbolicLabel, SymbolicSubstitution, abstract_run
 from repro.recency.explorer import iterate_b_bounded_runs

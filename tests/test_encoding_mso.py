@@ -19,7 +19,7 @@ from repro.msofo.patterns import (
     safety_formula,
 )
 from repro.msofo.semantics import holds_on_run
-from repro.nestedwords.mso import NWFormula, evaluate_nw, holds_on_nested_word
+from repro.nestedwords.mso import NWFormula, evaluate_nw
 from repro.recency.explorer import iterate_b_bounded_runs
 from repro.recency.semantics import execute_b_bounded_labels
 

@@ -3,12 +3,11 @@
 import pytest
 
 from repro.database.instance import DatabaseInstance, Fact
-from repro.database.schema import Schema
 from repro.database.substitution import Substitution
 from repro.errors import QueryError, SubstitutionError
 from repro.fol.evaluator import QueryEvaluator, answers, evaluate_sentence, satisfies
 from repro.fol.parser import parse_query
-from repro.fol.syntax import Atom, Equals, Exists, Forall, Not
+from repro.fol.syntax import Atom, Equals, Not
 
 
 @pytest.fixture

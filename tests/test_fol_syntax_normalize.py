@@ -1,7 +1,6 @@
 """Tests for FOL(R) syntax utilities and normalisation."""
 
 from repro.database.instance import DatabaseInstance, Fact
-from repro.database.schema import Schema
 from repro.fol.active import active_query, fresh_variable_names
 from repro.fol.builder import QueryBuilder
 from repro.fol.evaluator import answers, evaluate_sentence, satisfies

@@ -18,7 +18,7 @@ from repro.modelcheck.reachability import (
     query_reachable_bounded,
 )
 from repro.modelcheck.result import Verdict
-from repro.msofo.foltl import Always, Eventually, StateQuery
+from repro.msofo.foltl import Eventually, StateQuery
 from repro.msofo.patterns import proposition_reachability_formula, safety_formula
 from repro.dms.builder import DMSBuilder
 

@@ -24,7 +24,6 @@ from repro.msofo.patterns import (
     response_formula,
     runs_characterisation_formula,
     safety_formula,
-    student_progression_formula,
 )
 from repro.msofo.semantics import RunAssignment, evaluate, holds_on_run
 from repro.msofo.syntax import (
@@ -32,7 +31,6 @@ from repro.msofo.syntax import (
     ExistsData,
     ExistsPosition,
     ExistsSet,
-    ForallPosition,
     InSet,
     Not,
     PositionLess,

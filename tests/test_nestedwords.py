@@ -15,7 +15,6 @@ from repro.nestedwords.mso import (
     Matched,
     Not,
     conjunction,
-    disjunction,
     evaluate_nw,
     holds_on_nested_word,
 )

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.recency.abstraction import (
-    SymbolicLabel,
     SymbolicSubstitution,
     abstract_run,
     abstract_substitution,

@@ -26,7 +26,6 @@ import pytest
 from repro.errors import SchedulerError, WorkerPoolError
 from repro.harness.experiments import experiment_e9_convergence
 from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
-from repro.recency.semantics import enumerate_b_bounded_successors, initial_recency_configuration
 from repro.runtime import (
     PointRecord,
     SerialWorkerContext,

@@ -9,7 +9,7 @@ from repro.dms.builder import DMSBuilder
 from repro.errors import TransformError
 from repro.fol.evaluator import evaluate_sentence
 from repro.fol.parser import parse_query
-from repro.transforms.bulk import BulkAction, compile_bulk_system, simulate_bulk_action
+from repro.transforms.bulk import BulkAction, simulate_bulk_action
 from repro.transforms.constants import (
     compact_fact,
     compact_instance,

@@ -1,9 +1,7 @@
 """Tests for the workload generators, sweeps and the experiment harness."""
 
-import pytest
 
 from repro.harness.experiments import (
-    all_experiments,
     experiment_e1_figure1_run,
     experiment_e2_recency_bound,
     experiment_e3_encoding,
@@ -12,9 +10,8 @@ from repro.harness.experiments import (
     experiment_e11_transforms,
 )
 from repro.harness.reporting import format_table, print_experiment
-from repro.recency.explorer import iterate_b_bounded_runs
 from repro.workloads.generators import RandomDMSParameters, random_bounded_runs, random_dms
-from repro.workloads.sweeps import SweepPoint, dms_family, sweep
+from repro.workloads.sweeps import dms_family, sweep
 
 
 def test_random_dms_is_well_formed_and_deterministic():
