@@ -19,7 +19,11 @@ under ``benchmarks/results/``:
   ``memo_complete``) must be true regardless of mode — a quick run may
   not prove speed, but it must prove equivalence;
 * both directories must **parse**: corrupt or schema-less result files
-  fail the gate outright.
+  fail the gate outright;
+* the baseline must actually **exist**: a baseline directory without a
+  single ``BENCH_E*.json`` fails loudly (with the regeneration command)
+  instead of passing vacuously — a deleted or never-committed baseline
+  is a gate with nothing to protect, not a green run.
 
 Files present only in the baseline are reported as "not regenerated"
 and do not fail the gate (CI regenerates the cheap benches only);
@@ -38,7 +42,18 @@ import json
 import sys
 from pathlib import Path
 
-CORRECTNESS_FLAGS = ("results_match", "rows_identical", "witness_match", "memo_complete")
+CORRECTNESS_FLAGS = (
+    "results_match",
+    "rows_identical",
+    "witness_match",
+    "memo_complete",
+    "memory_ok",
+)
+
+REGENERATE_HINT = (
+    "PYTHONPATH=src python -m pytest benchmarks -q --benchmark-disable  "
+    "# then commit benchmarks/results/BENCH_E*.json"
+)
 
 
 def load_results(directory: Path) -> dict[str, dict]:
@@ -121,6 +136,15 @@ def main(argv: list[str] | None = None) -> int:
         candidate = load_results(arguments.candidate)
     except (ValueError, json.JSONDecodeError, OSError) as error:
         print(f"bench-trend: unreadable results: {error}")
+        return 1
+    if not baseline:
+        # An absent baseline must never read as "no regressions": there
+        # is nothing to compare against, which is itself the failure.
+        print(
+            f"bench-trend: FAIL: no committed baseline results "
+            f"(no BENCH_E*.json under {arguments.baseline})"
+        )
+        print(f"bench-trend: regenerate the baseline with: {REGENERATE_HINT}")
         return 1
 
     failures: list[str] = []

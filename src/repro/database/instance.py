@@ -87,6 +87,15 @@ class DatabaseInstance:
         self._adom = frozenset(adom)
         self._hash = hash((self._schema, self._facts))
 
+    # The cached hash is salted by this interpreter's hash randomisation
+    # and must never travel in a pickle; rebuilding through __init__ also
+    # re-derives the per-relation and active-domain indexes.
+    def __getstate__(self) -> tuple:
+        return (self._schema, self._facts)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.__init__(state[0], state[1])
+
     # -- constructors ---------------------------------------------------
 
     @classmethod

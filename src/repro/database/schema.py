@@ -70,6 +70,13 @@ class Schema:
         self._by_name = by_name
         self._hash = hash(rels)
 
+    # Never ship the randomisation-salted hash cache in a pickle.
+    def __getstate__(self) -> tuple:
+        return (self._relations,)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.__init__(state[0])
+
     # -- constructors ---------------------------------------------------
 
     @classmethod

@@ -35,6 +35,15 @@ class Substitution(Mapping[str, Value]):
         self._mapping = dict(mapping)
         self._hash = hash(frozenset(self._mapping.items()))
 
+    # The cached hash is salted by this interpreter's hash randomisation
+    # and must never travel in a pickle: an unpickling process recomputes
+    # it, keeping hash/eq consistent across process boundaries.
+    def __getstate__(self) -> tuple:
+        return (self._mapping,)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.__init__(state[0])
+
     # -- Mapping protocol -------------------------------------------------
 
     def __getitem__(self, variable: str) -> Value:
@@ -137,6 +146,13 @@ class VariableDatabase:
         self._schema = schema
         self._facts = frozenset(validated)
         self._hash = hash((schema, self._facts))
+
+    # As for Substitution: never ship the randomisation-salted hash cache.
+    def __getstate__(self) -> tuple:
+        return (self._schema, self._facts)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.__init__(state[0], state[1])
 
     @classmethod
     def empty(cls, schema: Schema) -> "VariableDatabase":

@@ -125,6 +125,15 @@ class ConfigurationGraphExplorer:
             (auto): on exactly when expansion runs on worker processes
             and shared memory is available; the in-process fallback is
             always off.  Results are bit-identical either way.
+        nodes: with ``nodes > 1`` the exploration runs two-level
+            distributed (:mod:`repro.distributed`): each node agent
+            owns the intern table of its hash-partition and
+            ``shards``/``workers`` become per-node local configuration.
+            Results stay bit-identical; ``pool`` is ignored.
+        transport: ``None``/``"tcp"`` fork a localhost TCP cluster;
+            pass a :class:`repro.distributed.Coordinator` to use
+            externally started agents (the explorer ships them a
+            picklable context for this system automatically).
 
     The underlying engine is created once per explorer, so successive
     explorations reuse the same expansion backend (warm workers).  The
@@ -143,6 +152,8 @@ class ConfigurationGraphExplorer:
         workers: int = 1,
         pool=None,
         shared_interning: bool | None = None,
+        nodes: int = 1,
+        transport=None,
     ) -> None:
         self._system = system
         self._limits = limits or ExplorationLimits()
@@ -153,6 +164,8 @@ class ConfigurationGraphExplorer:
         self._workers = workers
         self._pool = pool
         self._shared_interning = shared_interning
+        self._nodes = nodes
+        self._transport = transport
         self._engine_instance = None
 
     @property
@@ -186,12 +199,17 @@ class ConfigurationGraphExplorer:
         return self._workers
 
     @property
+    def nodes(self) -> int:
+        """Number of distributed node agents (1 = this process only)."""
+        return self._nodes
+
+    @property
     def backend_name(self) -> str:
         """The expansion backend explorations will use.
 
         ``"in-process"`` for the single-shard engine, ``"serial"`` or
         ``"process"`` for the sharded engine's fallback/multiprocessing
-        backends.
+        backends, ``"distributed"`` across node agents.
         """
         return getattr(self._engine(), "backend_name", "in-process")
 
@@ -205,7 +223,12 @@ class ConfigurationGraphExplorer:
             return self._engine_instance
         system = self._system  # capture the system, not the explorer (pool contexts keep the closure alive)
         successors = lambda configuration: enumerate_successors(system, configuration)  # noqa: E731
-        if self._shards > 1 or self._workers > 1:
+        if self._shards > 1 or self._workers > 1 or self._nodes > 1:
+            context = None
+            if self._nodes > 1:
+                from repro.distributed.context import DMSGraphContext
+
+                context = DMSGraphContext(system)
             self._engine_instance = ShardedEngine(
                 successors=successors,
                 limits=self._limits.as_search_limits(),
@@ -213,9 +236,12 @@ class ConfigurationGraphExplorer:
                 retention=self._retention,
                 shards=self._shards,
                 workers=self._workers,
-                pool=self._pool,
+                pool=self._pool if self._nodes == 1 else None,
                 pool_key=("dms-graph", id(self._system)) if self._pool is not None else None,
                 shared_interning=self._shared_interning,
+                nodes=self._nodes,
+                transport=self._transport,
+                context=context,
             )
         else:
             self._engine_instance = Engine(

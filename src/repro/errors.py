@@ -79,6 +79,16 @@ class SchedulerError(ReproError):
     """A sweep point failed permanently (error or timeout after all retries)."""
 
 
+class DistributedError(ReproError):
+    """A distributed exploration (coordinator/agent protocol) was misused
+    or a transport frame could not be exchanged."""
+
+
+class NodeCrashError(DistributedError):
+    """A node agent died (socket EOF, torn frame, missed heartbeats) while
+    the coordinator still needed it."""
+
+
 class TransformError(ReproError):
     """A model transformation (Appendix F) cannot be applied."""
 

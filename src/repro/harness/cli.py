@@ -17,6 +17,21 @@ options; E9 supports the full set::
 an interrupted sweep continues where it stopped and reproduces the
 exact row set of an uninterrupted run.  ``--stream`` prints each point
 as it completes (completion order) before the final table.
+
+The distributed layer (:mod:`repro.distributed`) is driven with three
+options::
+
+    PYTHONPATH=src python -m repro.harness E14 --nodes 2   # localhost cluster
+    PYTHONPATH=src python -m repro.harness E14 --nodes 2 \
+        --coordinator 0.0.0.0:7700       # wait for 2 external agents
+    PYTHONPATH=src python -m repro.harness --agent \
+        --coordinator HOST:7700          # serve as one node agent
+
+``--nodes`` adds a two-level distributed row to E14 (node agents fork
+on localhost unless ``--coordinator`` binds an address and waits for
+externally started agents); ``--agent`` turns the process into a node
+agent that connects to a coordinator, receives its exploration context
+in the lease, and serves until released.
 """
 
 from __future__ import annotations
@@ -34,19 +49,31 @@ __all__ = ["main"]
 _PARALLEL_AWARE = ("E9", "E13", "E14")
 _CHECKPOINT_AWARE = ("E9",)
 _QUICK_AWARE = ("E13", "E14")
+_NODES_AWARE = ("E14",)
+
+
+def _parse_address(value: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or ``:PORT``, binding every interface) -> tuple."""
+    host, separator, port = value.rpartition(":")
+    if not separator or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT (e.g. 127.0.0.1:7700), got {value!r}"
+        )
+    return (host or "0.0.0.0", int(port))
 
 # Titles come from the single registry in experiments.py; the CLI only
 # overrides the *runner* for experiments that take runtime options.
 TITLES = {identifier: title for identifier, (title, _) in experiments.EXPERIMENTS.items()}
 
 
-def _runner(identifier: str, options: argparse.Namespace, smoke: bool):
+def _runner(identifier: str, options: argparse.Namespace, smoke: bool, transport=None):
     """The zero-argument callable regenerating one experiment's rows.
 
     ``smoke`` selects the CI-smoke depths for the benchmark-scale
     experiments — the registry's (and ``all_experiments``'s) default —
     used for ``all`` runs; naming E13/E14 explicitly runs them at full
-    depth unless ``--quick`` is given.
+    depth unless ``--quick`` is given.  ``transport`` is the coordinator
+    of externally started node agents, when ``--coordinator`` bound one.
     """
     if identifier == "E9":
         return lambda: experiments.experiment_e9_convergence(
@@ -60,7 +87,10 @@ def _runner(identifier: str, options: argparse.Namespace, smoke: bool):
         )
     if identifier == "E14":
         return lambda: experiments.experiment_e14_sharded(
-            quick=options.quick or smoke, parallel=options.parallel
+            quick=options.quick or smoke,
+            parallel=options.parallel,
+            nodes=options.nodes,
+            transport=transport,
         )
     return experiments.EXPERIMENTS[identifier][1]
 
@@ -97,7 +127,29 @@ def main(argv: list[str] | None = None) -> int:
         "--stream", action="store_true",
         help="print each sweep point as it completes (E9)",
     )
+    parser.add_argument(
+        "--nodes", type=int, default=1,
+        help="distributed node agents for the E14 two-level row",
+    )
+    parser.add_argument(
+        "--coordinator", type=_parse_address, default=None, metavar="HOST:PORT",
+        help="with --agent: the coordinator to serve; otherwise: bind here and "
+        "wait for --nodes externally started agents",
+    )
+    parser.add_argument(
+        "--agent", action="store_true",
+        help="run as a distributed node agent (requires --coordinator)",
+    )
     options = parser.parse_args(argv)
+    if options.agent:
+        if options.coordinator is None:
+            parser.error("--agent requires --coordinator HOST:PORT")
+        from repro.distributed import run_agent
+
+        host, port = options.coordinator
+        print(f"serving as node agent for coordinator {host}:{port}")
+        run_agent(options.coordinator)
+        return 0
     requested = options.experiment.upper() if options.experiment != "all" else "all"
     identifiers = list(TITLES) if requested == "all" else [requested]
     unknown = [identifier for identifier in identifiers if identifier not in TITLES]
@@ -115,21 +167,43 @@ def main(argv: list[str] | None = None) -> int:
             )
         if options.quick and requested not in _QUICK_AWARE:
             parser.error(f"--quick applies to {'/'.join(_QUICK_AWARE)}, not {requested}")
+        if options.nodes != 1 and requested not in _NODES_AWARE:
+            parser.error(f"--nodes applies to {'/'.join(_NODES_AWARE)}, not {requested}")
     if options.resume and not options.checkpoint:
         parser.error("--resume requires --checkpoint (the JSONL memo to resume from)")
-    for identifier in identifiers:
-        if identifier == "E9" and options.stream:
-            stream_experiment(
-                identifier,
-                TITLES[identifier],
-                experiments.experiment_e9_convergence,
-                parallel=options.parallel,
-                checkpoint=options.checkpoint,
-                resume=options.resume,
-            )
-            continue
-        rows = _runner(identifier, options, smoke=requested == "all")()
-        print_experiment(identifier, TITLES[identifier], rows)
+    if options.nodes < 1:
+        parser.error("--nodes must be positive")
+    if options.coordinator is not None and options.nodes == 1:
+        parser.error("--coordinator (without --agent) requires --nodes above 1")
+    transport = None
+    if options.coordinator is not None:
+        from repro.distributed import Coordinator
+
+        print(
+            f"waiting for {options.nodes} agents on "
+            f"{options.coordinator[0]}:{options.coordinator[1]} ..."
+        )
+        transport = Coordinator.listen(options.coordinator, options.nodes)
+    try:
+        for identifier in identifiers:
+            if identifier == "E9" and options.stream:
+                stream_experiment(
+                    identifier,
+                    TITLES[identifier],
+                    experiments.experiment_e9_convergence,
+                    parallel=options.parallel,
+                    checkpoint=options.checkpoint,
+                    resume=options.resume,
+                )
+                continue
+            rows = _runner(identifier, options, smoke=requested == "all", transport=transport)()
+            print_experiment(identifier, TITLES[identifier], rows)
+    finally:
+        # A failing experiment must still release external agents: the
+        # shutdown frames end their serve loops instead of stranding
+        # them on a dead lease until socket EOF.
+        if transport is not None:
+            transport.close()
     return 0
 
 

@@ -677,7 +677,9 @@ def experiment_e13_engine(quick: bool = False, *, parallel: int = 1) -> list[dic
 
 # -- E14: sharded work-stealing exploration vs the single-shard engine ---------------------------------------
 
-def experiment_e14_sharded(quick: bool = False, *, parallel: int = 1, pool=None) -> list[dict]:
+def experiment_e14_sharded(
+    quick: bool = False, *, parallel: int = 1, pool=None, nodes: int = 1, transport=None
+) -> list[dict]:
     """Sharded exploration (:mod:`repro.search.sharded`) against the 1-shard engine.
 
     For the booking and warehouse case studies at recency bound 2, the
@@ -696,7 +698,12 @@ def experiment_e14_sharded(quick: bool = False, *, parallel: int = 1, pool=None)
     on the sweep scheduler; ``parallel`` overlaps its points (counts
     stay bit-identical, but per-point seconds then overlap — keep the
     default when speedup numbers matter), and ``pool`` lends warm
-    expansion workers to sequential runs.
+    expansion workers to sequential runs.  With ``nodes > 1`` a final
+    row replays the booking exploration on the two-level distributed
+    engine (``--nodes`` on the CLI; ``transport`` may be a
+    :class:`repro.distributed.Coordinator` with externally started
+    agents, as set up by ``--coordinator``) and checks it against the
+    single-shard counts.
     """
     import time
 
@@ -799,6 +806,47 @@ def experiment_e14_sharded(quick: bool = False, *, parallel: int = 1, pool=None)
             and sharded.edges_explored == reference.edges_explored,
         }
     )
+
+    if nodes > 1:
+        # Two-level distributed replay of the booking exploration: node
+        # agents own the intern tables, the merged counts must match the
+        # single-shard engine's exactly.
+        bound, depth = 2, 4 if quick else 6
+        single = RecencyExplorer(
+            booking, bound, RecencyExplorationLimits(max_depth=depth), retention=RETAIN_COUNTS
+        ).explore()
+        with RecencyExplorer(
+            booking,
+            bound,
+            RecencyExplorationLimits(max_depth=depth),
+            retention=RETAIN_COUNTS,
+            nodes=nodes,
+            transport=transport,
+        ) as distributed_explorer:
+            backend = distributed_explorer.backend_name
+            started = time.perf_counter()
+            result = distributed_explorer.explore()
+            seconds = time.perf_counter() - started
+        rows.append(
+            {
+                "case": f"booking ({nodes}-node distributed)",
+                "bound": bound,
+                "depth": depth,
+                "shards": 1,
+                "workers": 1,
+                "backend": backend,
+                "configurations": result.configuration_count,
+                "edges": result.edge_count,
+                "seconds": round(seconds, 4),
+                "speedup": None,
+                "results_match": (
+                    result.configuration_count == single.configuration_count
+                    and result.edge_count == single.edge_count
+                    and result.truncated == single.truncated
+                    and result.configurations == single.configurations
+                ),
+            }
+        )
     return rows
 
 

@@ -73,6 +73,8 @@ def reachability_bound_sweep(
     workers: int = 1,
     pool=None,
     shared_interning: bool | None = None,
+    nodes: int = 1,
+    transport=None,
     parallel: int = 1,
     timeout: float | None = None,
     retries: int = 0,
@@ -105,7 +107,7 @@ def reachability_bound_sweep(
             system, condition, parameters["b"], max_depth=max_depth,
             strategy=strategy, heuristic=heuristic, retention=retention,
             shards=shards, workers=workers, pool=exploration_pool,
-            shared_interning=shared_interning,
+            shared_interning=shared_interning, nodes=nodes, transport=transport,
         )
         return {
             "verdict": result.reachable.value,
@@ -154,6 +156,8 @@ def state_space_bound_sweep(
     workers: int = 1,
     pool=None,
     shared_interning: bool | None = None,
+    nodes: int = 1,
+    transport=None,
     parallel: int = 1,
     timeout: float | None = None,
     retries: int = 0,
@@ -177,7 +181,7 @@ def state_space_bound_sweep(
             system, parameters["b"], RecencyExplorationLimits(max_depth=max_depth),
             strategy=strategy, heuristic=heuristic, retention=retention,
             shards=shards, workers=workers, pool=exploration_pool,
-            shared_interning=shared_interning,
+            shared_interning=shared_interning, nodes=nodes, transport=transport,
         )
         result = explorer.explore()
         return {
@@ -225,6 +229,8 @@ def convergence_bound(
     workers: int = 1,
     pool=None,
     shared_interning: bool | None = None,
+    nodes: int = 1,
+    transport=None,
 ) -> int | None:
     """The least bound at which the bounded reachability verdict matches the
     unbounded (depth-bounded) verdict.
@@ -238,12 +244,13 @@ def convergence_bound(
     reference = query_reachable(
         system, condition, max_depth=max_depth, strategy=strategy, heuristic=heuristic,
         shards=shards, workers=workers, pool=pool, shared_interning=shared_interning,
+        nodes=nodes, transport=transport,
     )
     for bound in range(max_bound + 1):
         bounded = query_reachable_bounded(
             system, condition, bound, max_depth=max_depth, strategy=strategy,
             heuristic=heuristic, shards=shards, workers=workers, pool=pool,
-            shared_interning=shared_interning,
+            shared_interning=shared_interning, nodes=nodes, transport=transport,
         )
         if bounded.reachable == reference.reachable:
             return bound

@@ -33,6 +33,14 @@ traffic through a shared-memory state store
 (:mod:`repro.search.shm_interning`; default auto — on whenever worker
 processes expand and shared memory is available).  Verdicts are
 unaffected either way.
+
+``nodes=``/``transport=`` lift a query onto the two-level distributed
+engine (:mod:`repro.distributed`): with ``nodes > 1`` each node agent
+owns the intern table of its hash-partition (``shards``/``workers``
+then configure each node locally), the default transport forks a
+localhost TCP cluster, and a :class:`repro.distributed.Coordinator`
+reaches externally started agents.  Verdicts and witnesses stay
+bit-identical to the single-node query.
 """
 
 from __future__ import annotations
@@ -80,6 +88,8 @@ def query_reachable(
     workers: int = 1,
     pool=None,
     shared_interning: bool | None = None,
+    nodes: int = 1,
+    transport=None,
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable (unbounded semantics)?
 
@@ -103,6 +113,8 @@ def query_reachable(
         workers=workers,
         pool=pool,
         shared_interning=shared_interning,
+        nodes=nodes,
+        transport=transport,
     )
     witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
     if witness is not None:
@@ -134,6 +146,8 @@ def proposition_reachable(
     workers: int = 1,
     pool=None,
     shared_interning: bool | None = None,
+    nodes: int = 1,
+    transport=None,
 ) -> ReachabilityResult:
     """Propositional reachability (Example 4.2) in the unbounded semantics."""
     return query_reachable(
@@ -148,6 +162,8 @@ def proposition_reachable(
         workers=workers,
         pool=pool,
         shared_interning=shared_interning,
+        nodes=nodes,
+        transport=transport,
     )
 
 
@@ -165,6 +181,8 @@ def query_reachable_bounded(
     workers: int = 1,
     pool=None,
     shared_interning: bool | None = None,
+    nodes: int = 1,
+    transport=None,
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable along a b-bounded run?
 
@@ -183,6 +201,8 @@ def query_reachable_bounded(
         workers=workers,
         pool=pool,
         shared_interning=shared_interning,
+        nodes=nodes,
+        transport=transport,
     )
     witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
     if witness is not None:
@@ -215,6 +235,8 @@ def proposition_reachable_bounded(
     workers: int = 1,
     pool=None,
     shared_interning: bool | None = None,
+    nodes: int = 1,
+    transport=None,
 ) -> ReachabilityResult:
     """Propositional reachability restricted to b-bounded runs."""
     return query_reachable_bounded(
@@ -230,4 +252,6 @@ def proposition_reachable_bounded(
         workers=workers,
         pool=pool,
         shared_interning=shared_interning,
+        nodes=nodes,
+        transport=transport,
     )

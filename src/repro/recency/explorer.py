@@ -120,6 +120,15 @@ class RecencyExplorer:
             (auto): on exactly when expansion runs on worker processes
             and shared memory is available; the in-process fallback is
             always off.  Results are bit-identical either way.
+        nodes: with ``nodes > 1`` the exploration runs two-level
+            distributed (:mod:`repro.distributed`): each node agent
+            owns the intern table of its hash-partition and
+            ``shards``/``workers`` become per-node local configuration.
+            Results stay bit-identical; ``pool`` is ignored.
+        transport: ``None``/``"tcp"`` fork a localhost TCP cluster;
+            pass a :class:`repro.distributed.Coordinator` to use
+            externally started agents (the explorer ships them a
+            picklable ``(system, bound)`` context automatically).
 
     The underlying engine is created once per explorer, so successive
     explorations through one explorer reuse the same expansion backend
@@ -140,6 +149,8 @@ class RecencyExplorer:
         workers: int = 1,
         pool=None,
         shared_interning: bool | None = None,
+        nodes: int = 1,
+        transport=None,
     ) -> None:
         self._system = system
         self._bound = bound
@@ -151,6 +162,8 @@ class RecencyExplorer:
         self._workers = workers
         self._pool = pool
         self._shared_interning = shared_interning
+        self._nodes = nodes
+        self._transport = transport
         self._engine_instance = None
 
     @property
@@ -189,12 +202,17 @@ class RecencyExplorer:
         return self._workers
 
     @property
+    def nodes(self) -> int:
+        """Number of distributed node agents (1 = this process only)."""
+        return self._nodes
+
+    @property
     def backend_name(self) -> str:
         """The expansion backend explorations will use.
 
         ``"in-process"`` for the single-shard engine, ``"serial"`` or
         ``"process"`` for the sharded engine's fallback/multiprocessing
-        backends.
+        backends, ``"distributed"`` across node agents.
         """
         return getattr(self._engine(), "backend_name", "in-process")
 
@@ -210,7 +228,12 @@ class RecencyExplorer:
         successors = lambda configuration: enumerate_b_bounded_successors(  # noqa: E731
             system, configuration, bound
         )
-        if self._shards > 1 or self._workers > 1:
+        if self._shards > 1 or self._workers > 1 or self._nodes > 1:
+            context = None
+            if self._nodes > 1:
+                from repro.distributed.context import RecencyContext
+
+                context = RecencyContext(system, bound)
             self._engine_instance = ShardedEngine(
                 successors=successors,
                 limits=self._limits.as_search_limits(),
@@ -218,9 +241,12 @@ class RecencyExplorer:
                 retention=self._retention,
                 shards=self._shards,
                 workers=self._workers,
-                pool=self._pool,
+                pool=self._pool if self._nodes == 1 else None,
                 pool_key=("recency", id(system), bound) if self._pool is not None else None,
                 shared_interning=self._shared_interning,
+                nodes=self._nodes,
+                transport=self._transport,
+                context=context,
             )
         else:
             self._engine_instance = Engine(

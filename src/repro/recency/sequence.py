@@ -37,6 +37,13 @@ class SequenceNumbering(Mapping[Value, int]):
         self._mapping = entries
         self._hash = hash(frozenset(entries.items()))
 
+    # Never ship the randomisation-salted hash cache in a pickle.
+    def __getstate__(self) -> tuple:
+        return (self._mapping,)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.__init__(state[0])
+
     # -- Mapping protocol ---------------------------------------------------
 
     def __getitem__(self, value: Value) -> int:

@@ -375,6 +375,7 @@ class SerialWorkerContext:
         return (os.getpid(),)
 
     def submit(self, payload: Any) -> int:
+        """Queue one task (same contract as the process context's)."""
         # Same lifecycle contract as the process context, so misuse
         # surfaces identically on platforms without fork.
         if self._closed:
@@ -389,6 +390,11 @@ class SerialWorkerContext:
         self._queue.clear()
 
     def events(self, task_timeout: float | None = None) -> Iterator[tuple[int, Any, str | None]]:
+        """Run queued tasks inline, yielding ``(task_id, value, error)``.
+
+        ``task_timeout`` cannot preempt in-process execution and is
+        ignored (see the class docstring).
+        """
         while self._queue:
             task_id, payload = self._queue.popleft()
             try:
@@ -397,6 +403,7 @@ class SerialWorkerContext:
                 yield task_id, None, f"{type(error).__name__}: {error}"
 
     def shutdown(self) -> None:
+        """Refuse further submissions and drop queued tasks."""
         self._closed = True
         self._queue.clear()
 

@@ -437,6 +437,24 @@ class ShardedEngine:
             fallback.  ``True`` requests it (silently degrading where
             impossible), ``False`` forces classic pickled traffic.
             Results are bit-identical either way.
+        nodes: with ``nodes > 1`` the exploration runs **two-level
+            distributed** (:mod:`repro.distributed`): each of ``nodes``
+            node agents owns the intern table and partial result of its
+            hash-partition, ``shards``/``workers``/``shared_interning``
+            become each node's *local* configuration, and the merged
+            result stays bit-identical to the single-shard engine's.  A
+            ``pool=`` is ignored in this mode (node agents own their
+            expansion workers).
+        transport: how node agents are reached when ``nodes > 1`` —
+            ``None``/``"tcp"`` forks a localhost TCP cluster owned by
+            the engine; a :class:`repro.distributed.Coordinator` with
+            already-accepted agents is borrowed instead (and left
+            connected on :meth:`close`).
+        context: a picklable
+            :class:`~repro.distributed.context.ExplorationContext`
+            shipped to *external* node agents in their lease (the
+            localhost launcher inherits the successor closure through
+            fork and needs none).
 
     The expansion backend lives for the **engine's lifetime**: repeated
     :meth:`explore`/:meth:`search` calls reuse the same worker
@@ -456,6 +474,10 @@ class ShardedEngine:
         "_pool_key",
         "_shared_interning",
         "_backend_instance",
+        "_nodes",
+        "_transport",
+        "_context",
+        "_distributed_instance",
     )
 
     def __init__(
@@ -471,6 +493,9 @@ class ShardedEngine:
         pool=None,
         pool_key: Any = None,
         shared_interning: bool | None = None,
+        nodes: int = 1,
+        transport: Any = None,
+        context: Any = None,
     ) -> None:
         if retention not in RETENTION_MODES:
             raise SearchError(
@@ -483,6 +508,8 @@ class ShardedEngine:
             )
         if shards < 1 or workers < 1:
             raise SearchError("shards and workers must both be positive")
+        if nodes < 1:
+            raise SearchError("the node count must be positive")
         if batch_size < 1:
             raise SearchError("batch_size must be positive")
         self._successors = successors
@@ -495,6 +522,10 @@ class ShardedEngine:
         self._pool_key = pool_key
         self._shared_interning = shared_interning
         self._backend_instance = None
+        self._nodes = nodes
+        self._transport = transport
+        self._context = context
+        self._distributed_instance = None
 
     @property
     def limits(self) -> SearchLimits:
@@ -522,8 +553,15 @@ class ShardedEngine:
         return "bfs"
 
     @property
+    def nodes(self) -> int:
+        """Number of distributed node agents (1 = this process only)."""
+        return self._nodes
+
+    @property
     def backend_name(self) -> str:
         """The expansion backend :meth:`explore` will use."""
+        if self._distributed_active():
+            return "distributed"
         if self._backend_instance is not None:
             return self._backend_instance.name
         if self._pool is not None:
@@ -538,8 +576,17 @@ class ShardedEngine:
 
         Reports the *effective* state once a backend exists; before
         that, the auto policy's prediction: on for process-backed
-        expansion with shared memory available, off otherwise.
+        expansion with shared memory available, off otherwise.  For a
+        distributed engine this is the per-*node* prediction (each node
+        decides exactly as a node-local engine would).
         """
+        if self._distributed_active():
+            return (
+                self._shared_interning is not False
+                and shared_memory_available()
+                and self._workers > 1
+                and process_backend_available()
+            )
         backend = self._backend_instance
         if backend is not None:
             return getattr(backend, "shared_store", None) is not None
@@ -581,16 +628,62 @@ class ShardedEngine:
                 self._backend_instance = SerialExpansionBackend(self._successors)
         return self._backend_instance
 
+    def _distributed_active(self) -> bool:
+        """Whether explorations actually run on node agents.
+
+        ``nodes > 1`` with the default localhost transport needs the
+        ``fork`` start method to launch agents; where it is unavailable
+        (or inside a daemonic sweep worker, which may not have children)
+        the engine silently falls back to the single-node path — the
+        replay makes results bit-identical either way, exactly as for
+        the serial expansion fallback.  An external coordinator's agents
+        already exist, so that path never degrades.
+        """
+        if self._nodes <= 1:
+            return False
+        if self._transport not in (None, "tcp"):
+            return True
+        return process_backend_available()
+
+    def _distributed(self):
+        """The two-level distributed engine (created once, then reused).
+
+        Like the expansion backend, it is engine-lifetime state: the
+        localhost cluster (or the borrowed coordinator's lease) stays
+        warm across successive explorations until :meth:`close`.
+        """
+        if self._distributed_instance is None:
+            from repro.distributed.coordinator import DistributedEngine
+
+            self._distributed_instance = DistributedEngine(
+                self._successors,
+                nodes=self._nodes,
+                limits=self._limits,
+                retention=self._retention,
+                local_shards=self._shards,
+                local_workers=self._workers,
+                batch_size=self._batch_size,
+                shared_interning=self._shared_interning,
+                transport=self._transport,
+                context=self._context,
+            )
+        return self._distributed_instance
+
     def close(self) -> None:
         """Release the expansion backend (idempotent).
 
         An owned process pool is shut down; a pool lease is released
-        with its workers left warm.  The engine may be used again — the
-        next exploration simply acquires a fresh backend.
+        with its workers left warm; an owned distributed cluster is torn
+        down (a borrowed coordinator stays connected).  The engine may
+        be used again — the next exploration simply acquires a fresh
+        backend or cluster.
         """
         backend, self._backend_instance = self._backend_instance, None
         if backend is not None:
             backend.close()
+        distributed, self._distributed_instance = self._distributed_instance, None
+        if distributed is not None:
+            distributed.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -610,6 +703,8 @@ class ShardedEngine:
         ``on_state`` fires in global discovery order, exactly as under
         the single-shard engine.
         """
+        if self._distributed_active():
+            return self._distributed().explore(initial, on_state=on_state)
         partials, _ = self._run(initial, on_state=on_state)
         return self._merged(partials, initial)
 
@@ -620,8 +715,16 @@ class ShardedEngine:
         those states (cross-shard parents marked ``-1``) and the edges
         generated from them.  Fold them with
         :meth:`SearchResult.merge_all` to recover the full exploration —
-        this is exactly what :meth:`explore` returns.
+        this is exactly what :meth:`explore` returns.  Distributed
+        engines keep their partials node-resident; use
+        :meth:`explore` (merged) or the distributed engine's summary
+        mode instead.
         """
+        if self._distributed_active():
+            raise SearchError(
+                "explore_shards() is single-node only: distributed partials live on "
+                "their node agents (use explore(), or DistributedEngine.explore_summary)"
+            )
         partials, _ = self._run(initial)
         return partials
 
@@ -637,6 +740,8 @@ class ShardedEngine:
         in every retention mode, and the breadth-first replay makes the
         witness minimal and identical to the single-shard one.
         """
+        if self._distributed_active():
+            return self._distributed().search(initial, predicate)
         partials, hit = self._run(initial, predicate=predicate)
         merged = self._merged(partials, initial)
         if hit is None:

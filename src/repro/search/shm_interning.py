@@ -475,6 +475,12 @@ class SharedInternTable(InternTable):
         return self._store
 
     def intern(self, state: Any) -> tuple[int, Any, bool]:
+        """Intern structurally, mirroring new canonical states into the store.
+
+        Same id/canonical/is_new contract as :meth:`InternTable.intern`;
+        a state the slab cannot hold is still interned locally (its
+        shared id stays ``None`` and it travels inline).
+        """
         existing = self._ids.get(state)
         if existing is not None:
             return existing, self._states[existing], False

@@ -146,6 +146,8 @@ def shard_scaling_sweep(
     *,
     pool=None,
     shared_interning: bool | None = None,
+    nodes: int = 1,
+    transport=None,
     parallel: int = 1,
     timeout: float | None = None,
     retries: int = 0,
@@ -164,12 +166,17 @@ def shard_scaling_sweep(
     points of a *sequential* sweep; ``parallel``/``checkpoint``/
     ``resume`` schedule the points as in :func:`sweep` (timings then
     overlap — keep ``parallel=1`` when comparing per-point seconds).
+    ``nodes``/``transport`` run every non-baseline point two-level
+    distributed (:mod:`repro.distributed`), with ``(shards, workers)``
+    as each node's local configuration — counts stay identical, the
+    intern tables move onto the node agents.
     """
     from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
 
     exploration_pool = pool if parallel <= 1 else None
 
     def measure(parameters: dict) -> dict:
+        point_nodes = nodes if (parameters["shards"], parameters["workers"]) != (1, 1) else 1
         explorer = RecencyExplorer(
             system,
             bound,
@@ -179,6 +186,8 @@ def shard_scaling_sweep(
             workers=parameters["workers"],
             pool=exploration_pool,
             shared_interning=shared_interning,
+            nodes=point_nodes,
+            transport=transport,
         )
         backend = explorer.backend_name
         started = time.perf_counter()

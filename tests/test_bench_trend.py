@@ -126,6 +126,44 @@ def test_missing_candidate_file_is_a_note_not_a_failure(tmp_path, capsys):
     assert "not regenerated" in capsys.readouterr().out
 
 
+def test_empty_baseline_directory_fails_loudly(tmp_path, capsys):
+    # A gate with no committed baseline protects nothing; it must fail
+    # with the regeneration command instead of passing vacuously.
+    (tmp_path / "base").mkdir()
+    write_results(tmp_path / "cand", "BENCH_E99.json", {"bench": [{"speedup": 1.5}]})
+    code = check_trend.main(
+        ["--baseline", str(tmp_path / "base"), "--candidate", str(tmp_path / "cand")]
+    )
+    assert code == 1
+    output = capsys.readouterr().out
+    assert "no committed baseline results" in output
+    assert "pytest benchmarks" in output  # the regeneration command is shown
+
+
+def test_missing_baseline_directory_fails_loudly(tmp_path, capsys):
+    write_results(tmp_path / "cand", "BENCH_E99.json", {"bench": [{"speedup": 1.5}]})
+    code = check_trend.main(
+        ["--baseline", str(tmp_path / "never-created"), "--candidate", str(tmp_path / "cand")]
+    )
+    assert code == 1
+    assert "no committed baseline results" in capsys.readouterr().out
+
+
+def test_false_memory_flag_fails_the_gate(tmp_path, capsys):
+    write_results(tmp_path / "base", "BENCH_E17.json", {"bench": [{"speedup": 1.0}]})
+    write_results(
+        tmp_path / "cand",
+        "BENCH_E17.json",
+        {"bench": [{"speedup": 1.0, "memory_ok": False}]},
+        quick=True,
+    )
+    code = check_trend.main(
+        ["--baseline", str(tmp_path / "base"), "--candidate", str(tmp_path / "cand")]
+    )
+    assert code == 1
+    assert "memory_ok" in capsys.readouterr().out
+
+
 def test_corrupt_results_fail_the_gate(tmp_path, capsys):
     (tmp_path / "base").mkdir()
     (tmp_path / "base" / "BENCH_E99.json").write_text("{not json")
