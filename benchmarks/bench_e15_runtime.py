@@ -192,7 +192,8 @@ def resume_round_trip(quick: bool, checkpoint_path) -> list[dict]:
     checkpoint = SweepCheckpoint(checkpoint_path)
 
     uninterrupted = sweep(grid, _convergence_measure, checkpoint=checkpoint)
-    lines = checkpoint.path.read_text().splitlines()
+    # Records are separated by blank isolator lines; keep records only.
+    lines = [line for line in checkpoint.path.read_text().splitlines() if line.strip()]
     completed_before_kill = 2
     checkpoint.path.write_text("\n".join(lines[:completed_before_kill]) + "\n")
 

@@ -16,8 +16,9 @@ under ``benchmarks/results/``:
   protect;
 * every **correctness flag** in the candidate rows
   (``results_match``, ``rows_identical``, ``witness_match``,
-  ``memo_complete``) must be true regardless of mode — a quick run may
-  not prove speed, but it must prove equivalence;
+  ``memo_complete``, ``memory_ok``, ``delta_sound``) must be true
+  regardless of mode — a quick run may not prove speed, but it must
+  prove equivalence;
 * both directories must **parse**: corrupt or schema-less result files
   fail the gate outright;
 * the baseline must actually **exist**: a baseline directory without a
@@ -48,6 +49,7 @@ CORRECTNESS_FLAGS = (
     "witness_match",
     "memo_complete",
     "memory_ok",
+    "delta_sound",
 )
 
 REGENERATE_HINT = (

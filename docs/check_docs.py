@@ -12,8 +12,8 @@ Three checks, all against the files as committed:
    stripped).
 3. **API docstring audit** — every public module, class, function,
    method and property of the packages in :data:`AUDITED_PACKAGES`
-   (currently ``repro.search`` and ``repro.runtime``) must carry a
-   docstring.  A public name without one fails the job, so the engine
+   (currently ``repro.search``, ``repro.runtime``,
+   ``repro.distributed`` and ``repro.store``) must carry a docstring.  A public name without one fails the job, so the engine
    and runtime surface cannot silently grow undocumented API.
 
 Run locally with::
@@ -41,7 +41,7 @@ REPO = Path(__file__).resolve().parent.parent
 SNIPPET_FILES = ("README.md", "docs/distributed.md")
 
 # Packages whose public API must be fully documented.
-AUDITED_PACKAGES = ("repro.search", "repro.runtime", "repro.distributed")
+AUDITED_PACKAGES = ("repro.search", "repro.runtime", "repro.distributed", "repro.store")
 
 FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
 # Markdown links, ignoring images; group 1 is the target.

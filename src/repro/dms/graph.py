@@ -134,6 +134,12 @@ class ConfigurationGraphExplorer:
             pass a :class:`repro.distributed.Coordinator` to use
             externally started agents (the explorer ships them a
             picklable context for this system automatically).
+        successors: advanced — replace the canonical successor function
+            with a semantics-equivalent callable (the result store's
+            recording/delta wrappers, :mod:`repro.store.capture`).
+            Single-shard in-process explorations only: the sharded and
+            distributed engines rebuild successor closures on worker
+            processes and cannot honour an in-process override.
 
     The underlying engine is created once per explorer, so successive
     explorations reuse the same expansion backend (warm workers).  The
@@ -154,7 +160,16 @@ class ConfigurationGraphExplorer:
         shared_interning: bool | None = None,
         nodes: int = 1,
         transport=None,
+        successors: Callable | None = None,
     ) -> None:
+        if successors is not None and (shards > 1 or workers > 1 or nodes > 1):
+            from repro.errors import SearchError
+
+            raise SearchError(
+                "a successors override applies to single-shard in-process "
+                "explorations only (shards == workers == nodes == 1)"
+            )
+        self._successors_override = successors
         self._system = system
         self._limits = limits or ExplorationLimits()
         self._strategy = strategy
@@ -245,7 +260,7 @@ class ConfigurationGraphExplorer:
             )
         else:
             self._engine_instance = Engine(
-                successors=successors,
+                successors=self._successors_override or successors,
                 limits=self._limits.as_search_limits(),
                 strategy=self._strategy,
                 heuristic=self._heuristic,

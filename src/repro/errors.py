@@ -89,6 +89,15 @@ class NodeCrashError(DistributedError):
     the coordinator still needed it."""
 
 
+class StoreError(ReproError):
+    """The content-addressed result store was misused or is corrupt."""
+
+
+class StoreKeyError(StoreError):
+    """A query cannot be content-addressed (non-canonical value types or
+    an unkeyable component such as a search heuristic)."""
+
+
 class TransformError(ReproError):
     """A model transformation (Appendix F) cannot be applied."""
 

@@ -32,6 +32,21 @@ on localhost unless ``--coordinator`` binds an address and waits for
 externally started agents); ``--agent`` turns the process into a node
 agent that connects to a coordinator, receives its exploration context
 in the lease, and serves until released.
+
+The content-addressed result store (:mod:`repro.store`) is driven with
+three options::
+
+    PYTHONPATH=src python -m repro.harness E9 --store runs.store \
+        --store-stats                    # cold run, then print the index
+    PYTHONPATH=src python -m repro.harness E9 --store runs.store
+                                         # repeat: served in O(lookup)
+    PYTHONPATH=src python -m repro.harness E9 --no-store
+                                         # ignore REPRO_STORE for this run
+
+``--store`` names the store directory (created on demand; the
+``REPRO_STORE`` environment variable supplies a default), ``--no-store``
+disables the store even when the variable is set, and ``--store-stats``
+prints the index statistics (entries, hits, bytes) after the runs.
 """
 
 from __future__ import annotations
@@ -50,6 +65,7 @@ _PARALLEL_AWARE = ("E9", "E13", "E14")
 _CHECKPOINT_AWARE = ("E9",)
 _QUICK_AWARE = ("E13", "E14")
 _NODES_AWARE = ("E14",)
+_STORE_AWARE = ("E9",)
 
 
 def _parse_address(value: str) -> tuple[str, int]:
@@ -66,6 +82,18 @@ def _parse_address(value: str) -> tuple[str, int]:
 TITLES = {identifier: title for identifier, (title, _) in experiments.EXPERIMENTS.items()}
 
 
+def _effective_store(options: argparse.Namespace):
+    """The ``store=`` value the option triple resolves to.
+
+    ``--no-store`` wins (``False`` disables even an exported
+    ``REPRO_STORE``); ``--store DIR`` names the directory; neither
+    leaves ``None``, deferring to the environment.
+    """
+    if options.no_store:
+        return False
+    return options.store if options.store else None
+
+
 def _runner(identifier: str, options: argparse.Namespace, smoke: bool, transport=None):
     """The zero-argument callable regenerating one experiment's rows.
 
@@ -80,6 +108,7 @@ def _runner(identifier: str, options: argparse.Namespace, smoke: bool, transport
             parallel=options.parallel,
             checkpoint=options.checkpoint,
             resume=options.resume,
+            store=_effective_store(options),
         )
     if identifier == "E13":
         return lambda: experiments.experiment_e13_engine(
@@ -140,6 +169,19 @@ def main(argv: list[str] | None = None) -> int:
         "--agent", action="store_true",
         help="run as a distributed node agent (requires --coordinator)",
     )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="serve E9 points from the content-addressed result store at DIR "
+        "(created on demand; REPRO_STORE supplies a default)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="disable the result store even when REPRO_STORE is set",
+    )
+    parser.add_argument(
+        "--store-stats", action="store_true",
+        help="print the result-store index statistics after the runs",
+    )
     options = parser.parse_args(argv)
     if options.agent:
         if options.coordinator is None:
@@ -169,6 +211,13 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--quick applies to {'/'.join(_QUICK_AWARE)}, not {requested}")
         if options.nodes != 1 and requested not in _NODES_AWARE:
             parser.error(f"--nodes applies to {'/'.join(_NODES_AWARE)}, not {requested}")
+        if (options.store or options.no_store or options.store_stats) and requested not in _STORE_AWARE:
+            parser.error(
+                f"--store/--no-store/--store-stats apply to {'/'.join(_STORE_AWARE)}, "
+                f"not {requested}"
+            )
+    if options.store and options.no_store:
+        parser.error("--store and --no-store are mutually exclusive")
     if options.resume and not options.checkpoint:
         parser.error("--resume requires --checkpoint (the JSONL memo to resume from)")
     if options.nodes < 1:
@@ -194,10 +243,24 @@ def main(argv: list[str] | None = None) -> int:
                     parallel=options.parallel,
                     checkpoint=options.checkpoint,
                     resume=options.resume,
+                    store=_effective_store(options),
                 )
                 continue
             rows = _runner(identifier, options, smoke=requested == "all", transport=transport)()
             print_experiment(identifier, TITLES[identifier], rows)
+        if options.store_stats:
+            from repro.store.service import resolve_store
+
+            resolved = resolve_store(_effective_store(options))
+            if resolved is None:
+                print("store: disabled (pass --store DIR or export REPRO_STORE)")
+            else:
+                statistics = resolved.stats()
+                print(
+                    "store {root}: {entries} entries "
+                    "({results} results, {subgraphs} subgraphs), "
+                    "{hits} hits, {bytes} bytes".format(**statistics)
+                )
     finally:
         # A failing experiment must still release external agents: the
         # shutdown frames end their serve loops instead of stranding

@@ -370,6 +370,7 @@ def experiment_e9_convergence(
     parallel: int = 1,
     checkpoint=None,
     resume: bool = False,
+    store=None,
     on_point=None,
 ) -> list[dict]:
     """Reachability verdicts and explored state space as b increases (Section 5).
@@ -380,7 +381,10 @@ def experiment_e9_convergence(
     memo (an interrupted run resumed from it reproduces the exact row
     set; the memo is content-keyed, so the two sweeps coexist in one
     file), and ``on_point`` streams records as cells complete.  Rows are
-    identical for every parallelism level.
+    identical for every parallelism level.  ``store`` serves repeat
+    cells from the content-addressed result store (:mod:`repro.store`) —
+    cross-run, unlike the checkpoint memo; ``False`` disables it even
+    when ``REPRO_STORE`` is set.
     """
     from repro.fol.parser import parse_query
 
@@ -392,7 +396,8 @@ def experiment_e9_convergence(
     condition = parse_query("!p & exists u. Q(u)")
     reach = reachability_bound_sweep(
         system, condition, bounds=(0, 1, 2, 3), max_depth=max_depth,
-        parallel=parallel, checkpoint=checkpoint, resume=resume, on_point=on_point,
+        parallel=parallel, checkpoint=checkpoint, resume=resume, store=store,
+        on_point=on_point,
     )
     for entry in reach:
         rows.append(
@@ -411,7 +416,7 @@ def experiment_e9_convergence(
     space = state_space_bound_sweep(
         system, bounds=(0, 1, 2), max_depth=max_depth - 1,
         parallel=parallel, checkpoint=checkpoint,
-        resume=resume or checkpoint is not None, on_point=on_point,
+        resume=resume or checkpoint is not None, store=store, on_point=on_point,
     )
     for entry in space:
         rows.append(

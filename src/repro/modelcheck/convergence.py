@@ -16,6 +16,14 @@ and ``pool=`` lends warm expansion workers to the explorations of a
 *sequential* sweep (a parent pool is never used from inside forked
 point workers).  Rows are identical regardless of parallelism or
 completion order.
+
+Every sweep additionally accepts ``store=`` (a path, a
+:class:`repro.store.ResultStore`, ``False`` to disable; ``None``
+consults ``REPRO_STORE``): points are then served from the
+content-addressed result store in O(lookup) on repeat runs — across
+processes and sessions, unlike the per-file checkpoint memo — with rows
+bit-identical to cold exploration.  The store object is fork-safe, so
+``parallel > 1`` sweeps share one store across their point workers.
 """
 
 from __future__ import annotations
@@ -75,6 +83,7 @@ def reachability_bound_sweep(
     shared_interning: bool | None = None,
     nodes: int = 1,
     transport=None,
+    store=None,
     parallel: int = 1,
     timeout: float | None = None,
     retries: int = 0,
@@ -101,6 +110,12 @@ def reachability_bound_sweep(
     sequential sweeps only.  ``on_point`` streams each completed bound.
     """
     exploration_pool = pool if parallel <= 1 else None
+    # Resolve once so forked point workers inherit a fork-safe store
+    # object (per-process connections) instead of re-resolving the
+    # environment per point.
+    from repro.store.service import resolve_store
+
+    exploration_store = resolve_store(store)
 
     def measure(parameters: dict) -> dict:
         result = query_reachable_bounded(
@@ -108,6 +123,7 @@ def reachability_bound_sweep(
             strategy=strategy, heuristic=heuristic, retention=retention,
             shards=shards, workers=workers, pool=exploration_pool,
             shared_interning=shared_interning, nodes=nodes, transport=transport,
+            store=exploration_store if exploration_store is not None else False,
         )
         return {
             "verdict": result.reachable.value,
@@ -158,6 +174,7 @@ def state_space_bound_sweep(
     shared_interning: bool | None = None,
     nodes: int = 1,
     transport=None,
+    store=None,
     parallel: int = 1,
     timeout: float | None = None,
     retries: int = 0,
@@ -172,18 +189,57 @@ def state_space_bound_sweep(
     ``shards``/``workers`` select the sharded engine per point;
     ``parallel``/``checkpoint``/``resume`` schedule the points as in
     :func:`reachability_bound_sweep`, with the memo content-keyed the
-    same way.
+    same way.  ``store`` serves repeat points from the content-addressed
+    result store (exploration results cached whole).
     """
+    from repro.recency.semantics import enumerate_b_bounded_successors
+    from repro.store.service import cached_compute, resolve_store
+
     exploration_pool = pool if parallel <= 1 else None
+    exploration_store = resolve_store(store)
 
     def measure(parameters: dict) -> dict:
-        explorer = RecencyExplorer(
-            system, parameters["b"], RecencyExplorationLimits(max_depth=max_depth),
-            strategy=strategy, heuristic=heuristic, retention=retention,
-            shards=shards, workers=workers, pool=exploration_pool,
-            shared_interning=shared_interning, nodes=nodes, transport=transport,
+        bound = parameters["b"]
+        effective = RecencyExplorationLimits(max_depth=max_depth)
+
+        def compute(successors):
+            explorer = RecencyExplorer(
+                system, bound, effective,
+                strategy=strategy, heuristic=heuristic, retention=retention,
+                shards=shards, workers=workers, pool=exploration_pool,
+                shared_interning=shared_interning, nodes=nodes, transport=transport,
+                successors=successors,
+            )
+            return explorer.explore()
+
+        single_shard = shards == 1 and workers == 1 and nodes == 1
+        result, _ = cached_compute(
+            store=exploration_store if exploration_store is not None else False,
+            system=system,
+            graph=f"recency:{bound}",
+            parameters={
+                "payload": "exploration",
+                "max_depth": effective.max_depth,
+                "max_configurations": effective.max_configurations,
+                "max_steps": effective.max_steps,
+                "strategy": strategy,
+                "retention": retention,
+            },
+            compute=compute,
+            capture_base=(
+                (lambda configuration: enumerate_b_bounded_successors(
+                    system, configuration, bound
+                ))
+                if single_shard else None
+            ),
+            enumerate_subset=(
+                (lambda configuration, actions: enumerate_b_bounded_successors(
+                    system, configuration, bound, actions
+                ))
+                if single_shard else None
+            ),
+            cacheable=heuristic is None,
         )
-        result = explorer.explore()
         return {
             "configurations": result.configuration_count,
             "edges": result.edge_count,
@@ -231,6 +287,7 @@ def convergence_bound(
     shared_interning: bool | None = None,
     nodes: int = 1,
     transport=None,
+    store=None,
 ) -> int | None:
     """The least bound at which the bounded reachability verdict matches the
     unbounded (depth-bounded) verdict.
@@ -238,19 +295,22 @@ def convergence_bound(
     Returns ``None`` when no bound up to ``max_bound`` agrees — which, for
     exhaustive exploration depths, indicates the behaviour of interest
     genuinely needs a deeper recency window.  ``shards``/``workers``
-    select the sharded engine for every exploration of the scan, and
-    ``pool`` keeps its expansion workers warm across the whole scan.
+    select the sharded engine for every exploration of the scan,
+    ``pool`` keeps its expansion workers warm across the whole scan,
+    and ``store`` serves the scan's queries from the content-addressed
+    result store.
     """
     reference = query_reachable(
         system, condition, max_depth=max_depth, strategy=strategy, heuristic=heuristic,
         shards=shards, workers=workers, pool=pool, shared_interning=shared_interning,
-        nodes=nodes, transport=transport,
+        nodes=nodes, transport=transport, store=store,
     )
     for bound in range(max_bound + 1):
         bounded = query_reachable_bounded(
             system, condition, bound, max_depth=max_depth, strategy=strategy,
             heuristic=heuristic, shards=shards, workers=workers, pool=pool,
             shared_interning=shared_interning, nodes=nodes, transport=transport,
+            store=store,
         )
         if bounded.reachable == reference.reachable:
             return bound

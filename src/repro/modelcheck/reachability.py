@@ -41,6 +41,20 @@ then configure each node locally), the default transport forks a
 localhost TCP cluster, and a :class:`repro.distributed.Coordinator`
 reaches externally started agents.  Verdicts and witnesses stay
 bit-identical to the single-node query.
+
+``store=`` serves queries through the content-addressed result store
+(:mod:`repro.store`): pass a directory path or a
+:class:`repro.store.ResultStore` (``None`` consults the ``REPRO_STORE``
+environment variable, ``False`` disables the store).  A repeat query is
+answered in O(lookup) with a result bit-identical to the cold
+exploration — verdict, counts, depth and witness included.  Keys are
+content hashes of the system plus everything that determines the result
+(condition, limits, strategy, retention); sharding/worker/node knobs
+are excluded, since they never change results.  Single-shard queries
+additionally record their explored subgraph, so a later query over a
+*modified* system re-explores only what changed (delta verification).
+``best-first`` queries bypass the store — a heuristic callable has no
+content address.
 """
 
 from __future__ import annotations
@@ -49,13 +63,16 @@ from typing import Callable
 
 from repro.database.instance import DatabaseInstance
 from repro.dms.graph import ConfigurationGraphExplorer, ExplorationLimits
+from repro.dms.semantics import enumerate_successors
 from repro.dms.system import DMS
 from repro.errors import ModelCheckingError
 from repro.fol.evaluator import evaluate_sentence
 from repro.fol.syntax import Query
 from repro.modelcheck.result import ReachabilityResult, Verdict
 from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
+from repro.recency.semantics import enumerate_b_bounded_successors
 from repro.search import RETAIN_PARENTS
+from repro.store.service import cached_compute
 
 __all__ = [
     "query_reachable",
@@ -63,6 +80,18 @@ __all__ = [
     "query_reachable_bounded",
     "proposition_reachable_bounded",
 ]
+
+
+def _condition_key(condition: Query | str) -> str:
+    """The canonical key component of a reachability condition.
+
+    Proposition names and query renderings live in disjoint namespaces
+    (``p:``/``q:`` prefixes), so a proposition named like a query text
+    can never collide with that query.
+    """
+    if isinstance(condition, str):
+        return f"p:{condition}"
+    return f"q:{condition}"
 
 
 def _instance_predicate(condition: Query | str, system: DMS) -> Callable[[DatabaseInstance], bool]:
@@ -90,6 +119,7 @@ def query_reachable(
     shared_interning: bool | None = None,
     nodes: int = 1,
     transport=None,
+    store=None,
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable (unbounded semantics)?
 
@@ -100,37 +130,69 @@ def query_reachable(
     sharded engine are passed through to the exploration.  Sharded
     explorations return bit-identical verdicts and witnesses; a
     truncated exploration (any shard) reports ``UNKNOWN``, never
-    ``FAILS``.
+    ``FAILS``.  ``store`` serves repeat queries from the
+    content-addressed result store (see the module docs).
     """
     predicate = _instance_predicate(condition, system)
-    explorer = ConfigurationGraphExplorer(
-        system,
-        limits or ExplorationLimits(max_depth=max_depth),
-        strategy=strategy,
-        heuristic=heuristic,
-        retention=retention,
-        shards=shards,
-        workers=workers,
-        pool=pool,
-        shared_interning=shared_interning,
-        nodes=nodes,
-        transport=transport,
+    effective = limits or ExplorationLimits(max_depth=max_depth)
+
+    def compute(successors) -> ReachabilityResult:
+        explorer = ConfigurationGraphExplorer(
+            system,
+            effective,
+            strategy=strategy,
+            heuristic=heuristic,
+            retention=retention,
+            shards=shards,
+            workers=workers,
+            pool=pool,
+            shared_interning=shared_interning,
+            nodes=nodes,
+            transport=transport,
+            successors=successors,
+        )
+        witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
+        if witness is not None:
+            verdict = Verdict.HOLDS
+        elif stats.truncated or stats.depth_reached >= explorer.limits.max_depth:
+            verdict = Verdict.UNKNOWN
+        else:
+            verdict = Verdict.FAILS
+        return ReachabilityResult(
+            reachable=verdict,
+            witness=witness,
+            configurations_explored=stats.configuration_count,
+            edges_explored=stats.edge_count,
+            depth=explorer.limits.max_depth,
+            bound=None,
+        )
+
+    single_shard = shards == 1 and workers == 1 and nodes == 1
+    result, _ = cached_compute(
+        store=store,
+        system=system,
+        graph="dms",
+        parameters={
+            "payload": "reachability",
+            "condition": _condition_key(condition),
+            "max_depth": effective.max_depth,
+            "max_configurations": effective.max_configurations,
+            "max_steps": effective.max_steps,
+            "strategy": strategy,
+            "retention": retention,
+        },
+        compute=compute,
+        capture_base=(
+            (lambda configuration: enumerate_successors(system, configuration))
+            if single_shard else None
+        ),
+        enumerate_subset=(
+            (lambda configuration, actions: enumerate_successors(system, configuration, actions))
+            if single_shard else None
+        ),
+        cacheable=heuristic is None,
     )
-    witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
-    if witness is not None:
-        verdict = Verdict.HOLDS
-    elif stats.truncated or stats.depth_reached >= explorer.limits.max_depth:
-        verdict = Verdict.UNKNOWN
-    else:
-        verdict = Verdict.FAILS
-    return ReachabilityResult(
-        reachable=verdict,
-        witness=witness,
-        configurations_explored=stats.configuration_count,
-        edges_explored=stats.edge_count,
-        depth=explorer.limits.max_depth,
-        bound=None,
-    )
+    return result
 
 
 def proposition_reachable(
@@ -148,6 +210,7 @@ def proposition_reachable(
     shared_interning: bool | None = None,
     nodes: int = 1,
     transport=None,
+    store=None,
 ) -> ReachabilityResult:
     """Propositional reachability (Example 4.2) in the unbounded semantics."""
     return query_reachable(
@@ -164,6 +227,7 @@ def proposition_reachable(
         shared_interning=shared_interning,
         nodes=nodes,
         transport=transport,
+        store=store,
     )
 
 
@@ -183,42 +247,80 @@ def query_reachable_bounded(
     shared_interning: bool | None = None,
     nodes: int = 1,
     transport=None,
+    store=None,
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable along a b-bounded run?
 
     ``shards``/``workers`` select the sharded engine (bit-identical
     results; any-shard truncation reports ``UNKNOWN``, never ``FAILS``).
+    ``store`` serves repeat queries from the content-addressed result
+    store (see the module docs).
     """
     predicate = _instance_predicate(condition, system)
-    explorer = RecencyExplorer(
-        system,
-        bound,
-        limits or RecencyExplorationLimits(max_depth=max_depth),
-        strategy=strategy,
-        heuristic=heuristic,
-        retention=retention,
-        shards=shards,
-        workers=workers,
-        pool=pool,
-        shared_interning=shared_interning,
-        nodes=nodes,
-        transport=transport,
+    effective = limits or RecencyExplorationLimits(max_depth=max_depth)
+
+    def compute(successors) -> ReachabilityResult:
+        explorer = RecencyExplorer(
+            system,
+            bound,
+            effective,
+            strategy=strategy,
+            heuristic=heuristic,
+            retention=retention,
+            shards=shards,
+            workers=workers,
+            pool=pool,
+            shared_interning=shared_interning,
+            nodes=nodes,
+            transport=transport,
+            successors=successors,
+        )
+        witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
+        if witness is not None:
+            verdict = Verdict.HOLDS
+        elif stats.truncated or stats.depth_reached >= explorer.limits.max_depth:
+            verdict = Verdict.UNKNOWN
+        else:
+            verdict = Verdict.FAILS
+        return ReachabilityResult(
+            reachable=verdict,
+            witness=witness,
+            configurations_explored=stats.configuration_count,
+            edges_explored=stats.edge_count,
+            depth=explorer.limits.max_depth,
+            bound=bound,
+        )
+
+    single_shard = shards == 1 and workers == 1 and nodes == 1
+    result, _ = cached_compute(
+        store=store,
+        system=system,
+        graph=f"recency:{bound}",
+        parameters={
+            "payload": "reachability",
+            "condition": _condition_key(condition),
+            "max_depth": effective.max_depth,
+            "max_configurations": effective.max_configurations,
+            "max_steps": effective.max_steps,
+            "strategy": strategy,
+            "retention": retention,
+        },
+        compute=compute,
+        capture_base=(
+            (lambda configuration: enumerate_b_bounded_successors(system, configuration, bound))
+            if single_shard else None
+        ),
+        enumerate_subset=(
+            (
+                lambda configuration, actions: enumerate_b_bounded_successors(
+                    system, configuration, bound, actions
+                )
+            )
+            if single_shard else None
+        ),
+        cacheable=heuristic is None,
     )
-    witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
-    if witness is not None:
-        verdict = Verdict.HOLDS
-    elif stats.truncated or stats.depth_reached >= explorer.limits.max_depth:
-        verdict = Verdict.UNKNOWN
-    else:
-        verdict = Verdict.FAILS
-    return ReachabilityResult(
-        reachable=verdict,
-        witness=witness,
-        configurations_explored=stats.configuration_count,
-        edges_explored=stats.edge_count,
-        depth=explorer.limits.max_depth,
-        bound=bound,
-    )
+    return result
 
 
 def proposition_reachable_bounded(
@@ -237,6 +339,7 @@ def proposition_reachable_bounded(
     shared_interning: bool | None = None,
     nodes: int = 1,
     transport=None,
+    store=None,
 ) -> ReachabilityResult:
     """Propositional reachability restricted to b-bounded runs."""
     return query_reachable_bounded(
@@ -254,4 +357,5 @@ def proposition_reachable_bounded(
         shared_interning=shared_interning,
         nodes=nodes,
         transport=transport,
+        store=store,
     )

@@ -129,6 +129,10 @@ class RecencyExplorer:
             pass a :class:`repro.distributed.Coordinator` to use
             externally started agents (the explorer ships them a
             picklable ``(system, bound)`` context automatically).
+        successors: advanced — replace the canonical successor function
+            with a semantics-equivalent callable (the result store's
+            recording/delta wrappers, :mod:`repro.store.capture`).
+            Single-shard in-process explorations only.
 
     The underlying engine is created once per explorer, so successive
     explorations through one explorer reuse the same expansion backend
@@ -151,7 +155,16 @@ class RecencyExplorer:
         shared_interning: bool | None = None,
         nodes: int = 1,
         transport=None,
+        successors: Callable | None = None,
     ) -> None:
+        if successors is not None and (shards > 1 or workers > 1 or nodes > 1):
+            from repro.errors import SearchError
+
+            raise SearchError(
+                "a successors override applies to single-shard in-process "
+                "explorations only (shards == workers == nodes == 1)"
+            )
+        self._successors_override = successors
         self._system = system
         self._bound = bound
         self._limits = limits or RecencyExplorationLimits()
@@ -250,7 +263,7 @@ class RecencyExplorer:
             )
         else:
             self._engine_instance = Engine(
-                successors=successors,
+                successors=self._successors_override or successors,
                 limits=self._limits.as_search_limits(),
                 strategy=self._strategy,
                 heuristic=self._heuristic,

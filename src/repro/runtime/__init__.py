@@ -34,7 +34,7 @@ the scheduler runs points sequentially — identical rows, no processes.
 """
 
 from repro.errors import SchedulerError, WorkerPoolError
-from repro.runtime.checkpoint import SweepCheckpoint, point_key
+from repro.runtime.checkpoint import SweepCheckpoint, canonical_parameters, point_key
 from repro.runtime.pool import (
     DEFAULT_POOL_WORKERS,
     PooledExpansionBackend,
@@ -55,5 +55,6 @@ __all__ = [
     "SweepScheduler",
     "WorkerPool",
     "WorkerPoolError",
+    "canonical_parameters",
     "point_key",
 ]

@@ -11,12 +11,24 @@ assignment (sorted keys, compact separators), which makes the file a
 not by its position in a grid, so a resumed sweep may reorder, extend or
 interleave grids and still reuse every already-computed point.
 
-Records are appended and flushed one at a time, immediately after each
-point completes, so a sweep killed mid-flight loses at most the point
-that was being written.  :meth:`load` tolerates a torn final line (and
-any other corrupt line) by skipping it — the scheduler simply recomputes
-those points.  Parameters and measurements must be JSON-serialisable;
-every sweep in this library emits flat dictionaries of scalars.
+Records are appended one at a time, immediately after each point
+completes, and each record is a **single ``write()`` on an
+``O_APPEND`` descriptor**, so concurrent writers sharing one checkpoint
+path (a ``parallel > 1`` sweep, or several sweeps appending to the same
+memo) never interleave partial lines: every line on disk was written by
+exactly one writer.  A sweep killed mid-flight loses at most the record
+being written; :meth:`load` tolerates a torn final line (and any other
+corrupt line) by skipping it — the scheduler simply recomputes those
+points.  Parameters and measurements must be JSON-serialisable; every
+sweep in this library emits flat dictionaries of scalars.
+
+Keys are **strictly canonical**: :func:`point_key` recursively
+canonicalises the parameter assignment (sorted keys, tuples rendered as
+lists) and *rejects* values outside the JSON scalar domain instead of
+stringifying them.  Stringification (the former ``default=str``) let
+distinct assignments collide — e.g. ``pathlib.Path("x")`` versus the
+string ``"x"``, or any two objects with identical ``str()`` — after
+which ``resume=True`` silently served the wrong cached measurements.
 """
 
 from __future__ import annotations
@@ -25,12 +37,55 @@ import json
 from pathlib import Path
 from typing import Mapping
 
-__all__ = ["SweepCheckpoint", "point_key"]
+__all__ = ["SweepCheckpoint", "canonical_parameters", "point_key"]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def canonical_parameters(value):
+    """The canonical JSON-able form of a parameter value (recursive).
+
+    Mappings are rebuilt with sorted string keys, sequences (lists and
+    tuples alike) become lists, and scalars are restricted to the JSON
+    domain — ``str``/``int``/``float``/``bool``/``None``.  Anything else
+    raises instead of being stringified, so two distinct parameter
+    values can never share a canonical form.  JSON is injective on this
+    domain (``True`` renders differently from ``1``, ``2`` from
+    ``2.0``), which makes :func:`point_key` collision-free.
+
+    Raises:
+        TypeError: on values outside the canonical domain (sets,
+            callables, paths, enum members, arbitrary objects, ...).
+    """
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, Mapping):
+        canonical = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"checkpoint parameter keys must be strings, got {key!r} "
+                    f"of type {type(key).__name__}"
+                )
+            canonical[key] = canonical_parameters(value[key])
+        return {key: canonical[key] for key in sorted(canonical)}
+    if isinstance(value, (list, tuple)):
+        return [canonical_parameters(item) for item in value]
+    raise TypeError(
+        f"checkpoint parameters must be JSON scalars, sequences or string-keyed "
+        f"mappings; got {value!r} of type {type(value).__name__} — encode it as a "
+        f"string (or a structure of scalars) explicitly instead of relying on str()"
+    )
 
 
 def point_key(parameters: Mapping) -> str:
-    """The canonical content key of one parameter assignment."""
-    return json.dumps(dict(parameters), sort_keys=True, separators=(",", ":"), default=str)
+    """The canonical content key of one parameter assignment.
+
+    Raises:
+        TypeError: when the assignment contains values outside the
+            canonical JSON domain (see :func:`canonical_parameters`).
+    """
+    return json.dumps(canonical_parameters(parameters), sort_keys=True, separators=(",", ":"))
 
 
 class SweepCheckpoint:
@@ -75,30 +130,30 @@ class SweepCheckpoint:
         return memo
 
     def record(self, parameters: Mapping, measurements: Mapping) -> None:
-        """Append one completed point (flushed before returning).
+        """Append one completed point (durable when this returns).
 
-        If the file ends in a torn line — the previous run was killed
-        mid-write — a newline is inserted first, so the torn fragment
-        stays isolated (and skipped by :meth:`load`) instead of
-        corrupting this record.
+        The record is emitted as **one unbuffered ``write()``** of
+        ``b"\\n" + line + b"\\n"`` on a descriptor opened in ``O_APPEND``
+        mode, so concurrent writers sharing this path never interleave
+        inside a record: the kernel serialises appends, and every
+        interior line was written whole by exactly one writer.  The
+        leading newline additionally isolates any torn fragment a killed
+        writer left at the end of the file — :meth:`load` skips the
+        fragment and the blank separator lines alike, so no seek-and-
+        inspect of the previous tail (a read/write race under
+        concurrency) is needed.
         """
         self._path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(
             {
                 "key": point_key(parameters),
-                "parameters": dict(parameters),
+                "parameters": canonical_parameters(parameters),
                 "measurements": dict(measurements),
             },
             default=str,
         )
-        with self._path.open("a+b") as handle:
-            handle.seek(0, 2)
-            if handle.tell() > 0:
-                handle.seek(-1, 2)
-                if handle.read(1) != b"\n":
-                    handle.write(b"\n")
-            handle.write(line.encode("utf-8") + b"\n")
-            handle.flush()
+        with self._path.open("ab", buffering=0) as handle:
+            handle.write(b"\n" + line.encode("utf-8") + b"\n")
 
     def clear(self) -> None:
         """Delete the checkpoint file (missing is fine)."""

@@ -149,6 +149,23 @@ class SearchResult:
         """
         return self.interning.states()
 
+    def levels(self) -> dict[int, tuple]:
+        """State ids grouped by best-known discovery depth, depth-ascending.
+
+        The per-level frontiers of the exploration: under ``"bfs"``
+        level ``d`` holds exactly the states first discovered at depth
+        ``d``.  The result store's delta verification
+        (:mod:`repro.store.capture`) re-drives exploration level by
+        level from cached expansions instead of from the initial
+        configuration alone; these frontiers are also what the E18
+        bench reports.  Ids within a level are sorted (discovery order
+        under a single-shard engine).
+        """
+        grouped: dict[int, list] = {}
+        for state_id, depth in self.depths.items():
+            grouped.setdefault(depth, []).append(state_id)
+        return {depth: tuple(sorted(ids)) for depth, ids in sorted(grouped.items())}
+
     def root_id(self) -> int:
         """The interned id of the initial state.
 

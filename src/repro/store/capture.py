@@ -1,0 +1,164 @@
+"""Subgraph capture and delta-verification successor functions.
+
+Two pieces make cached explorations *incrementally verifiable*:
+
+:class:`SubgraphRecorder`
+    Wraps a successor function and records, per expanded state, the
+    complete successor-edge tuple of **each action separately** (both
+    semantics enumerate actions contiguously in sorted-name order, and
+    per-action successor sets are independent of the other actions, so
+    the per-action split is exact).  An expansion is committed only when
+    the engine consumed it to exhaustion — an exploration truncated or
+    early-exited mid-state never records that state — so every recorded
+    expansion is a complete, reusable fact about the graph.
+
+:class:`DeltaSuccessors`
+    The hybrid successor function for a *modified* system: it walks the
+    new system's actions in their canonical order and, per state, serves
+    an action's edges from the recorded subgraph when that action's
+    content hash is unchanged, enumerating freshly only the changed or
+    added actions (through the semantics' ``actions=`` subset support).
+    Because reuse happens per ``(state, action)`` at the exact position
+    the cold enumeration would emit those edges, the resulting edge
+    stream is **bit-identical to a cold exploration by construction** —
+    removed actions simply stop contributing, added ones are always
+    enumerated fresh, and reachability/depths are decided by the engine
+    exactly as in a cold run.  The counters record how much enumeration
+    work the memo displaced: ``fresh_states`` counts expansions that got
+    no memo assistance at all, ``reused_states`` the memo-assisted ones.
+
+Recording happens only on the single-shard in-process path, where the
+engine consumes the successor callable directly; sharded/distributed
+explorations are served by exact-key hits only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.dms.system import DMS
+from repro.store.canonical import action_hashes
+
+__all__ = ["DeltaSuccessors", "Subgraph", "SubgraphRecorder"]
+
+
+@dataclass
+class Subgraph:
+    """The recorded expansion memo of one (or many merged) exploration(s).
+
+    Attributes:
+        action_hashes: ``{action name: content hash}`` of the system the
+            expansions were enumerated under.
+        expansions: ``{state: {action name: tuple of edges}}`` — one
+            complete per-action successor tuple per fully expanded
+            state.  Empty tuples are recorded explicitly, so "this
+            action has no successors here" is distinguishable from
+            "never enumerated".
+    """
+
+    action_hashes: dict = field(default_factory=dict)
+    expansions: dict = field(default_factory=dict)
+
+    @property
+    def state_count(self) -> int:
+        """Number of states with a recorded (complete) expansion."""
+        return len(self.expansions)
+
+    def absorb(self, other: "Subgraph") -> None:
+        """Merge another subgraph over the *same* action set into this one.
+
+        Expansions are deterministic per state, so overlapping entries
+        are identical and the union simply grows the memo.  Mismatched
+        action hashes are ignored (the newer recording wins wholesale).
+        """
+        if other.action_hashes != self.action_hashes:
+            return
+        for state, expansion in other.expansions.items():
+            self.expansions.setdefault(state, expansion)
+
+
+class SubgraphRecorder:
+    """Record complete per-action expansions while serving an exploration."""
+
+    def __init__(self, system: DMS, base: Callable[[object], Iterable]) -> None:
+        self._base = base
+        self._names = tuple(action.name for action in system.actions)
+        self._subgraph = Subgraph(action_hashes=action_hashes(system))
+
+    @property
+    def subgraph(self) -> Subgraph:
+        """The memo recorded so far (complete expansions only)."""
+        return self._subgraph
+
+    def __call__(self, state) -> Iterator:
+        return self._record(state)
+
+    def _record(self, state) -> Iterator:
+        buckets: dict[str, list] = {name: [] for name in self._names}
+        for edge in self._base(state):
+            buckets[edge.action.name].append(edge)
+            yield edge
+        # Reached only when the engine consumed the expansion to
+        # exhaustion: a truncated/early-exited state is not committed.
+        self._subgraph.expansions[state] = {
+            name: tuple(edges) for name, edges in buckets.items()
+        }
+
+
+class DeltaSuccessors:
+    """Hybrid successor function reusing a recorded subgraph (see module docs).
+
+    Args:
+        system: the (possibly modified) system being explored now.
+        memo: a previously recorded :class:`Subgraph` over the same
+            exploration base (schema, initial instance, constraints).
+        enumerate_subset: ``enumerate_subset(state, actions) -> edges``,
+            the semantics' per-action-subset enumeration.
+    """
+
+    def __init__(
+        self,
+        system: DMS,
+        memo: Subgraph,
+        enumerate_subset: Callable[[object, tuple], Iterable],
+    ) -> None:
+        self._actions = system.actions
+        self._memo = memo
+        self._enumerate = enumerate_subset
+        current = action_hashes(system)
+        self._unchanged = frozenset(
+            name
+            for name, content in current.items()
+            if memo.action_hashes.get(name) == content
+        )
+        self.fresh_states = 0
+        self.reused_states = 0
+
+    @property
+    def unchanged_actions(self) -> frozenset:
+        """Names of the actions whose memoised edges are still valid."""
+        return self._unchanged
+
+    def __call__(self, state) -> Iterator:
+        return self._expand(state)
+
+    def _expand(self, state) -> Iterator:
+        expansion = self._memo.expansions.get(state)
+        assisted = expansion is not None and any(
+            action.name in self._unchanged and action.name in expansion
+            for action in self._actions
+        )
+        if assisted:
+            self.reused_states += 1
+        else:
+            self.fresh_states += 1
+        for action in self._actions:
+            if (
+                expansion is not None
+                and action.name in self._unchanged
+                and action.name in expansion
+            ):
+                yield from expansion[action.name]
+            else:
+                yield from self._enumerate(state, (action,))

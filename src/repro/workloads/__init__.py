@@ -2,6 +2,7 @@
 
 from repro.workloads.generators import (
     RandomDMSParameters,
+    drop_action_variant,
     random_bounded_runs,
     random_dms,
     random_schema,
@@ -12,6 +13,7 @@ __all__ = [
     "RandomDMSParameters",
     "SweepPoint",
     "dms_family",
+    "drop_action_variant",
     "random_bounded_runs",
     "random_dms",
     "random_schema",

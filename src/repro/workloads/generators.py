@@ -19,7 +19,13 @@ from repro.fol.syntax import Atom, Not, Query, TrueQuery, conjunction, exists
 from repro.recency.explorer import iterate_b_bounded_runs
 from repro.recency.semantics import RecencyBoundedRun
 
-__all__ = ["RandomDMSParameters", "random_schema", "random_dms", "random_bounded_runs"]
+__all__ = [
+    "RandomDMSParameters",
+    "random_schema",
+    "random_dms",
+    "random_bounded_runs",
+    "drop_action_variant",
+]
 
 
 @dataclass(frozen=True)
@@ -160,6 +166,26 @@ def random_dms(seed: int = 0, parameters: RandomDMSParameters | None = None) -> 
             )
         )
     return DMS.create(schema, initial, actions, name=f"random-{seed}")
+
+
+def drop_action_variant(system: DMS, action_name: str) -> DMS:
+    """The system with one action removed — a single-action change workload.
+
+    Schema, initial instance, constraints and every other action are
+    unchanged, so the variant shares the original's delta base in the
+    content-addressed result store (:mod:`repro.store`): re-exploring it
+    reuses the cached per-state expansions of the unchanged actions.
+    Raises :class:`~repro.errors.TransformError` when the action does
+    not exist (a typo would silently measure a no-op change).
+    """
+    if all(action.name != action_name for action in system.actions):
+        from repro.errors import TransformError
+
+        raise TransformError(
+            f"cannot drop unknown action {action_name!r} from system {system.name!r}"
+        )
+    remaining = [action for action in system.actions if action.name != action_name]
+    return system.with_actions(remaining, name=system.name)
 
 
 def random_bounded_runs(

@@ -420,7 +420,8 @@ def test_scheduler_rejects_bad_configuration():
 def test_checkpoint_resume_round_trip_after_interrupt(tmp_path):
     checkpoint_path = tmp_path / "sweep.jsonl"
     full = SweepScheduler(parallel=1, checkpoint=checkpoint_path).run(GRID, square_measure)
-    lines = checkpoint_path.read_text().splitlines()
+    # One record per point; records are separated by blank isolator lines.
+    lines = [line for line in checkpoint_path.read_text().splitlines() if line.strip()]
     assert len(lines) == len(GRID)
 
     # Simulate a sweep killed after 3 completed points: keep 3 records
@@ -463,7 +464,8 @@ def test_checkpoint_without_resume_starts_fresh(tmp_path):
     SweepScheduler(checkpoint=checkpoint_path).run(GRID, square_measure)
     records = SweepScheduler(checkpoint=checkpoint_path).run(GRID[:2], square_measure)
     assert not any(record.cached for record in records)
-    assert len(checkpoint_path.read_text().splitlines()) == 2  # old memo cleared
+    remaining = [line for line in checkpoint_path.read_text().splitlines() if line.strip()]
+    assert len(remaining) == 2  # old memo cleared
 
 
 def test_checkpoint_load_skips_corrupt_lines(tmp_path):
@@ -475,6 +477,121 @@ def test_checkpoint_load_skips_corrupt_lines(tmp_path):
         handle.write(json.dumps({"key": 7, "measurements": {}}) + "\n")  # bad key type
     memo = checkpoint.load()
     assert memo == {point_key({"n": 1}): {"square": 1}}
+
+
+def test_point_key_rejects_noncanonical_values_instead_of_colliding(tmp_path):
+    # Regression: point_key used ``default=str``, so assignments that
+    # differ as Python values but share a str() rendering — e.g.
+    # pathlib.Path("runs/x") versus the string "runs/x" — produced the
+    # same key, and a resumed sweep served one point's measurements for
+    # the other.  Non-JSON values must be rejected, not stringified.
+    import pathlib
+
+    with pytest.raises(TypeError):
+        point_key({"out": pathlib.Path("runs/x")})
+    assert "runs/x" in point_key({"out": "runs/x"})  # the honest form still works
+    with pytest.raises(TypeError):
+        point_key({"bounds": {1, 2}})  # sets stringify unstably
+    with pytest.raises(TypeError):
+        point_key({"measure": square_measure})  # callables have no content key
+    with pytest.raises(TypeError):
+        point_key({1: "non-string key"})
+    # Canonicalisation keeps JSON-equal shapes together ...
+    assert point_key({"grid": (1, 2)}) == point_key({"grid": [1, 2]})
+    assert point_key({"a": 1, "b": 2}) == point_key({"b": 2, "a": 1})
+    # ... and JSON-distinct scalars apart.
+    assert point_key({"v": True}) != point_key({"v": 1})
+    assert point_key({"v": 2}) != point_key({"v": 2.0})
+    # record() enforces the same domain instead of writing a bad memo.
+    with pytest.raises(TypeError):
+        SweepCheckpoint(tmp_path / "memo.jsonl").record(
+            {"out": pathlib.Path("runs/x")}, {"value": 1}
+        )
+
+
+def _hammer_checkpoint(path, writer: int, count: int) -> None:
+    checkpoint = SweepCheckpoint(path)
+    # Records far larger than the default text-IO buffer: the pre-fix
+    # buffered write flushed them in several chunks, so concurrent
+    # writers spliced fragments into each other's lines.
+    payload = f"w{writer}-" * 4096
+    for index in range(count):
+        checkpoint.record(
+            {"writer": writer, "index": index},
+            {"writer": writer, "index": index, "payload": payload},
+        )
+
+
+@needs_fork
+def test_concurrent_record_never_tears_or_interleaves_lines(tmp_path):
+    # Regression: record() seek-and-inspected the tail then wrote via a
+    # buffered read/write descriptor.  Under concurrent writers (a
+    # shared memo across sweeps) both steps race: a buffered record
+    # flushes in several raw writes, and another writer's line can land
+    # between them.  The guarantee that closes the race is structural —
+    # each record is ONE write() on an unbuffered append-only
+    # descriptor, which the kernel serialises whole — so first pin the
+    # structure, then hammer the behaviour from real processes.
+    import multiprocessing
+    from pathlib import Path
+
+    path = tmp_path / "memo.jsonl"
+    probe = tmp_path / "probe.jsonl"
+    opens: list[tuple[str, int]] = []
+    writes: list[bytes] = []
+    real_open = Path.open
+
+    class SpyHandle:
+        def __init__(self, handle):
+            self._handle = handle
+
+        def __enter__(self):
+            self._handle.__enter__()
+            return self
+
+        def __exit__(self, *exc_info):
+            return self._handle.__exit__(*exc_info)
+
+        def write(self, data):
+            writes.append(bytes(data))
+            return self._handle.write(data)
+
+        def __getattr__(self, name):
+            return getattr(self._handle, name)
+
+    def spying_open(self, mode="r", buffering=-1, **kwargs):
+        handle = real_open(self, mode, buffering, **kwargs)
+        if self == probe and "b" in mode:
+            opens.append((mode, buffering))
+            return SpyHandle(handle)
+        return handle
+
+    with pytest.MonkeyPatch.context() as patcher:
+        patcher.setattr(Path, "open", spying_open)
+        SweepCheckpoint(probe).record({"n": 0}, {"payload": "x" * 65536})
+    assert opens == [("ab", 0)]  # append-only, unbuffered — never read/write
+    assert len(writes) == 1  # the whole record lands in one kernel append
+    assert writes[0].endswith(b"\n") and b'"payload"' in writes[0]
+
+    writers, per_writer = 4, 20
+    context = multiprocessing.get_context("fork")
+    processes = [
+        context.Process(target=_hammer_checkpoint, args=(path, writer, per_writer))
+        for writer in range(writers)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join()
+        assert process.exitcode == 0
+    memo = SweepCheckpoint(path).load()
+    assert len(memo) == writers * per_writer  # no record lost or corrupted
+    for writer in range(writers):
+        for index in range(per_writer):
+            measurements = memo[point_key({"writer": writer, "index": index})]
+            assert measurements["writer"] == writer
+            assert measurements["index"] == index
+            assert measurements["payload"] == f"w{writer}-" * 4096
 
 
 # -- the runtime through the experiment harness (E9) ---------------------------
@@ -530,7 +647,7 @@ def test_e9_checkpoint_resume_reproduces_exact_row_set(tmp_path):
     uninterrupted = experiment_e9_convergence(max_depth=4, checkpoint=checkpoint_path)
     memo = SweepCheckpoint(checkpoint_path).load()
     assert len(memo) == 7  # 4 reachability bounds + 3 state-space bounds, one file
-    lines = checkpoint_path.read_text().splitlines()
+    lines = [line for line in checkpoint_path.read_text().splitlines() if line.strip()]
     checkpoint_path.write_text("\n".join(lines[:4]) + "\n")  # "killed" after 4 points
     resumed = experiment_e9_convergence(max_depth=4, checkpoint=checkpoint_path, resume=True)
     assert resumed == uninterrupted

@@ -1,0 +1,336 @@
+"""Tests for the content-addressed result store (:mod:`repro.store`).
+
+Covers the store contracts end to end:
+
+* **Bit-identity** — a store hit returns a result equal field-for-field
+  (verdicts, witnesses, counts, explored fragments) to the cold
+  exploration, across every retention mode and both semantics;
+* **Self-repair** — a corrupt blob or a stale index row pointing at a
+  missing blob is a miss that prunes itself, after which the query
+  recomputes and re-saves;
+* **Canonical hashing** — system hashes are stable across interpreter
+  restarts with different ``PYTHONHASHSEED`` values;
+* **Invalidation** — a schema change retires a family's stale entries
+  wholesale without touching other families, while an action-set change
+  keeps old subgraphs serving as delta-verification bases;
+* **Delta verification** — re-exploring a single-action variant reuses
+  the memoised expansions of unchanged actions and still reproduces the
+  cold result exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.dms.builder import DMSBuilder
+from repro.errors import StoreError
+from repro.fol.parser import parse_query
+from repro.modelcheck.convergence import state_space_bound_sweep
+from repro.modelcheck.reachability import query_reachable, query_reachable_bounded
+from repro.modelcheck.result import Verdict
+from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
+from repro.recency.semantics import enumerate_b_bounded_successors
+from repro.search import RETAIN_COUNTS, RETAIN_FULL, RETAIN_PARENTS
+from repro.store import (
+    ResultStore,
+    StoreKeyError,
+    action_hashes,
+    cached_compute,
+    digest,
+    resolve_store,
+    schema_hash,
+    system_hash,
+)
+from repro.workloads import drop_action_variant
+
+
+@pytest.fixture
+def cycle_system():
+    """A three-phase system whose goal phase can be reset (small cycle)."""
+    builder = DMSBuilder("cycle")
+    builder.relations(("start", 0), ("mid", 0), ("goal", 0), ("item", 1))
+    builder.initially("start")
+    builder.action(
+        "step1", fresh=("v",), guard="start", delete=[("start",)], add=[("mid",), ("item", "v")]
+    )
+    builder.action(
+        "step2", parameters=("u",), guard="mid & item(u)", delete=[("mid",)], add=[("goal",)]
+    )
+    builder.action("reset", guard="goal", delete=[("goal",)], add=[("start",)])
+    return builder.build()
+
+
+GOAL = parse_query("goal")
+
+
+# -- exact hits ----------------------------------------------------------------
+
+
+def test_repeat_queries_are_bit_identical_across_retentions(cycle_system, tmp_path):
+    for retention in (RETAIN_FULL, RETAIN_PARENTS, RETAIN_COUNTS):
+        store = ResultStore(tmp_path / retention)
+        cold = query_reachable(
+            cycle_system, GOAL, max_depth=4, retention=retention, store=store
+        )
+        warm = query_reachable(
+            cycle_system, GOAL, max_depth=4, retention=retention, store=store
+        )
+        assert warm == cold  # dataclass equality: verdict, witness, counts, depth
+        assert warm.reachable is Verdict.HOLDS
+        assert warm.witness == cold.witness
+        bounded_cold = query_reachable_bounded(
+            cycle_system, GOAL, bound=2, max_depth=4, retention=retention, store=store
+        )
+        bounded_warm = query_reachable_bounded(
+            cycle_system, GOAL, bound=2, max_depth=4, retention=retention, store=store
+        )
+        assert bounded_warm == bounded_cold
+        assert store.stats()["hits"] >= 2  # both repeats were served
+
+
+def test_exploration_results_hit_with_full_fragment_equality(cycle_system, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    cold = state_space_bound_sweep(cycle_system, bounds=(0, 1, 2), max_depth=3, store=store)
+    warm = state_space_bound_sweep(cycle_system, bounds=(0, 1, 2), max_depth=3, store=store)
+    assert warm == cold
+    # The cached payloads are the exploration results themselves:
+    # configurations, edges, truncation — not just the printed sizes.
+    statistics = store.stats()
+    assert statistics["results"] == 3
+    assert statistics["hits"] >= 3
+
+
+def test_different_queries_never_share_a_key(cycle_system, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    query_reachable(cycle_system, GOAL, max_depth=4, store=store)
+    query_reachable(cycle_system, GOAL, max_depth=3, store=store)  # different limits
+    query_reachable(cycle_system, parse_query("mid"), max_depth=4, store=store)
+    # Three distinct keys, no collision: each query saved its own result
+    # row (subgraph probing may register hits; result rows must not).
+    assert store.stats()["results"] == 3
+
+
+# -- self-repair ---------------------------------------------------------------
+
+
+def test_corrupt_blob_is_recomputed_and_repaired(cycle_system, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    cold = query_reachable(cycle_system, GOAL, max_depth=4, store=store)
+    blobs = sorted(store.blob_directory.glob("*.pkl"))
+    assert blobs
+    for blob in blobs:
+        blob.write_bytes(b"not a pickle")
+    repaired = query_reachable(cycle_system, GOAL, max_depth=4, store=store)
+    assert repaired == cold  # recomputed, not served from garbage
+    # ... and re-saved: the next lookup is a genuine hit again.
+    hits_before = store.stats()["hits"]
+    assert query_reachable(cycle_system, GOAL, max_depth=4, store=store) == cold
+    assert store.stats()["hits"] == hits_before + 1
+
+
+def test_stale_index_row_with_missing_blob_is_a_pruned_miss(cycle_system, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    query_reachable(cycle_system, GOAL, max_depth=4, store=store)
+    keys = store.keys()
+    assert keys
+    for blob in store.blob_directory.glob("*.pkl"):
+        blob.unlink()
+    for key in keys:
+        assert store.load(key) is None  # miss, never an exception
+    assert store.keys() == []  # the stale rows pruned themselves
+
+
+def test_save_rejects_malformed_keys_and_kinds(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    row = dict(family="f", system_hash="s", schema_hash="c", base_hash="b",
+               graph="dms", parameters="{}")
+    with pytest.raises(StoreError):
+        store.save("../escape", "result", 1, **row)
+    with pytest.raises(StoreError):
+        store.save("a" * 64, "novel-kind", 1, **row)
+
+
+# -- canonical hashing ---------------------------------------------------------
+
+_HASH_PROBE = """
+import sys
+sys.path.insert(0, sys.argv[1])
+from repro.dms.builder import DMSBuilder
+from repro.store import action_hashes, schema_hash, system_hash
+
+builder = DMSBuilder("probe")
+builder.relations(("start", 0), ("item", 1), ("link", 2))
+builder.initially("start")
+builder.action("mk", fresh=("v",), guard="start", add=[("item", "v")])
+builder.action(
+    "tie", parameters=("u",), fresh=("w",), guard="item(u)", add=[("link", "u", "w")]
+)
+system = builder.build()
+print(system_hash(system))
+print(schema_hash(system.schema))
+print(",".join(sorted(action_hashes(system).values())))
+"""
+
+
+def test_hashes_are_stable_across_interpreter_restarts():
+    src = str(Path(__file__).resolve().parents[1] / "src")
+
+    def probe(seed: str) -> list[str]:
+        completed = subprocess.run(
+            [sys.executable, "-c", _HASH_PROBE, src],
+            env={**os.environ, "PYTHONHASHSEED": seed},
+            capture_output=True, text=True, check=True,
+        )
+        return completed.stdout.splitlines()
+
+    first, second = probe("0"), probe("424242")
+    assert first == second
+    assert all(len(line.split(",")[0]) == 64 for line in first)  # sha256 hex
+
+
+def test_system_hash_tracks_content_not_name(cycle_system):
+    renamed = cycle_system.with_actions(cycle_system.actions, name="renamed")
+    assert system_hash(renamed) == system_hash(cycle_system)
+    changed = drop_action_variant(cycle_system, "reset")
+    assert system_hash(changed) != system_hash(cycle_system)
+    with pytest.raises(StoreKeyError):
+        digest(object())  # unkeyable values raise instead of stringifying
+
+
+# -- invalidation --------------------------------------------------------------
+
+
+def test_schema_change_invalidates_only_that_family(cycle_system, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    other_builder = DMSBuilder("other")
+    other_builder.relations(("go", 0), ("token", 1))
+    other_builder.initially("go")
+    other_builder.action("emit", fresh=("v",), guard="go", add=[("token", "v")])
+    other = other_builder.build()
+
+    query_reachable(cycle_system, GOAL, max_depth=3, store=store)
+    query_reachable(other, parse_query("exists u. token(u)"), max_depth=3, store=store)
+    before = store.stats()["entries"]
+    assert before >= 2
+
+    # Redefine the cycle family with a wider schema: saving under the
+    # new schema hash retires every old `cycle` entry wholesale.
+    wider = DMSBuilder("cycle")
+    wider.relations(("start", 0), ("mid", 0), ("goal", 0), ("item", 1), ("extra", 1))
+    wider.initially("start")
+    wider.action(
+        "step1", fresh=("v",), guard="start", delete=[("start",)], add=[("mid",), ("item", "v")]
+    )
+    redefined = wider.build()
+    assert schema_hash(redefined.schema) != schema_hash(cycle_system.schema)
+    query_reachable(redefined, parse_query("mid"), max_depth=3, store=store)
+
+    # The original cycle query now misses (its entry was pruned) ...
+    hits = store.stats()["hits"]
+    query_reachable(cycle_system, GOAL, max_depth=3, store=store)
+    assert store.stats()["hits"] == hits
+    # ... while `other`, an untouched family, still hits.
+    hits = store.stats()["hits"]
+    query_reachable(other, parse_query("exists u. token(u)"), max_depth=3, store=store)
+    assert store.stats()["hits"] == hits + 1
+
+
+# -- delta verification --------------------------------------------------------
+
+
+def _explore(system, bound, store, subset=True):
+    """One recency exploration through :func:`cached_compute`."""
+    limits = RecencyExplorationLimits(max_depth=4)
+
+    def compute(successors):
+        explorer = RecencyExplorer(system, bound, limits, successors=successors)
+        return explorer.explore()
+
+    return cached_compute(
+        store=store,
+        system=system,
+        graph=f"recency:{bound}",
+        parameters={"payload": "exploration", "max_depth": 4, "strategy": "bfs"},
+        compute=compute,
+        capture_base=lambda configuration: enumerate_b_bounded_successors(
+            system, configuration, bound
+        ),
+        enumerate_subset=(
+            (lambda configuration, actions: enumerate_b_bounded_successors(
+                system, configuration, bound, actions
+            ))
+            if subset else None
+        ),
+    )
+
+
+def test_delta_reexploration_reuses_unchanged_actions(cycle_system, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    cold, outcome = _explore(cycle_system, 2, store)
+    assert outcome.captured and not outcome.served_from_cache
+
+    variant = drop_action_variant(cycle_system, "reset")
+    assert set(action_hashes(variant)) < set(action_hashes(cycle_system))
+    delta, delta_outcome = _explore(variant, 2, store)
+    assert delta_outcome.delta_base_used
+    assert delta_outcome.fresh_states == 0  # dropping an action adds nothing new
+    assert delta_outcome.reused_states > 0
+
+    reference, _ = _explore(variant, 2, False)  # cold, no store at all
+    assert delta == reference  # bit-identical to an uncached exploration
+    assert delta.configuration_count < cold.configuration_count
+
+
+def test_delta_base_survives_a_corrupt_subgraph(cycle_system, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    _explore(cycle_system, 2, store)
+    for blob in store.blob_directory.glob("*.pkl"):
+        blob.write_bytes(b"garbage")
+    variant = drop_action_variant(cycle_system, "reset")
+    delta, outcome = _explore(variant, 2, store)
+    assert not outcome.delta_base_used  # base self-repaired away: clean cold run
+    reference, _ = _explore(variant, 2, False)
+    assert delta == reference
+
+
+# -- bypass and resolution -----------------------------------------------------
+
+
+def test_heuristic_queries_bypass_the_store(cycle_system, tmp_path):
+    store = ResultStore(tmp_path / "store")
+    result = query_reachable(
+        cycle_system, GOAL, max_depth=4,
+        strategy="best-first", heuristic=lambda configuration, depth: depth,
+        store=store,
+    )
+    assert result.reachable is Verdict.HOLDS
+    assert store.stats()["entries"] == 0  # nothing keyed, nothing stored
+
+
+def test_resolve_store_semantics(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    assert resolve_store(False) is None
+    assert resolve_store(None) is None
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+    resolved = resolve_store(None)
+    assert isinstance(resolved, ResultStore)
+    assert resolved.root == tmp_path / "env-store"
+    assert resolve_store(False) is None  # False beats the environment
+    direct = ResultStore(tmp_path / "direct")
+    assert resolve_store(direct) is direct
+    assert resolve_store(str(tmp_path / "path")).root == tmp_path / "path"
+
+
+def test_store_survives_pickling_as_a_path_holder(tmp_path):
+    import pickle
+
+    store = ResultStore(tmp_path / "store")
+    store.stats()  # force a live connection in this process
+    clone = pickle.loads(pickle.dumps(store))
+    assert clone.root == store.root
+    assert clone.stats()["entries"] == 0  # the clone opens its own connection
