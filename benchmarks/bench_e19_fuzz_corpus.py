@@ -1,0 +1,38 @@
+"""E19 — the differential fuzzing oracle over generated workloads.
+
+Gates the fuzzing PR's acceptance criteria:
+
+* **Differential sweep** — a fixed smoke-tier seed window must agree
+  between the exploration engine and the MSO/VPA encoding path
+  (``oracle_agrees``, asserted unconditionally; a disagreement anywhere
+  is a correctness bug in one of the two verification pipelines, never
+  a performance matter).
+* **Corpus replay** — a deterministic sample of the committed graded
+  corpus (``corpus/smoke``, ``corpus/stress``) must reproduce its
+  recorded ``system_hash`` and verdicts exactly (also ``oracle_agrees``).
+
+Quick mode (``REPRO_BENCH_QUICK=1``, the CI bench-trend default) shrinks
+the seed window and the corpus sample; the agreement gates hold in every
+mode.  Timings and rows persist to ``benchmarks/results/BENCH_E19.json``
+via the shared ``run_once`` fixture, where the trend gate enforces the
+``oracle_agrees`` flag on every regeneration.
+"""
+
+import os
+
+from repro.harness.experiments import experiment_e19_fuzz_corpus
+from repro.harness.reporting import print_experiment
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def test_e19_differential_oracle_and_corpus(benchmark, run_once):
+    rows = run_once(benchmark, experiment_e19_fuzz_corpus, QUICK)
+    print_experiment("E19", "Differential fuzzing oracle and corpus replay", rows)
+    for row in rows:
+        assert row["oracle_agrees"], row
+    sweep, replay = rows
+    assert sweep["instances"] >= 25
+    assert sweep["disagreements"] == 0
+    assert replay["replay_failures"] == 0
+    assert replay["instances"] > 0  # the committed corpus must be sampled

@@ -16,7 +16,8 @@ under ``benchmarks/results/``:
   protect;
 * every **correctness flag** in the candidate rows
   (``results_match``, ``rows_identical``, ``witness_match``,
-  ``memo_complete``, ``memory_ok``, ``delta_sound``) must be true
+  ``memo_complete``, ``memory_ok``, ``delta_sound``,
+  ``oracle_agrees``) must be true
   regardless of mode — a quick run may not prove speed, but it must
   prove equivalence;
 * both directories must **parse**: corrupt or schema-less result files
@@ -50,6 +51,7 @@ CORRECTNESS_FLAGS = (
     "memo_complete",
     "memory_ok",
     "delta_sound",
+    "oracle_agrees",
 )
 
 REGENERATE_HINT = (

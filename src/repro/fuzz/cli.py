@@ -1,0 +1,202 @@
+"""``python -m repro.fuzz`` — the differential fuzzing command line.
+
+Three modes, combinable with a wall-clock budget:
+
+.. code-block:: text
+
+    # sweep a seed window through the differential oracle (smoke tier)
+    python -m repro.fuzz --seeds 0:200 --tier smoke --budget 120
+
+    # replay a stored corpus entry, a repro file, or a whole directory
+    python -m repro.fuzz --replay corpus/smoke
+
+    # sweep and persist every agreeing instance into the graded corpus
+    python -m repro.fuzz --seeds 0:50 --save-corpus --corpus corpus
+
+Exit codes: ``0`` all instances agreed / replayed clean, ``1`` a
+disagreement or replay failure was found (a shrunk repro file is written
+under ``--repro-dir`` first), ``3`` the ``--budget`` expired before the
+requested work finished (the completed prefix all agreed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.fuzz.corpus import (
+    corpus_root,
+    replay_entry,
+    write_entry,
+    write_repro,
+)
+from repro.fuzz.generator import TIERS, generate_instance
+from repro.fuzz.oracle import DEFAULT_MAX_RUNS, differential_report
+from repro.fuzz.shrink import shrink_instance
+
+__all__ = ["main", "build_parser"]
+
+EXIT_OK = 0
+EXIT_DISAGREEMENT = 1
+EXIT_BUDGET = 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of ``python -m repro.fuzz``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differentially fuzz the exploration engine against the MSO/VPA encoding",
+    )
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        help="seed window to sweep: a count N (meaning 0:N) or an A:B range",
+    )
+    parser.add_argument(
+        "--tier",
+        default="smoke",
+        choices=sorted(TIERS),
+        help="shape tier of generated instances (default: smoke)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; exits 3 if it expires before the window completes",
+    )
+    parser.add_argument(
+        "--replay",
+        action="append",
+        default=[],
+        metavar="PATH",
+        type=Path,
+        help="replay a corpus entry / repro file / directory (repeatable)",
+    )
+    parser.add_argument(
+        "--corpus",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="corpus root (default: $REPRO_FUZZ_CORPUS or the in-repo corpus/)",
+    )
+    parser.add_argument(
+        "--save-corpus",
+        action="store_true",
+        help="persist every agreeing swept instance into the corpus",
+    )
+    parser.add_argument(
+        "--repro-dir",
+        type=Path,
+        default=Path("fuzz-repros"),
+        metavar="DIR",
+        help="where shrunk disagreement repro files are written (default: fuzz-repros/)",
+    )
+    parser.add_argument(
+        "--max-runs",
+        type=int,
+        default=DEFAULT_MAX_RUNS,
+        help="encoding-side run-enumeration cap per instance",
+    )
+    return parser
+
+
+def _parse_window(text: str) -> range:
+    if ":" in text:
+        first, last = text.split(":", 1)
+        return range(int(first), int(last))
+    return range(int(text))
+
+
+def _sweep(args, out) -> int:
+    window = _parse_window(args.seeds)
+    deadline = None if args.budget is None else time.monotonic() + args.budget
+    checked = 0
+    for seed in window:
+        if deadline is not None and time.monotonic() >= deadline:
+            out.write(
+                f"budget expired after {checked}/{len(window)} instances "
+                f"(seeds {window.start}..{seed - 1} all agreed)\n"
+            )
+            return EXIT_BUDGET
+        instance = generate_instance(seed, args.tier)
+        report = differential_report(instance, max_runs=args.max_runs)
+        checked += 1
+        if not report.agree:
+            out.write(f"DISAGREEMENT at tier={args.tier} seed={seed}:\n")
+            out.write(report.describe() + "\n")
+            out.write("shrinking...\n")
+            shrunk = shrink_instance(
+                instance,
+                lambda candidate: not differential_report(
+                    candidate, max_runs=args.max_runs
+                ).agree,
+            )
+            shrunk_report = differential_report(shrunk, max_runs=args.max_runs)
+            path = write_repro(shrunk, shrunk_report, args.repro_dir)
+            out.write(
+                f"minimal repro ({len(list(shrunk.system.actions))} actions) "
+                f"written to {path}\n"
+            )
+            out.write(f"replay with: python -m repro.fuzz --replay {path}\n")
+            return EXIT_DISAGREEMENT
+        if args.save_corpus:
+            write_entry(instance, report, corpus_root(args.corpus))
+    out.write(
+        f"{checked} instance(s) agreed between exploration and the encoding path "
+        f"(tier={args.tier}, seeds {window.start}:{window.stop})\n"
+    )
+    return EXIT_OK
+
+
+def _replay_paths(targets: list[Path]) -> list[Path]:
+    paths: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            paths.extend(sorted(target.rglob("*.json")))
+        else:
+            paths.append(target)
+    return paths
+
+
+def _replay(args, out) -> int:
+    paths = _replay_paths(args.replay)
+    if not paths:
+        out.write("nothing to replay (no entries found)\n")
+        return EXIT_OK
+    deadline = None if args.budget is None else time.monotonic() + args.budget
+    failures = 0
+    for index, path in enumerate(paths):
+        if deadline is not None and time.monotonic() >= deadline:
+            out.write(f"budget expired after {index}/{len(paths)} replays\n")
+            return EXIT_BUDGET if failures == 0 else EXIT_DISAGREEMENT
+        outcome = replay_entry(path, max_runs=args.max_runs)
+        if not outcome.ok:
+            failures += 1
+            out.write(f"REPLAY FAILED: {path}\n")
+            for problem in outcome.problems:
+                out.write(f"  - {problem}\n")
+    out.write(f"replayed {len(paths)} entr(ies), {failures} failure(s)\n")
+    return EXIT_DISAGREEMENT if failures else EXIT_OK
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.seeds is None and not args.replay:
+        build_parser().error("nothing to do: pass --seeds and/or --replay")
+    status = EXIT_OK
+    if args.seeds is not None:
+        status = _sweep(args, out)
+        if status != EXIT_OK:
+            return status
+    if args.replay:
+        status = _replay(args, out)
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,246 @@
+"""The graded on-disk corpus and disagreement repro files.
+
+Layout (under the repository root by default, overridable via the
+``REPRO_FUZZ_CORPUS`` environment variable or an explicit path):
+
+.. code-block:: text
+
+    corpus/
+      smoke/<hash16>.json     # cheap instances; CI replays all of them
+      stress/<hash16>.json    # larger instances for scheduled deep runs
+
+Every entry is a self-contained JSON document keyed by the first 16 hex
+digits of :func:`repro.store.canonical.system_hash`: the full system
+(via :mod:`repro.fuzz.serialize`), the generator provenance
+(``tier``/``seed``/shape knobs), the recorded hash, and the verdicts the
+oracle produced when the entry was written.  Replay therefore detects
+three distinct failure modes — serialization drift (rebuilt system
+hashes differently), generator drift (the seed no longer produces the
+stored system), and verdict drift (either verification path changed its
+answer).
+
+Disagreement repro files produced by the shrinker share the format with
+``"expect": "disagree"``; replaying one asserts the disagreement *still
+reproduces*, so a fixed bug flips the repro into a regression guard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.fuzz.generator import FuzzInstance, FuzzShape, generate_instance
+from repro.fuzz.oracle import DifferentialReport, differential_report
+from repro.fuzz.serialize import FORMAT_VERSION, render_query, system_from_json, system_to_json
+from repro.fol.parser import parse_query
+from repro.store.canonical import system_hash
+
+__all__ = [
+    "corpus_root",
+    "entry_path",
+    "write_entry",
+    "write_repro",
+    "load_instance",
+    "iter_entries",
+    "sample_entries",
+    "ReplayOutcome",
+    "replay_entry",
+]
+
+_HASH_PREFIX = 16
+
+
+def corpus_root(override: str | os.PathLike | None = None) -> Path:
+    """The corpus directory: explicit override, ``REPRO_FUZZ_CORPUS``, or
+    the in-repo ``corpus/`` directory next to ``src/``."""
+    if override is not None:
+        return Path(override)
+    env = os.environ.get("REPRO_FUZZ_CORPUS")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "corpus"
+
+
+def entry_path(root: Path, tier: str, digest: str) -> Path:
+    """Where the entry of a system hash lives inside a corpus root."""
+    return Path(root) / tier / f"{digest[:_HASH_PREFIX]}.json"
+
+
+def _instance_document(instance: FuzzInstance, report: DifferentialReport | None) -> dict:
+    document = {
+        "format": FORMAT_VERSION,
+        "tier": instance.tier,
+        "seed": instance.seed,
+        "shape": instance.shape.as_json() if instance.shape is not None else None,
+        "bound": instance.bound,
+        "depth": instance.depth,
+        "condition": render_query(instance.condition),
+        "system_hash": instance.system_hash,
+        "system": system_to_json(instance.system),
+    }
+    if report is not None:
+        document["verdicts"] = {
+            "engine": report.engine_verdict.value,
+            "encoding": report.encoding_verdict.value,
+            "runs_checked": report.runs_checked,
+            "limited": report.limited,
+        }
+        document["checks"] = [check.describe() for check in report.checks]
+    return document
+
+
+def write_entry(
+    instance: FuzzInstance, report: DifferentialReport, root: Path | None = None
+) -> Path:
+    """Persist an *agreeing* instance into the graded corpus."""
+    if not report.agree:
+        raise ReproError(
+            "corpus entries must agree between both paths; "
+            "use write_repro() for disagreements"
+        )
+    root = corpus_root(root)
+    path = entry_path(root, instance.tier, instance.system_hash)
+    document = _instance_document(instance, report)
+    document["expect"] = "agree"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_repro(
+    instance: FuzzInstance, report: DifferentialReport, directory: Path
+) -> Path:
+    """Persist a shrunk *disagreeing* instance as a committable repro file."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"repro-{instance.system_hash[:_HASH_PREFIX]}.json"
+    document = _instance_document(instance, report)
+    document["expect"] = "disagree"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_instance(path: Path) -> tuple[FuzzInstance, dict]:
+    """Load the instance (and the raw document) stored at a path."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: unsupported corpus format {document.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    shape = FuzzShape.from_json(document["shape"]) if document.get("shape") else None
+    instance = FuzzInstance(
+        system=system_from_json(document["system"]),
+        bound=document["bound"],
+        depth=document["depth"],
+        condition=parse_query(document["condition"]),
+        tier=document.get("tier", "smoke"),
+        seed=document.get("seed"),
+        shape=shape,
+    )
+    return instance, document
+
+
+def iter_entries(root: Path | None = None, tier: str | None = None) -> list[Path]:
+    """All entry paths of a corpus root (one tier or all), sorted by name."""
+    root = corpus_root(root)
+    if tier:
+        tiers = [tier]
+    elif root.is_dir():
+        tiers = sorted(child.name for child in root.iterdir() if child.is_dir())
+    else:
+        tiers = []
+    paths: list[Path] = []
+    for name in tiers:
+        directory = root / name
+        if directory.is_dir():
+            paths.extend(sorted(directory.glob("*.json")))
+    return paths
+
+
+def sample_entries(
+    count: int, root: Path | None = None, tier: str | None = None, seed: int = 0
+) -> list[Path]:
+    """A deterministic sample of corpus entries (sorted, then seeded)."""
+    paths = iter_entries(root, tier)
+    if len(paths) <= count:
+        return paths
+    return sorted(random.Random(f"repro-fuzz-sample:{seed}").sample(paths, count))
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """The result of replaying one corpus entry or repro file.
+
+    Attributes:
+        path: the replayed file.
+        ok: True when every replay assertion held.
+        problems: human-readable descriptions of each failed assertion.
+        report: the fresh differential report (``None`` when the entry
+            could not even be loaded/rebuilt).
+    """
+
+    path: Path
+    ok: bool
+    problems: tuple[str, ...] = ()
+    report: DifferentialReport | None = None
+
+
+def replay_entry(path: Path, max_runs: int | None = None) -> ReplayOutcome:
+    """Replay one stored entry and verify hash, provenance and verdicts.
+
+    Checks, in order: the rebuilt system reproduces the recorded
+    ``system_hash`` (serialization drift); when the entry records a
+    generator seed, regenerating from it reproduces the same hash
+    (generator drift); and a fresh differential report matches the
+    entry's expectation — agreement with the recorded verdicts for
+    corpus entries, a still-reproducing disagreement for repro files.
+    """
+    from repro.fuzz.oracle import DEFAULT_MAX_RUNS
+
+    path = Path(path)
+    problems: list[str] = []
+    instance, document = load_instance(path)
+    recorded = document["system_hash"]
+    rebuilt = system_hash(instance.system)
+    if rebuilt != recorded:
+        problems.append(
+            f"serialization drift: rebuilt system hashes to {rebuilt[:16]}…, "
+            f"entry records {recorded[:16]}…"
+        )
+    if document.get("seed") is not None:
+        regenerated = generate_instance(document["seed"], document.get("tier", "smoke"))
+        if regenerated.system_hash != recorded:
+            problems.append(
+                f"generator drift: seed {document['seed']} ({document.get('tier')}) now "
+                f"produces {regenerated.system_hash[:16]}…, entry records {recorded[:16]}…"
+            )
+        if render_query(regenerated.condition) != document["condition"]:
+            problems.append("generator drift: the seed's condition changed")
+    report = differential_report(instance, max_runs=max_runs or DEFAULT_MAX_RUNS)
+    expect = document.get("expect", "agree")
+    if expect == "agree":
+        if not report.agree:
+            problems.append("verdict drift: the paths now disagree on a corpus entry")
+            problems.extend(check.describe() for check in report.disagreements())
+        recorded_verdicts = document.get("verdicts") or {}
+        fresh = {
+            "engine": report.engine_verdict.value,
+            "encoding": report.encoding_verdict.value,
+        }
+        for side, value in fresh.items():
+            if side in recorded_verdicts and recorded_verdicts[side] != value:
+                problems.append(
+                    f"verdict drift: {side} verdict changed "
+                    f"{recorded_verdicts[side]!r} -> {value!r}"
+                )
+    elif report.agree:
+        problems.append(
+            "repro no longer reproduces: both paths agree now "
+            "(fixed? promote this file to a regression corpus entry)"
+        )
+    return ReplayOutcome(path=path, ok=not problems, problems=tuple(problems), report=report)

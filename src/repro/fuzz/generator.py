@@ -1,0 +1,233 @@
+"""Seeded fuzz-instance generation on top of the workload generator.
+
+A *fuzz instance* bundles everything the differential oracle
+(:mod:`repro.fuzz.oracle`) needs to decide one verification question two
+independent ways: a random DMS, a recency bound, an exploration depth
+and a reachability condition.  Instances are derived deterministically
+from ``(tier, seed)`` — the sampled shape, the system and the condition
+all come from one :class:`random.Random` stream seeded with a string
+(CPython's string seeding is sha512-based, so it is independent of
+``PYTHONHASHSEED``; ``tests/test_fuzz.py`` pins this across
+subprocesses).
+
+Tiers grade the corpus: ``smoke`` shapes are small enough that hundreds
+of instances run in seconds (the CI differential sweep), ``stress``
+shapes are larger and meant for scheduled or manual deep runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.dms.system import DMS
+from repro.errors import ReproError
+from repro.fol.syntax import Atom, Query, conjunction, exists
+from repro.store.canonical import system_hash
+from repro.workloads.generators import RandomDMSParameters, random_dms
+
+__all__ = ["TIERS", "FuzzShape", "FuzzInstance", "sample_shape", "generate_instance"]
+
+
+@dataclass(frozen=True)
+class FuzzShape:
+    """The concrete shape knobs of one fuzz instance.
+
+    A superset of :class:`repro.workloads.generators.RandomDMSParameters`
+    (schema arity, action counts, guard depth/connectives, constraint
+    density) plus the verification knobs the oracle runs with (recency
+    ``bound`` and exploration ``depth``).
+    """
+
+    relations: int = 2
+    max_arity: int = 2
+    propositions: int = 1
+    actions: int = 3
+    max_parameters: int = 2
+    max_fresh: int = 2
+    max_update_facts: int = 2
+    negated_guard_probability: float = 0.3
+    guard_depth: int = 1
+    guard_or_probability: float = 0.3
+    constraint_density: float = 0.2
+    bound: int = 2
+    depth: int = 3
+
+    def dms_parameters(self) -> RandomDMSParameters:
+        """The workload-generator view of this shape."""
+        return RandomDMSParameters(
+            relations=self.relations,
+            max_arity=self.max_arity,
+            propositions=self.propositions,
+            actions=self.actions,
+            max_parameters=self.max_parameters,
+            max_fresh=self.max_fresh,
+            max_update_facts=self.max_update_facts,
+            negated_guard_probability=self.negated_guard_probability,
+            guard_depth=self.guard_depth,
+            guard_or_probability=self.guard_or_probability,
+            constraint_density=self.constraint_density,
+        )
+
+    def as_json(self) -> dict:
+        """The JSON form persisted into corpus entries."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_json(cls, document: dict) -> "FuzzShape":
+        """Rebuild a shape from :meth:`as_json` output."""
+        return cls(**document)
+
+
+@dataclass(frozen=True)
+class _TierRanges:
+    """Inclusive sampling ranges of one corpus tier."""
+
+    relations: tuple[int, int]
+    max_arity: tuple[int, int]
+    propositions: tuple[int, int]
+    actions: tuple[int, int]
+    max_fresh: tuple[int, int]
+    guard_depth: tuple[int, int]
+    constraint_density: tuple[float, float]
+    bound: tuple[int, int]
+    depth: tuple[int, int]
+
+
+#: The graded tiers: ``smoke`` must stay cheap enough for per-push CI
+#: sweeps of hundreds of seeds; ``stress`` is for scheduled deep runs.
+TIERS: dict[str, _TierRanges] = {
+    "smoke": _TierRanges(
+        relations=(1, 3),
+        max_arity=(1, 2),
+        propositions=(0, 2),
+        actions=(1, 3),
+        max_fresh=(1, 2),
+        guard_depth=(0, 2),
+        constraint_density=(0.0, 0.4),
+        bound=(1, 2),
+        depth=(2, 3),
+    ),
+    "stress": _TierRanges(
+        relations=(2, 4),
+        max_arity=(1, 3),
+        propositions=(0, 2),
+        actions=(2, 5),
+        max_fresh=(1, 3),
+        guard_depth=(1, 3),
+        constraint_density=(0.0, 0.6),
+        bound=(2, 3),
+        depth=(3, 4),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FuzzInstance:
+    """One differential-oracle input: a system plus its verification knobs.
+
+    Attributes:
+        system: the DMS under test.
+        bound: the recency bound both paths decide at.
+        depth: the exploration/run-enumeration depth both paths use.
+        condition: the reachability condition (a boolean FOL(R) query).
+        tier: the corpus tier the instance was sampled for.
+        seed: the generator seed (``None`` for shrunk/derived instances).
+        shape: the sampled shape knobs (``None`` for derived instances).
+    """
+
+    system: DMS
+    bound: int
+    depth: int
+    condition: Query
+    tier: str = "smoke"
+    seed: int | None = None
+    shape: FuzzShape | None = field(default=None, compare=False)
+
+    @property
+    def system_hash(self) -> str:
+        """The canonical, ``PYTHONHASHSEED``-independent content hash."""
+        return system_hash(self.system)
+
+    def with_system(self, system: DMS) -> "FuzzInstance":
+        """The same verification question over a modified system (shrinking)."""
+        return replace(self, system=system, seed=None, shape=None)
+
+
+def sample_shape(rng: random.Random, tier: str = "smoke") -> FuzzShape:
+    """Sample concrete shape knobs within a tier's ranges."""
+    if tier not in TIERS:
+        raise ReproError(f"unknown fuzz tier {tier!r}; expected one of {sorted(TIERS)}")
+    ranges = TIERS[tier]
+    low, high = ranges.constraint_density
+    return FuzzShape(
+        relations=rng.randint(*ranges.relations),
+        max_arity=rng.randint(*ranges.max_arity),
+        propositions=rng.randint(*ranges.propositions),
+        actions=rng.randint(*ranges.actions),
+        max_fresh=rng.randint(*ranges.max_fresh),
+        guard_depth=rng.randint(*ranges.guard_depth),
+        guard_or_probability=round(rng.uniform(0.0, 0.5), 3),
+        constraint_density=round(rng.uniform(low, high), 3),
+        bound=rng.randint(*ranges.bound),
+        depth=rng.randint(*ranges.depth),
+    )
+
+
+def _random_condition(rng: random.Random, system: DMS) -> Query:
+    """A random boolean reachability condition over the system's schema.
+
+    Mixes existential relation queries, bare propositions and small
+    conjunctions, so the oracle exercises HOLDS, FAILS and UNKNOWN
+    verdicts rather than one degenerate shape.
+    """
+    schema = system.schema
+    choices = []
+    if schema.non_nullary:
+        choices.extend(["exists", "exists"])  # weighted: most conditions are data queries
+    if schema.propositions:
+        choices.append("proposition")
+    if schema.non_nullary and schema.propositions:
+        choices.append("conjunction")
+    if not choices:
+        return Atom(schema.relations[0].name, ())
+
+    def existential() -> Query:
+        relation = rng.choice(schema.non_nullary)
+        variables = tuple(f"q{k}" for k in range(relation.arity))
+        return exists(variables, Atom(relation.name, variables))
+
+    kind = rng.choice(choices)
+    if kind == "exists":
+        return existential()
+    if kind == "proposition":
+        return Atom(rng.choice(schema.propositions).name, ())
+    return conjunction(Atom(rng.choice(schema.propositions).name, ()), existential())
+
+
+def generate_instance(
+    seed: int, tier: str = "smoke", shape: FuzzShape | None = None
+) -> FuzzInstance:
+    """Deterministically generate the fuzz instance of ``(tier, seed)``.
+
+    One string-seeded ``random.Random`` stream drives shape sampling,
+    system generation and condition choice, so the same pair always
+    produces the same system (byte-identical
+    :func:`~repro.store.canonical.system_hash`) on every interpreter.
+    An explicit ``shape`` skips the sampling and fixes the knobs.
+    """
+    rng = random.Random(f"repro-fuzz:{tier}:{seed}")
+    chosen = shape or sample_shape(rng, tier)
+    system_seed = rng.randrange(2**31)
+    system = random_dms(system_seed, chosen.dms_parameters())
+    system = system.with_actions(system.actions, name=f"fuzz-{tier}-{seed}")
+    condition = _random_condition(rng, system)
+    return FuzzInstance(
+        system=system,
+        bound=chosen.bound,
+        depth=chosen.depth,
+        condition=condition,
+        tier=tier,
+        seed=seed,
+        shape=chosen,
+    )

@@ -1,0 +1,128 @@
+"""Canonical JSON (de)serialisation of fuzz instances and repro files.
+
+The corpus (:mod:`repro.fuzz.corpus`) and the shrinker's repro files
+persist whole systems as JSON, not pickles: a repro must be reviewable
+in a diff, stable across interpreter versions, and committable next to
+the test that replays it.  Guards, conditions and constraints are
+rendered through :func:`render_query` — an ASCII form the FOL parser
+(:func:`repro.fol.parser.parse_query`) reads back — because the pretty
+``str()`` form of a query uses quantifier glyphs the parser rejects.
+
+Round-trip contract (tested in ``tests/test_fuzz.py``): for every
+generated or shrunk system ``system_from_json(system_to_json(s))`` has
+the same :func:`repro.store.canonical.system_hash` as ``s``.
+"""
+
+from __future__ import annotations
+
+from repro.database.constraints import ConstraintSet
+from repro.database.instance import DatabaseInstance, Fact
+from repro.database.schema import Schema
+from repro.dms.action import Action
+from repro.dms.system import DMS
+from repro.errors import FormulaError
+from repro.fol import syntax as fol
+from repro.fol.parser import parse_query
+
+__all__ = ["FORMAT_VERSION", "render_query", "system_to_json", "system_from_json"]
+
+#: Version stamp written into every corpus entry and repro file.
+FORMAT_VERSION = 1
+
+
+def render_query(query: fol.Query) -> str:
+    """Render a FOL(R) query in the parser's ASCII grammar.
+
+    Fully parenthesised, so operator precedence never matters:
+    ``parse_query(render_query(q)) == q`` for every query built from
+    atoms, equality, the boolean connectives and the quantifiers.
+    """
+    if isinstance(query, fol.TrueQuery):
+        return "true"
+    if isinstance(query, fol.FalseQuery):
+        return "false"
+    if isinstance(query, fol.Atom):
+        if not query.arguments:
+            return query.relation
+        return f"{query.relation}({', '.join(query.arguments)})"
+    if isinstance(query, fol.Equals):
+        return f"{query.left} = {query.right}"
+    if isinstance(query, fol.Not):
+        return f"!({render_query(query.operand)})"
+    if isinstance(query, fol.And):
+        return f"({render_query(query.left)} & {render_query(query.right)})"
+    if isinstance(query, fol.Or):
+        return f"({render_query(query.left)} | {render_query(query.right)})"
+    if isinstance(query, fol.Implies):
+        return f"({render_query(query.left)} -> {render_query(query.right)})"
+    if isinstance(query, fol.Iff):
+        return f"({render_query(query.left)} <-> {render_query(query.right)})"
+    if isinstance(query, fol.Exists):
+        return f"exists {query.variable}. ({render_query(query.body)})"
+    if isinstance(query, fol.Forall):
+        return f"forall {query.variable}. ({render_query(query.body)})"
+    raise FormulaError(f"cannot render FOL(R) node {type(query).__name__}")
+
+
+def _fact_to_json(fact: Fact) -> list:
+    return [fact.relation, list(fact.arguments)]
+
+
+def _fact_from_json(entry: list) -> Fact:
+    relation, arguments = entry
+    return Fact(relation, tuple(arguments))
+
+
+def _sorted_facts(facts) -> list:
+    return sorted((_fact_to_json(fact) for fact in facts), key=repr)
+
+
+def system_to_json(system: DMS) -> dict:
+    """The committable JSON form of a DMS (name included, facts sorted)."""
+    return {
+        "name": system.name,
+        "schema": [[relation.name, relation.arity] for relation in system.schema.relations],
+        "initial": _sorted_facts(system.initial_instance.facts),
+        "constraints": sorted(render_query(constraint) for constraint in system.constraints),
+        "actions": [
+            {
+                "name": action.name,
+                "parameters": list(action.parameters),
+                "fresh": list(action.fresh),
+                "guard": render_query(action.guard),
+                "delete": _sorted_facts(action.deletions.facts),
+                "add": _sorted_facts(action.additions.facts),
+            }
+            for action in system.actions
+        ],
+        "require_empty_initial_adom": system.require_empty_initial_adom,
+    }
+
+
+def system_from_json(document: dict) -> DMS:
+    """Rebuild a DMS from :func:`system_to_json` output."""
+    schema = Schema.of(*[(name, arity) for name, arity in document["schema"]])
+    initial = DatabaseInstance(
+        schema, (_fact_from_json(entry) for entry in document["initial"])
+    )
+    actions = [
+        Action.create(
+            entry["name"],
+            schema,
+            parameters=tuple(entry["parameters"]),
+            fresh=tuple(entry["fresh"]),
+            guard=parse_query(entry["guard"]),
+            delete=[_fact_from_json(fact) for fact in entry["delete"]],
+            add=[_fact_from_json(fact) for fact in entry["add"]],
+        )
+        for entry in document["actions"]
+    ]
+    constraints = ConstraintSet(parse_query(text) for text in document["constraints"])
+    return DMS.create(
+        schema,
+        initial,
+        actions,
+        constraints=constraints,
+        name=document["name"],
+        require_empty_initial_adom=document.get("require_empty_initial_adom", True),
+    )

@@ -1,0 +1,172 @@
+"""Greedy minimisation of disagreeing fuzz instances.
+
+When the differential oracle flags an instance, the raw generated system
+is rarely the story — a 4-action system with layered guards hides the
+one interaction that actually diverges.  :func:`shrink_instance` walks a
+deterministic, ``PYTHONHASHSEED``-independent candidate sequence (drop
+an action, a guard conjunct, an update fact, an initial fact, a
+constraint) and keeps any reduction under which the caller's predicate
+still reports the failure, iterating to a fixpoint.  The result is the
+instance persisted into a repro file (:mod:`repro.fuzz.corpus`) and
+committed next to the test that replays it.
+
+Determinism matters here: candidate order is the declaration order of
+actions/conjuncts plus ``repr``-sorted fact and constraint lists (facts
+live in frozensets whose iteration order depends on the hash seed), so
+the same disagreement always shrinks to the same minimal repro.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.database.constraints import ConstraintSet
+from repro.database.instance import DatabaseInstance
+from repro.dms.action import Action
+from repro.dms.system import DMS
+from repro.errors import ReproError
+from repro.fol.syntax import And, Query, TrueQuery, conjunction
+from repro.fuzz.generator import FuzzInstance
+
+__all__ = ["shrink_instance", "shrink_candidates"]
+
+
+def _flatten_conjuncts(query: Query) -> list[Query]:
+    """The conjunct list of a (possibly nested) conjunction."""
+    if isinstance(query, And):
+        return _flatten_conjuncts(query.left) + _flatten_conjuncts(query.right)
+    return [query]
+
+
+def _with_guard(action: Action, schema, guard: Query) -> Action:
+    # Well-formedness ties the parameter list to the guard's free
+    # variables exactly, so a reduced guard narrows the parameters too;
+    # Action.create then rejects the candidate if Del/Add still mention
+    # a dropped parameter.
+    free = guard.free_variables()
+    return Action.create(
+        action.name,
+        schema,
+        parameters=tuple(p for p in action.parameters if p in free),
+        fresh=tuple(action.fresh),
+        guard=guard,
+        delete=sorted(action.deletions.facts, key=repr),
+        add=sorted(action.additions.facts, key=repr),
+    )
+
+
+def _with_update(action: Action, schema, delete: list, add: list) -> Action:
+    # Every fresh variable must occur in Add, so dropping an Add fact
+    # narrows the fresh list to the variables that still occur.
+    add_variables = {arg for fact in add for arg in fact.arguments}
+    return Action.create(
+        action.name,
+        schema,
+        parameters=tuple(action.parameters),
+        fresh=tuple(v for v in action.fresh if v in add_variables),
+        guard=action.guard,
+        delete=delete,
+        add=add,
+    )
+
+
+def _rebuild(system: DMS, *, actions=None, initial=None, constraints=None) -> DMS:
+    return DMS.create(
+        system.schema,
+        system.initial_instance if initial is None else initial,
+        list(system.actions) if actions is None else actions,
+        constraints=ConstraintSet(system.constraints) if constraints is None else constraints,
+        name=system.name,
+        require_empty_initial_adom=system.require_empty_initial_adom,
+    )
+
+
+def shrink_candidates(system: DMS) -> Iterator[DMS]:
+    """Yield every one-step reduction of the system, in deterministic order.
+
+    Candidates that fail well-formedness validation (e.g. a guard losing
+    the atom that grounds a parameter) are silently skipped — shrinking
+    must only ever move between valid systems.
+    """
+    schema = system.schema
+    actions = list(system.actions)
+    # 1. Drop one whole action.
+    for index in range(len(actions)):
+        remaining = actions[:index] + actions[index + 1 :]
+        try:
+            yield _rebuild(system, actions=remaining)
+        except ReproError:
+            continue
+    # 2. Drop one guard conjunct (flattening nested conjunctions).
+    for index, action in enumerate(actions):
+        conjuncts = _flatten_conjuncts(action.guard)
+        if len(conjuncts) == 1 and isinstance(conjuncts[0], TrueQuery):
+            continue
+        for drop in range(len(conjuncts)):
+            rest = conjuncts[:drop] + conjuncts[drop + 1 :]
+            guard: Query = conjunction(*rest) if rest else TrueQuery()
+            try:
+                reduced = _with_guard(action, schema, guard)
+                yield _rebuild(system, actions=actions[:index] + [reduced] + actions[index + 1 :])
+            except ReproError:
+                continue
+    # 3. Drop one Add/Del fact of one action.
+    for index, action in enumerate(actions):
+        delete = sorted(action.deletions.facts, key=repr)
+        add = sorted(action.additions.facts, key=repr)
+        for drop in range(len(delete)):
+            try:
+                reduced = _with_update(action, schema, delete[:drop] + delete[drop + 1 :], add)
+                yield _rebuild(system, actions=actions[:index] + [reduced] + actions[index + 1 :])
+            except ReproError:
+                continue
+        for drop in range(len(add)):
+            try:
+                reduced = _with_update(action, schema, delete, add[:drop] + add[drop + 1 :])
+                yield _rebuild(system, actions=actions[:index] + [reduced] + actions[index + 1 :])
+            except ReproError:
+                continue
+    # 4. Drop one initial fact.
+    initial_facts = sorted(system.initial_instance.facts, key=repr)
+    for drop in range(len(initial_facts)):
+        remaining_facts = initial_facts[:drop] + initial_facts[drop + 1 :]
+        try:
+            yield _rebuild(system, initial=DatabaseInstance(schema, remaining_facts))
+        except ReproError:
+            continue
+    # 5. Drop one constraint.
+    constraints = sorted(system.constraints, key=repr)
+    for drop in range(len(constraints)):
+        remaining_constraints = constraints[:drop] + constraints[drop + 1 :]
+        try:
+            yield _rebuild(system, constraints=ConstraintSet(remaining_constraints))
+        except ReproError:
+            continue
+
+
+def shrink_instance(
+    instance: FuzzInstance,
+    still_failing: Callable[[FuzzInstance], bool],
+    max_rounds: int = 100,
+) -> FuzzInstance:
+    """Greedily minimise an instance while ``still_failing`` stays true.
+
+    Each round scans the one-step reductions of the current system and
+    takes the *first* one that preserves the failure, then restarts the
+    scan; the process stops at a fixpoint (no reduction preserves the
+    failure) or after ``max_rounds`` accepted reductions.  The input
+    instance is returned unchanged when the predicate does not hold on
+    it — shrinking only ever preserves, never introduces, the failure.
+    """
+    if not still_failing(instance):
+        return instance
+    current = instance
+    for _ in range(max_rounds):
+        for candidate_system in shrink_candidates(current.system):
+            candidate = current.with_system(candidate_system)
+            if still_failing(candidate):
+                current = candidate
+                break
+        else:
+            break
+    return current

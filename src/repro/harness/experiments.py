@@ -58,6 +58,7 @@ __all__ = [
     "experiment_e12_bulk",
     "experiment_e13_engine",
     "experiment_e14_sharded",
+    "experiment_e19_fuzz_corpus",
     "all_experiments",
 ]
 
@@ -860,6 +861,62 @@ def experiment_e14_sharded(
 # ``all_experiments`` runs it, so a new experiment is registered exactly
 # once.  The default runners use the CI-smoke configuration where one
 # exists (quick=True for the benchmark-scale experiments).
+def experiment_e19_fuzz_corpus(quick: bool = True, corpus: str | None = None) -> list:
+    """E19: the differential fuzzing oracle over a seed window and the corpus.
+
+    Sweeps a fixed smoke-tier seed window through the differential
+    oracle (:mod:`repro.fuzz`) — engine verdict vs the MSO/VPA encoding
+    path — and replays a deterministic sample of the committed corpus.
+    Every row carries ``oracle_agrees``; a ``False`` anywhere means the
+    two verification paths diverged on a concrete instance.
+    """
+    from repro.fuzz import (
+        corpus_root,
+        differential_report,
+        generate_instance,
+        replay_entry,
+        sample_entries,
+    )
+
+    seeds = 25 if quick else 100
+    verdicts: dict[str, int] = {}
+    disagreements = 0
+    runs_total = 0
+    for seed in range(seeds):
+        report = differential_report(generate_instance(seed, "smoke"))
+        verdicts[report.engine_verdict.value] = verdicts.get(report.engine_verdict.value, 0) + 1
+        runs_total += report.runs_checked
+        if not report.agree:
+            disagreements += 1
+    rows = [
+        {
+            "mode": "differential sweep",
+            "tier": "smoke",
+            "instances": seeds,
+            "runs_enumerated": runs_total,
+            "verdicts": dict(sorted(verdicts.items())),
+            "disagreements": disagreements,
+            "oracle_agrees": disagreements == 0,
+        }
+    ]
+    root = corpus_root(corpus)
+    sampled = sample_entries(6 if quick else 24, root)
+    failures = 0
+    for path in sampled:
+        if not replay_entry(path).ok:
+            failures += 1
+    rows.append(
+        {
+            "mode": "corpus replay",
+            "tier": "all",
+            "instances": len(sampled),
+            "replay_failures": failures,
+            "oracle_agrees": failures == 0,
+        }
+    )
+    return rows
+
+
 EXPERIMENTS: dict = {
     "E1": ("Figure 1 run replay", experiment_e1_figure1_run),
     "E2": ("Recency bound of the Figure 1 run", experiment_e2_recency_bound),
@@ -875,6 +932,7 @@ EXPERIMENTS: dict = {
     "E12": ("Bulk-operation simulation", experiment_e12_bulk),
     "E13": ("Unified engine vs seed explorer", lambda: experiment_e13_engine(quick=True)),
     "E14": ("Sharded exploration vs single-shard engine", lambda: experiment_e14_sharded(quick=True)),
+    "E19": ("Differential fuzzing oracle and corpus replay", lambda: experiment_e19_fuzz_corpus(quick=True)),
 }
 
 

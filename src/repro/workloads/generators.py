@@ -11,11 +11,21 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.database.constraints import ConstraintSet
 from repro.database.instance import Fact
 from repro.database.schema import Schema
 from repro.dms.action import Action
 from repro.dms.system import DMS
-from repro.fol.syntax import Atom, Not, Query, TrueQuery, conjunction, exists
+from repro.fol.syntax import (
+    Atom,
+    Equals,
+    Not,
+    Query,
+    TrueQuery,
+    conjunction,
+    disjunction,
+    exists,
+)
 from repro.recency.explorer import iterate_b_bounded_runs
 from repro.recency.semantics import RecencyBoundedRun
 
@@ -30,7 +40,34 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RandomDMSParameters:
-    """Knobs of the random DMS generator."""
+    """Knobs of the random DMS generator.
+
+    The first block of knobs shapes the schema and the action skeleton;
+    the second block — added for the fuzzing subsystem
+    (:mod:`repro.fuzz`) — deepens guards and adds database constraints.
+    All knobs default to the historical generator behaviour, so a seed
+    produces byte-identical systems whether or not the fuzz knobs exist.
+
+    Attributes:
+        relations: number of non-nullary relations ``R0 .. Rk``.
+        max_arity: maximum relation arity (each arity is drawn in
+            ``1..max_arity``).
+        propositions: number of nullary relations ``P0 .. Pk``.
+        actions: number of random actions besides the ``seed`` action.
+        max_parameters: maximum action parameters (``u1 ..``).
+        max_fresh: maximum fresh variables per action (``v1 ..``).
+        max_update_facts: maximum ``Del``/``Add`` facts per action.
+        negated_guard_probability: chance a proposition literal in a
+            guard is negated.
+        guard_depth: number of extra random connective layers stacked on
+            top of the base guard conjunction (0 keeps flat guards).
+        guard_or_probability: chance a stacked layer uses disjunction
+            instead of conjunction (only consulted when ``guard_depth``
+            is positive).
+        constraint_density: per-relation probability of generating a
+            denial constraint ("all facts of ``R`` agree on their first
+            column"), giving the system blocking semantics (Example 4.3).
+    """
 
     relations: int = 3
     max_arity: int = 2
@@ -40,6 +77,9 @@ class RandomDMSParameters:
     max_fresh: int = 2
     max_update_facts: int = 2
     negated_guard_probability: float = 0.3
+    guard_depth: int = 0
+    guard_or_probability: float = 0.0
+    constraint_density: float = 0.0
 
 
 def random_schema(rng: random.Random, parameters: RandomDMSParameters) -> Schema:
@@ -77,7 +117,77 @@ def _random_guard(
         conjuncts.append(Not(exists(bound, Atom(relation.name, bound))))
     if not conjuncts:
         return TrueQuery()
-    return conjunction(*conjuncts)
+    guard = conjunction(*conjuncts)
+    # Fuzz knobs: stack extra connective layers (conjunction or
+    # disjunction of one more literal) on top of the flat base guard.
+    # guard_depth=0 draws nothing, preserving historical seeds.
+    for _ in range(parameters.guard_depth):
+        literal = _random_guard_literal(rng, schema, action_parameters, parameters)
+        if literal is None:
+            break
+        if rng.random() < parameters.guard_or_probability:
+            guard = disjunction(guard, literal)
+        else:
+            guard = conjunction(guard, literal)
+    return guard
+
+
+def _random_guard_literal(
+    rng: random.Random,
+    schema: Schema,
+    action_parameters: tuple[str, ...],
+    parameters: RandomDMSParameters,
+) -> Query | None:
+    """One extra guard literal: an atom over the parameters, a proposition
+    literal, or an equality between two parameters."""
+    choices = []
+    if schema.non_nullary and action_parameters:
+        choices.append("atom")
+    if schema.propositions:
+        choices.append("proposition")
+    if len(action_parameters) >= 2:
+        choices.append("equality")
+    if not choices:
+        return None
+    kind = rng.choice(choices)
+    if kind == "atom":
+        relation = rng.choice(schema.non_nullary)
+        arguments = tuple(rng.choice(action_parameters) for _ in range(relation.arity))
+        literal: Query = Atom(relation.name, arguments)
+    elif kind == "proposition":
+        literal = Atom(rng.choice(schema.propositions).name, ())
+    else:
+        left, right = rng.sample(list(action_parameters), 2)
+        literal = Equals(left, right)
+    if rng.random() < parameters.negated_guard_probability:
+        literal = Not(literal)
+    return literal
+
+
+def _random_constraints(
+    rng: random.Random, schema: Schema, parameters: RandomDMSParameters
+) -> ConstraintSet:
+    """Denial constraints over a random subset of the non-nullary relations.
+
+    Each selected relation ``R`` gets the sentence
+    ``¬∃x⃗,y⃗. R(x⃗) ∧ R(y⃗) ∧ x1 ≠ y1`` ("all ``R``-facts agree on their
+    first column"): an action application producing a second first-column
+    value is blocked, exercising the constrained semantics of Example 4.3
+    on both the exploration and the encoding path.
+    """
+    constraints = []
+    for relation in schema.non_nullary:
+        if rng.random() >= parameters.constraint_density:
+            continue
+        first = tuple(f"c{k}" for k in range(relation.arity))
+        second = tuple(f"d{k}" for k in range(relation.arity))
+        body = conjunction(
+            Atom(relation.name, first),
+            Atom(relation.name, second),
+            Not(Equals(first[0], second[0])),
+        )
+        constraints.append(Not(exists(first + second, body)))
+    return ConstraintSet(constraints)
 
 
 def _random_facts(
@@ -165,7 +275,10 @@ def random_dms(seed: int = 0, parameters: RandomDMSParameters | None = None) -> 
                 add=add,
             )
         )
-    return DMS.create(schema, initial, actions, name=f"random-{seed}")
+    constraints = None
+    if parameters.constraint_density > 0:
+        constraints = _random_constraints(rng, schema, parameters)
+    return DMS.create(schema, initial, actions, constraints=constraints, name=f"random-{seed}")
 
 
 def drop_action_variant(system: DMS, action_name: str) -> DMS:

@@ -17,8 +17,17 @@ from repro.nestedwords.word import NestedWord
 from repro.recency.abstraction import abstract_run
 from repro.recency.canonical import is_canonical_run, runs_equivalent_modulo_permutation
 from repro.recency.concretize import concretize_word
-from repro.recency.explorer import iterate_b_bounded_runs
+from repro.fuzz import FuzzShape, generate_instance
+from repro.modelcheck.reachability import query_reachable_bounded
+from repro.modelcheck.result import Verdict
+from repro.recency.explorer import (
+    RecencyExplorationLimits,
+    RecencyExplorer,
+    iterate_b_bounded_runs,
+)
+from repro.recency.semantics import enumerate_b_bounded_successors
 from repro.recency.sequence import SequenceNumbering
+from repro.search import InternTable
 from repro.workloads.generators import RandomDMSParameters, random_dms
 
 # ---------------------------------------------------------------------------
@@ -178,3 +187,90 @@ def test_encodings_of_random_runs_are_valid(seed):
             assert analyzer.adom_size_from_nesting(block_number) == len(
                 analyzer.database_before(block_number).active_domain()
             )
+
+
+# ---------------------------------------------------------------------------
+# Exploration invariants over fuzz-generated systems (repro.fuzz)
+# ---------------------------------------------------------------------------
+
+_FUZZ_SHAPES = st.builds(
+    FuzzShape,
+    relations=st.integers(min_value=1, max_value=3),
+    max_arity=st.integers(min_value=1, max_value=2),
+    propositions=st.integers(min_value=0, max_value=2),
+    actions=st.integers(min_value=1, max_value=3),
+    max_fresh=st.integers(min_value=1, max_value=2),
+    guard_depth=st.integers(min_value=0, max_value=2),
+    guard_or_probability=st.floats(min_value=0.0, max_value=0.5),
+    constraint_density=st.floats(min_value=0.0, max_value=0.5),
+    bound=st.integers(min_value=1, max_value=2),
+    depth=st.integers(min_value=1, max_value=3),
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), _FUZZ_SHAPES)
+def test_interning_is_bijective_on_explored_configurations(seed, shape):
+    """Hash-consing maps distinct configurations to distinct dense ids."""
+    instance = generate_instance(seed, "smoke", shape=shape)
+    explorer = RecencyExplorer(
+        instance.system, instance.bound, RecencyExplorationLimits(max_depth=instance.depth)
+    )
+    configurations = list(explorer.explore().configurations)
+    table = InternTable()
+    ids = {}
+    for configuration in configurations:
+        state_id, canonical, is_new = table.intern(configuration)
+        assert is_new and canonical is configuration
+        ids[state_id] = configuration
+    # Bijective: ids are dense, map back to their state, and re-interning
+    # resolves to the same id without creating a new entry.
+    assert sorted(ids) == list(range(len(configurations)))
+    assert len(table) == len(configurations)
+    for state_id, configuration in ids.items():
+        assert table.state_of(state_id) == configuration
+        again_id, _, again_new = table.intern(configuration)
+        assert again_id == state_id and not again_new
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), _FUZZ_SHAPES)
+def test_truncation_verdicts_are_monotone_in_depth(seed, shape):
+    """Definite verdicts survive a deeper exploration; only UNKNOWN may move."""
+    instance = generate_instance(seed, "smoke", shape=shape)
+    shallow = query_reachable_bounded(
+        instance.system, instance.condition, instance.bound,
+        max_depth=instance.depth, store=False,
+    )
+    deep = query_reachable_bounded(
+        instance.system, instance.condition, instance.bound,
+        max_depth=instance.depth + 1, store=False,
+    )
+    if shallow.reachable is Verdict.HOLDS:
+        assert deep.reachable is Verdict.HOLDS
+    if shallow.reachable is Verdict.FAILS:
+        assert deep.reachable is Verdict.FAILS
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), _FUZZ_SHAPES)
+def test_reachability_witnesses_replay_through_the_semantics(seed, shape):
+    """A witness run must be replayable step by step and end satisfying the condition."""
+    instance = generate_instance(seed, "smoke", shape=shape)
+    result = query_reachable_bounded(
+        instance.system, instance.condition, instance.bound,
+        max_depth=instance.depth, store=False,
+    )
+    if result.reachable is not Verdict.HOLDS:
+        return
+    witness = result.witness
+    assert witness is not None
+    for step in witness.steps:
+        successors = list(
+            enumerate_b_bounded_successors(instance.system, step.source, instance.bound)
+        )
+        assert any(
+            candidate.target == step.target and candidate.label == step.label
+            for candidate in successors
+        )
+    assert evaluate_sentence(instance.condition, witness.instances()[-1])
