@@ -17,7 +17,7 @@ under ``benchmarks/results/``:
 * every **correctness flag** in the candidate rows
   (``results_match``, ``rows_identical``, ``witness_match``,
   ``memo_complete``, ``memory_ok``, ``delta_sound``,
-  ``oracle_agrees``) must be true
+  ``oracle_agrees``, ``overhead_ok``, ``counters_reconcile``) must be true
   regardless of mode — a quick run may not prove speed, but it must
   prove equivalence;
 * both directories must **parse**: corrupt or schema-less result files
@@ -52,6 +52,8 @@ CORRECTNESS_FLAGS = (
     "memory_ok",
     "delta_sound",
     "oracle_agrees",
+    "overhead_ok",
+    "counters_reconcile",
 )
 
 REGENERATE_HINT = (

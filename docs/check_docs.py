@@ -4,8 +4,8 @@ Three checks, all against the files as committed:
 
 1. **Executable snippets** — every fenced ``python`` block in the files
    listed in :data:`SNIPPET_FILES` (the README quickstart, the
-   distributed deployment note and the fuzzing guide) is executed, in
-   order, in one namespace
+   distributed deployment note, the fuzzing guide and the observability
+   guide) is executed, in order, in one namespace
    per file — so no documented snippet can drift from the real API.
 2. **Link check** — every relative Markdown link in ``README.md`` and
    ``docs/*.md`` must point at an existing file or directory (external
@@ -14,8 +14,8 @@ Three checks, all against the files as committed:
 3. **API docstring audit** — every public module, class, function,
    method and property of the packages in :data:`AUDITED_PACKAGES`
    (currently ``repro.search``, ``repro.runtime``,
-   ``repro.distributed``, ``repro.store`` and ``repro.fuzz``) must
-   carry a docstring.  A public name without one fails the job, so the engine
+   ``repro.distributed``, ``repro.store``, ``repro.fuzz`` and
+   ``repro.obs``) must carry a docstring.  A public name without one fails the job, so the engine
    and runtime surface cannot silently grow undocumented API.
 
 Run locally with::
@@ -40,7 +40,12 @@ REPO = Path(__file__).resolve().parent.parent
 
 # Files whose ``python`` fences are executed (repo-relative).  Snippets
 # within one file share a namespace, in order; files are independent.
-SNIPPET_FILES = ("README.md", "docs/distributed.md", "docs/fuzzing.md")
+SNIPPET_FILES = (
+    "README.md",
+    "docs/distributed.md",
+    "docs/fuzzing.md",
+    "docs/observability.md",
+)
 
 # Packages whose public API must be fully documented.
 AUDITED_PACKAGES = (
@@ -49,6 +54,7 @@ AUDITED_PACKAGES = (
     "repro.distributed",
     "repro.store",
     "repro.fuzz",
+    "repro.obs",
 )
 
 FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)

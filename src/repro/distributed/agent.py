@@ -32,10 +32,12 @@ import os
 import queue
 import socket
 import threading
+from time import perf_counter
 from typing import Any, Callable, Iterable
 
 from repro.distributed.transport import PROTOCOL_VERSION, Channel
 from repro.errors import DistributedError
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.search.engine import SearchResult
 from repro.search.interning import InternTable
 from repro.search.sharded import (
@@ -83,6 +85,10 @@ class NodeAgent:
         self._table: InternTable | None = None
         self._partial: SearchResult | None = None
         self._keep_parents = True
+        # A node-local registry (when the lease asks for one) accumulates
+        # expansion counters; its snapshot rides back on collect/summarize
+        # replies and the coordinator folds it in with a node label.
+        self._metrics = NULL_REGISTRY
 
     # -- serving ----------------------------------------------------------------
 
@@ -170,6 +176,7 @@ class NodeAgent:
         self._local_workers = max(1, lease.get("local_workers", 1))
         self._batch_size = max(1, lease.get("batch_size", 16))
         self._shared_interning = lease.get("shared_interning")
+        self._metrics = MetricsRegistry() if lease.get("metrics") else NULL_REGISTRY
         context = lease.get("context")
         if context is not None:
             self._successors = context.successors()
@@ -228,6 +235,8 @@ class NodeAgent:
         """Start a fresh exploration: new node table, new empty partial."""
         self._table = SharedInternTable(self._store) if self._store is not None else InternTable()
         self._keep_parents = data["keep_parents"]
+        if self._metrics.enabled:
+            self._metrics = MetricsRegistry()  # counters are per-exploration
         self._partial = SearchResult(
             initial=data["initial"],
             retention=data["retention"],
@@ -269,7 +278,15 @@ class NodeAgent:
             else:
                 entry = (ref, state)
             frontiers.push(shard_of(state, self._local_shards), entry)
-        expansions = self._ensure_backend().expand(frontiers, self._batch_size)
+        if self._metrics.enabled:
+            started = perf_counter()
+            expansions = self._ensure_backend().expand(frontiers, self._batch_size)
+            self._metrics.histogram("node_expand_seconds").observe(perf_counter() - started)
+            self._metrics.counter("node_edges_total").inc(
+                sum(len(edges) for edges in expansions.values())
+            )
+        else:
+            expansions = self._ensure_backend().expand(frontiers, self._batch_size)
         self._channel.send("expanded", {"results": list(expansions.items())})
 
     def _handle_probe(self, data: dict) -> None:
@@ -324,13 +341,18 @@ class NodeAgent:
                     edge,
                 )
             news.append((position, local_id))
+        if news and self._metrics.enabled:
+            self._metrics.counter("node_states_total").inc(len(news))
         self._channel.send("committed", {"news": news})
 
     # -- result collection -------------------------------------------------------
 
     def _handle_collect(self, data: dict) -> None:
         """Ship the node partial (detached from any shared store)."""
-        self._channel.send("partial", {"result": self._detached_partial()})
+        self._channel.send(
+            "partial",
+            {"result": self._detached_partial(), "metrics": self._metrics.snapshot()},
+        )
 
     def _handle_summarize(self, data: dict) -> None:
         """Ship the partial's counters only — no state leaves the node."""
@@ -341,6 +363,7 @@ class NodeAgent:
                 "states": len(self._table),
                 "edge_count": partial.edge_count,
                 "truncated": partial.truncated,
+                "metrics": self._metrics.snapshot(),
             },
         )
 

@@ -57,6 +57,8 @@ from typing import Any, Callable, Iterable
 from repro.distributed.context import ExplorationContext
 from repro.distributed.transport import PROTOCOL_VERSION, Channel
 from repro.errors import DistributedError, NodeCrashError, SearchError
+from repro.obs.metrics import resolve_metrics
+from repro.obs.trace import get_tracer
 from repro.search.engine import (
     RETAIN_COUNTS,
     RETAIN_FULL,
@@ -287,6 +289,13 @@ class DistributedEngine:
             respawned local cluster before the crash propagates.
         heartbeat_timeout: seconds of node silence tolerated before a
             crash is declared.
+        metrics: a :class:`repro.obs.MetricsRegistry`; ``None`` (the
+            default) resolves to the process-wide registry per run.
+            When enabled, the lease asks each agent to keep a local
+            registry whose snapshot rides back on the collect/summarize
+            reply and is folded in with a ``node=N`` label; the
+            coordinator itself records frame/byte traffic, heartbeat
+            round-trips, lease and steal events.
     """
 
     def __init__(
@@ -305,6 +314,7 @@ class DistributedEngine:
         context: ExplorationContext | None = None,
         retries: int = 1,
         heartbeat_timeout: float = HEARTBEAT_TIMEOUT_SECONDS,
+        metrics=None,
     ) -> None:
         if nodes < 1:
             raise SearchError("a distributed exploration needs at least one node")
@@ -329,6 +339,8 @@ class DistributedEngine:
         self._context = context
         self._retries = retries
         self._heartbeat_timeout = heartbeat_timeout
+        self._metrics = metrics
+        self._record = None  # the enabled registry, set for the span of one run
         self._launcher = None
         self._coordinator: Coordinator | None = None
         self._finalizer = None
@@ -357,6 +369,7 @@ class DistributedEngine:
             "local_workers": self._local_workers,
             "batch_size": self._batch_size,
             "shared_interning": self._shared_interning,
+            "metrics": resolve_metrics(self._metrics).enabled,
         }
 
     def _ensure_cluster(self) -> Coordinator:
@@ -399,6 +412,9 @@ class DistributedEngine:
         # not just slow.
         if not self._coordinator.leased or self._coordinator.lease_state != desired:
             self._coordinator.lease(config, context=context)
+            registry = resolve_metrics(self._metrics)
+            if registry.enabled:
+                registry.counter("dist_leases_total").inc()
         return self._coordinator
 
     def close(self) -> None:
@@ -498,6 +514,7 @@ class DistributedEngine:
         run = self._run_levels(initial)
         coordinator = run["coordinator"]
         replies = self._broadcast(coordinator, "summarize", lambda index: {}, expect="summary")
+        self._fold_node_metrics(replies)
         node_states = tuple(replies[index]["states"] for index in sorted(replies))
         return DistributedSummary(
             states=run["states_total"],
@@ -508,9 +525,18 @@ class DistributedEngine:
             node_states=node_states,
         )
 
+    def _fold_node_metrics(self, replies: dict[int, Any]) -> None:
+        """Fold each node's registry snapshot in under a ``node=N`` label."""
+        registry = resolve_metrics(self._metrics)
+        if not registry.enabled:
+            return
+        for index in sorted(replies):
+            registry.fold(replies[index].get("metrics"), node=str(index))
+
     def _collect_merged(self, initial, run: dict) -> SearchResult:
         coordinator = run["coordinator"]
         replies = self._broadcast(coordinator, "collect", lambda index: {}, expect="partial")
+        self._fold_node_metrics(replies)
         partials = [replies[index]["result"] for index in sorted(replies)]
         merged = SearchResult.merge_all(partials)
         merged.initial = merged.interning.canonical(initial)
@@ -534,7 +560,38 @@ class DistributedEngine:
         and the coordinator, for the collection phase.
         """
         coordinator = self._ensure_cluster()
+        registry = resolve_metrics(self._metrics)
+        record = registry if registry.enabled else None
+        baseline = None
+        if record is not None:
+            self._record = record
+            baseline = {
+                handle.index: _traffic(handle.channel) for handle in coordinator.handles
+            }
+        try:
+            return self._run_levels_inner(
+                coordinator, initial, predicate=predicate, on_state=on_state
+            )
+        finally:
+            self._record = None
+            if record is not None:
+                for handle in coordinator.handles:
+                    _flush_traffic(
+                        record, handle.index, baseline[handle.index], _traffic(handle.channel)
+                    )
+
+    def _run_levels_inner(
+        self,
+        coordinator: Coordinator,
+        initial: Any,
+        *,
+        predicate: Callable[[Any], bool] | None = None,
+        on_state: Callable[[Any, int], None] | None = None,
+    ) -> dict:
+        """The level loop proper, inside :meth:`_run_levels`'s metric scope."""
         limits = self._limits
+        record = self._record
+        tracer = get_tracer()
         keep_parents = self._retention != RETAIN_COUNTS or predicate is not None
         keep_edges = self._retention == RETAIN_FULL
         self._broadcast(
@@ -573,7 +630,10 @@ class DistributedEngine:
             run["depth_reached"] = depth
             if depth >= limits.max_depth:
                 break
-            expansions = self._expand_level(coordinator, level)
+            if record is not None:
+                record.gauge("engine_frontier_states").high_water(len(level))
+            with tracer.span("expand", depth=depth, frontier=len(level)):
+                expansions = self._expand_level(coordinator, level)
             outcome = self._replay_level(
                 coordinator,
                 level,
@@ -687,6 +747,8 @@ class DistributedEngine:
         ids = [ref[1] for chunk in stolen for ref in chunk]
         handles[victim].channel.send("fetch", {"ids": ids})
         fetching[victim] = (thief, stolen)
+        if self._record is not None:
+            self._record.counter("dist_steals_total").inc()
 
     def _replay_level(
         self,
@@ -875,6 +937,12 @@ class DistributedEngine:
             raise NodeCrashError(f"node {handle.index} (pid {handle.pid}): {error}") from error
         if frame is not None:
             handle.last_seen = time.monotonic()
+            if frame[0] == "pong" and handle.last_ping:
+                if self._record is not None:
+                    self._record.histogram("dist_heartbeat_seconds").observe(
+                        handle.last_seen - handle.last_ping
+                    )
+                handle.last_ping = 0.0
         return frame
 
     def _check_health(self, handle: NodeHandle) -> None:
@@ -891,6 +959,30 @@ class DistributedEngine:
         if quiet > PING_INTERVAL_SECONDS and now - handle.last_ping > PING_INTERVAL_SECONDS:
             handle.last_ping = now
             handle.channel.send("ping", {})
+
+
+def _traffic(channel: Channel) -> tuple[int, int, int, int]:
+    """The channel's cumulative (frames out, bytes out, frames in, bytes in)."""
+    return (
+        channel.frames_sent,
+        channel.bytes_sent,
+        channel.frames_received,
+        channel.bytes_received,
+    )
+
+
+def _flush_traffic(
+    record, node: int, before: tuple[int, int, int, int], after: tuple[int, int, int, int]
+) -> None:
+    """Record one run's frame/byte deltas for one node channel."""
+    record.counter("dist_frames_total", direction="sent", node=str(node)).inc(after[0] - before[0])
+    record.counter("dist_bytes_total", direction="sent", node=str(node)).inc(after[1] - before[1])
+    record.counter("dist_frames_total", direction="received", node=str(node)).inc(
+        after[2] - before[2]
+    )
+    record.counter("dist_bytes_total", direction="received", node=str(node)).inc(
+        after[3] - before[3]
+    )
 
 
 def _close_launcher(launcher) -> None:

@@ -64,6 +64,12 @@ class Channel:
     :meth:`recv`/:meth:`try_recv` (the coordinator's dispatch loop, or
     the agent's receiver thread).  Sending may happen from several
     threads — every frame is written under a lock in one ``sendall``.
+
+    The channel keeps cumulative traffic counters (``frames_sent``,
+    ``frames_received``, ``bytes_sent``, ``bytes_received`` — plain
+    integer adds on paths that already pickle or copy the payload); the
+    coordinator flushes their deltas into the metrics registry at the
+    end of each distributed run.
     """
 
     def __init__(self, sock: socket.socket) -> None:
@@ -75,6 +81,10 @@ class Channel:
         self._buffer = bytearray()
         self._send_lock = threading.Lock()
         self._closed = False
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
 
     def send(self, kind: str, data: Any = None) -> None:
         """Write one ``(kind, data)`` frame (atomic under the send lock)."""
@@ -88,6 +98,8 @@ class Channel:
         try:
             with self._send_lock:
                 self._sock.sendall(frame)
+                self.frames_sent += 1
+                self.bytes_sent += len(frame)
         except OSError as error:
             raise NodeCrashError(f"peer went away while sending {kind!r}: {error}") from error
 
@@ -150,6 +162,8 @@ class Channel:
             return None
         payload = bytes(self._buffer[_LEN.size : _LEN.size + length])
         del self._buffer[: _LEN.size + length]
+        self.frames_received += 1
+        self.bytes_received += _LEN.size + length
         frame = pickle.loads(payload)
         if not (isinstance(frame, tuple) and len(frame) == 2 and isinstance(frame[0], str)):
             raise DistributedError("malformed frame: expected a (kind, data) pair")

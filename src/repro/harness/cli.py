@@ -46,7 +46,22 @@ three options::
 ``--store`` names the store directory (created on demand; the
 ``REPRO_STORE`` environment variable supplies a default), ``--no-store``
 disables the store even when the variable is set, and ``--store-stats``
-prints the index statistics (entries, hits, bytes) after the runs.
+prints the index statistics (entries, hits, bytes, plus this run's
+per-kind hit/miss session counters) after the runs.
+
+The telemetry layer (:mod:`repro.obs`) is driven with two options::
+
+    PYTHONPATH=src python -m repro.harness E1 --metrics
+                                         # print the counter exposition
+    PYTHONPATH=src python -m repro.harness E1 --trace run.jsonl
+    PYTHONPATH=src python -m repro.obs run.jsonl     # summarize it
+
+``--metrics`` installs a process-wide metrics registry for the runs and
+prints the Prometheus-style text exposition afterwards (with
+``--stream`` it also emits throttled ``[progress]`` lines on stderr);
+``--trace FILE`` appends one JSONL span/event record per exploration
+phase to ``FILE``.  Streaming/progress chatter goes to stderr — stdout
+carries only headers, tables and the exposition.
 """
 
 from __future__ import annotations
@@ -94,7 +109,7 @@ def _effective_store(options: argparse.Namespace):
     return options.store if options.store else None
 
 
-def _runner(identifier: str, options: argparse.Namespace, smoke: bool, transport=None):
+def _runner(identifier: str, options: argparse.Namespace, smoke: bool, transport=None, store=None):
     """The zero-argument callable regenerating one experiment's rows.
 
     ``smoke`` selects the CI-smoke depths for the benchmark-scale
@@ -102,13 +117,15 @@ def _runner(identifier: str, options: argparse.Namespace, smoke: bool, transport
     used for ``all`` runs; naming E13/E14 explicitly runs them at full
     depth unless ``--quick`` is given.  ``transport`` is the coordinator
     of externally started node agents, when ``--coordinator`` bound one.
+    ``store`` is the resolved store argument (shared so ``--store-stats``
+    can read the session counters the run accumulated).
     """
     if identifier == "E9":
         return lambda: experiments.experiment_e9_convergence(
             parallel=options.parallel,
             checkpoint=options.checkpoint,
             resume=options.resume,
-            store=_effective_store(options),
+            store=store,
         )
     if identifier == "E13":
         return lambda: experiments.experiment_e13_engine(
@@ -184,6 +201,16 @@ def main(argv: list[str] | None = None) -> int:
         "--store-stats", action="store_true",
         help="print the result-store index statistics after the runs",
     )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect telemetry for the runs and print the Prometheus-style "
+        "exposition afterwards (with --stream: live [progress] lines on stderr)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="append JSONL span/event records to FILE "
+        "(summarize with: python -m repro.obs FILE)",
+    )
     options = parser.parse_args(argv)
     if options.agent:
         if options.coordinator is None:
@@ -235,40 +262,89 @@ def main(argv: list[str] | None = None) -> int:
             f"{options.coordinator[0]}:{options.coordinator[1]} ..."
         )
         transport = Coordinator.listen(options.coordinator, options.nodes)
+    registry = None
+    if options.metrics:
+        from repro.obs import MetricsRegistry, set_global_registry
+
+        registry = MetricsRegistry()
+        set_global_registry(registry)
+    tracer = None
+    if options.trace:
+        from repro.obs import Tracer, set_global_tracer
+
+        tracer = Tracer(options.trace)
+        set_global_tracer(tracer)
+    # Resolve the store argument once and share the instance, so the
+    # session hit/miss counters --store-stats prints are the run's own.
+    store = _effective_store(options)
+    resolved_store = None
+    if options.store_stats:
+        from repro.store.service import resolve_store
+
+        resolved_store = resolve_store(store)
+        if resolved_store is not None:
+            store = resolved_store
     try:
         for identifier in identifiers:
             if identifier == "E9" and options.stream:
+                progress = None
+                if registry is not None:
+                    from repro.obs import ProgressReporter
+
+                    progress = ProgressReporter(registry=registry)
                 stream_experiment(
                     identifier,
                     TITLES[identifier],
                     experiments.experiment_e9_convergence,
+                    progress=progress,
                     parallel=options.parallel,
                     checkpoint=options.checkpoint,
                     resume=options.resume,
-                    store=_effective_store(options),
+                    store=store,
                 )
                 continue
-            rows = _runner(identifier, options, smoke=requested == "all", transport=transport)()
+            rows = _runner(
+                identifier, options, smoke=requested == "all", transport=transport, store=store
+            )()
             print_experiment(identifier, TITLES[identifier], rows)
         if options.store_stats:
-            from repro.store.service import resolve_store
-
-            resolved = resolve_store(_effective_store(options))
-            if resolved is None:
+            if resolved_store is None:
                 print("store: disabled (pass --store DIR or export REPRO_STORE)")
             else:
-                statistics = resolved.stats()
+                statistics = resolved_store.stats()
                 print(
                     "store {root}: {entries} entries "
                     "({results} results, {subgraphs} subgraphs), "
                     "{hits} hits, {bytes} bytes".format(**statistics)
                 )
+                session = statistics["session"]
+                kinds = sorted(set(session["hits"]) | set(session["misses"]))
+                if kinds or session["repairs"]:
+                    detail = " ".join(
+                        f"{kind}={session['hits'].get(kind, 0)}/{session['misses'].get(kind, 0)}"
+                        for kind in kinds
+                    )
+                    print(f"session hit/miss {detail} repairs={session['repairs']}".rstrip())
+        if registry is not None:
+            exposition = registry.exposition()
+            print("\n--- metrics exposition ---")
+            print(exposition if exposition else "(no samples)")
     finally:
         # A failing experiment must still release external agents: the
         # shutdown frames end their serve loops instead of stranding
         # them on a dead lease until socket EOF.
         if transport is not None:
             transport.close()
+        if registry is not None:
+            from repro.obs import set_global_registry
+
+            set_global_registry(None)
+        if tracer is not None:
+            from repro.obs import set_global_tracer
+
+            set_global_tracer(None)
+            tracer.close()
+            print(f"trace: {tracer.written} records -> {options.trace}", file=sys.stderr)
     return 0
 
 

@@ -7,10 +7,15 @@ callback for the sweep scheduler that prints one line per completed
 point — in completion order, while the sweep is still running — and
 :func:`stream_experiment` drives a whole experiment that way before
 printing the final table.
+
+Streaming and progress lines go to **stderr**; only headers and final
+tables are written to stdout, so the row output of a piped harness run
+stays clean of in-flight chatter.
 """
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Iterable, Mapping, Sequence
 
 __all__ = [
@@ -48,19 +53,25 @@ def format_row(row: Mapping) -> str:
     return "  ".join(f"{key}={value}" for key, value in row.items())
 
 
-def point_printer(identifier: str, out: Callable[[str], None] = print) -> Callable:
+def point_printer(identifier: str, out: Callable[[str], None] | None = None) -> Callable:
     """An ``on_point`` callback printing each completed sweep point.
 
     Suitable for :func:`repro.workloads.sweeps.sweep` and the
     experiment functions that accept ``on_point``: every record is
     printed the moment its grid point completes (checkpoint-cached
     points are marked ``memo``), so long-running parallel sweeps report
-    progress instead of going dark until the final table.
+    progress instead of going dark until the final table.  ``out``
+    defaults to printing on stderr (resolved per line, so redirection
+    works), keeping stdout clean for the final table.
     """
 
     def on_point(record) -> None:
         source = "memo" if getattr(record, "cached", False) else "run"
-        out(f"[{identifier}] point {record.index} ({source}): {format_row(record.as_row())}")
+        line = f"[{identifier}] point {record.index} ({source}): {format_row(record.as_row())}"
+        if out is not None:
+            out(line)
+        else:
+            print(line, file=sys.stderr, flush=True)
 
     return on_point
 
@@ -76,15 +87,28 @@ def stream_experiment(
     identifier: str,
     title: str,
     experiment: Callable[..., list],
+    progress=None,
     **options,
 ) -> list:
     """Run ``experiment(on_point=...)`` streaming, then print the table.
 
     ``options`` (``parallel=``, ``checkpoint=``, ``resume=``, depths …)
     are forwarded to the experiment function; the streaming callback is
-    injected.  Returns the experiment's rows.
+    injected and writes to stderr.  ``progress`` is an optional
+    :class:`repro.obs.ProgressReporter` chained onto the same callback
+    (its closing summary line is emitted after the sweep).  Returns the
+    experiment's rows.
     """
     print(f"\n=== {identifier}: {title} (streaming) ===")
-    rows = experiment(on_point=point_printer(identifier), **options)
+    printer = point_printer(identifier)
+    if progress is None:
+        on_point = printer
+    else:
+        def on_point(record) -> None:
+            printer(record)
+            progress.on_point(record)
+    rows = experiment(on_point=on_point, **options)
+    if progress is not None:
+        progress.final()
     print(format_table(rows))
     return rows

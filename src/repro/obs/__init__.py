@@ -1,0 +1,73 @@
+"""The unified telemetry layer: metrics, spans and live progress.
+
+Every runtime layer of the reproduction — the exploration engines
+(:mod:`repro.search`), the warm worker pools and sweep scheduler
+(:mod:`repro.runtime`), the distributed coordinator/agents
+(:mod:`repro.distributed`) and the content-addressed result store
+(:mod:`repro.store`) — reports into this package:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and histograms with picklable snapshots that **fold
+  associatively** (the :meth:`~repro.search.SearchResult.merge` idiom),
+  so forked workers and TCP node agents accumulate locally and the
+  parent folds their snapshots in any arrival order.  The default is
+  the :data:`NULL_REGISTRY`, whose handles are shared no-op singletons
+  — the disabled path allocates nothing and the hot loops stay within
+  measurement noise (gated by the E20 bench).
+* :mod:`repro.obs.trace` — hierarchical spans (``explore`` → per-level,
+  sweep → per-point, store hit/miss/delta events) appended as JSONL;
+  ``python -m repro.obs trace.jsonl`` summarises a trace file.
+* :mod:`repro.obs.progress` — a throttled :class:`ProgressReporter`
+  over the existing ``on_state``/``on_point`` callbacks, emitting
+  states/s, depth, frontier size and store hit rate to stderr.
+
+The harness surfaces all three: ``--metrics`` installs a process-wide
+registry (:func:`set_global_registry`) and prints its Prometheus-style
+:meth:`~MetricsRegistry.exposition` after the run; ``--trace FILE``
+installs a :class:`Tracer`.  See ``docs/observability.md`` for the
+metric name catalogue and the span hierarchy.
+"""
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_metrics,
+    resolve_metrics,
+    set_global_registry,
+)
+from repro.obs.progress import ProgressReporter
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    read_trace,
+    resolve_tracer,
+    set_global_tracer,
+    summarize_trace,
+)
+
+__all__ = [
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "ProgressReporter",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "read_trace",
+    "resolve_metrics",
+    "resolve_tracer",
+    "set_global_registry",
+    "set_global_tracer",
+    "summarize_trace",
+]

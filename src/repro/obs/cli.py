@@ -1,0 +1,71 @@
+"""The trace summarizer CLI behind ``python -m repro.obs``.
+
+Reads one or more JSONL trace files written by
+:class:`~repro.obs.trace.Tracer` and prints, per file, a per-span-name
+aggregate table (count, total, mean, max seconds), the event counts and
+the slowest individual spans.  ``--json`` emits the raw summary dict
+instead, for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.obs.trace import read_trace, summarize_trace
+
+__all__ = ["main"]
+
+
+def _format_summary(path: str, summary: dict) -> str:
+    """Render one trace file's summary as aligned text."""
+    lines = [f"trace {path}:"]
+    spans = summary["spans"]
+    if spans:
+        name_width = max(len(name) for name in spans)
+        lines.append(f"  {'span'.ljust(name_width)}  count     total      mean       max")
+        for name in sorted(spans, key=lambda n: -spans[n]["total"]):
+            entry = spans[name]
+            lines.append(
+                f"  {name.ljust(name_width)}  {entry['count']:>5}  "
+                f"{entry['total']:>8.4f}s  {entry['mean']:>8.4f}s  {entry['max']:>8.4f}s"
+            )
+    else:
+        lines.append("  (no spans)")
+    if summary["events"]:
+        rendered = ", ".join(
+            f"{name}={count}" for name, count in sorted(summary["events"].items())
+        )
+        lines.append(f"  events: {rendered}")
+    if summary["slowest"]:
+        lines.append("  slowest spans:")
+        for seconds, name, attrs in summary["slowest"][:5]:
+            detail = " ".join(f"{key}={value}" for key, value in attrs.items())
+            lines.append(f"    {seconds:>8.4f}s  {name}  {detail}".rstrip())
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarise JSONL trace files written under --trace.",
+    )
+    parser.add_argument("traces", nargs="+", help="trace files to summarise")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON instead of a table"
+    )
+    arguments = parser.parse_args(argv)
+    for path in arguments.traces:
+        try:
+            summary = summarize_trace(read_trace(path))
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if arguments.json:
+            print(json.dumps({"trace": path, **summary}, default=str))
+        else:
+            print(_format_summary(path, summary))
+    return 0

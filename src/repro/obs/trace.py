@@ -1,0 +1,260 @@
+"""Hierarchical exploration spans, appended to JSONL trace files.
+
+A :class:`Tracer` writes one JSON object per line to an append-only
+trace file: **spans** (named, timed, nested — written on exit so the
+duration is known) and **events** (instantaneous marks).  The span
+hierarchy mirrors the system's layers::
+
+    explore                      # one exploration (engine or sharded)
+      level                      # one BFS level: expand + replay
+    sweep                        # one parameter sweep
+      point                      # one grid point (event)
+    store                        # hit / miss / delta events
+
+Records carry the writing process id, and every line is a complete JSON
+document appended in a single ``write`` — so traces written through an
+inherited tracer by forked sweep workers interleave without corrupting
+each other, and ``(pid, id)`` keys the parent links unambiguously.
+
+``python -m repro.obs trace.jsonl`` summarises a trace (per-name
+counts/totals and the slowest spans); :func:`read_trace` and
+:func:`summarize_trace` are the library form of the same.
+
+The :data:`NULL_TRACER` default makes tracing free when disabled: its
+:meth:`~NullTracer.span` returns a shared no-op context manager and
+nothing is ever opened or written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Iterable
+
+__all__ = [
+    "NullTracer",
+    "NULL_TRACER",
+    "Tracer",
+    "get_tracer",
+    "read_trace",
+    "resolve_tracer",
+    "set_global_tracer",
+    "summarize_trace",
+]
+
+
+class _Span:
+    """An open span; written to the trace file when the ``with`` block exits."""
+
+    __slots__ = ("_tracer", "_record", "_started")
+
+    def __init__(self, tracer: "Tracer", record: dict) -> None:
+        self._tracer = tracer
+        self._record = record
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._record["seconds"] = time.perf_counter() - self._started
+        self._tracer._finish(self._record)
+
+    def note(self, **attributes: Any) -> None:
+        """Attach extra attributes to the span before it closes."""
+        self._record.setdefault("attrs", {}).update(attributes)
+
+
+class Tracer:
+    """Writes spans and events to one append-only JSONL trace file.
+
+    The file is opened line-buffered in append mode; each record is one
+    ``json.dumps`` line, flushed as written.  ``close()`` is idempotent
+    and the tracer is a context manager.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._file = open(self.path, "a", buffering=1, encoding="utf-8")
+        self._stack: list[int] = []
+        self._next_id = 1
+        self._written = 0
+
+    @property
+    def written(self) -> int:
+        """Number of records written so far by this process."""
+        return self._written
+
+    def span(self, name: str, **attributes: Any) -> _Span:
+        """Open a nested span; use as ``with tracer.span("level", depth=d):``."""
+        span_id = self._next_id
+        self._next_id += 1
+        record: dict[str, Any] = {
+            "name": name,
+            "id": span_id,
+            "parent": self._stack[-1] if self._stack else None,
+            "pid": os.getpid(),
+            "ts": time.time(),
+        }
+        if attributes:
+            record["attrs"] = attributes
+        self._stack.append(span_id)
+        return _Span(self, record)
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Write an instantaneous mark under the currently open span."""
+        record: dict[str, Any] = {
+            "name": name,
+            "id": self._next_id,
+            "parent": self._stack[-1] if self._stack else None,
+            "pid": os.getpid(),
+            "ts": time.time(),
+        }
+        self._next_id += 1
+        if attributes:
+            record["attrs"] = attributes
+        self._write(record)
+
+    def _finish(self, record: dict) -> None:
+        """Pop the span off the stack and append its record."""
+        if self._stack and self._stack[-1] == record["id"]:
+            self._stack.pop()
+        self._write(record)
+
+    def _write(self, record: dict) -> None:
+        if not self._file.closed:
+            self._file.write(json.dumps(record, default=str) + "\n")
+            self._written += 1
+
+    def close(self) -> None:
+        """Flush and close the trace file (idempotent)."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _NullSpan:
+    """Shared no-op span context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def note(self, **attributes: Any) -> None:
+        """Discard the attributes."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled-path tracer: no file, shared no-op spans.
+
+    :data:`NULL_TRACER` is the process-wide instance and the default
+    returned by :func:`resolve_tracer`.
+    """
+
+    enabled = False
+    path = None
+    written = 0
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        """The shared no-op span (no allocation)."""
+        return _NULL_SPAN
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Discard the event."""
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+
+NULL_TRACER = NullTracer()
+
+_GLOBAL_TRACER: Tracer | NullTracer = NULL_TRACER
+
+
+def set_global_tracer(tracer: Tracer | NullTracer | None):
+    """Install the process-wide tracer; returns the previous one.
+
+    ``None`` restores the :data:`NULL_TRACER` default.  Installed by the
+    harness under ``--trace FILE``.
+    """
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-wide tracer (the null tracer unless installed)."""
+    return _GLOBAL_TRACER
+
+
+def resolve_tracer(tracer: Tracer | NullTracer | None = None):
+    """``tracer`` itself, or the process-wide tracer when ``None``."""
+    return tracer if tracer is not None else _GLOBAL_TRACER
+
+
+# -- reading traces back -----------------------------------------------------------
+
+
+def read_trace(path: str) -> list[dict]:
+    """Parse a JSONL trace file back into its records (in file order).
+
+    Raises ``ValueError`` on a corrupt line, naming the line number —
+    trace files are append-only and every line is written atomically, so
+    a parse failure means the file is not a trace.
+    """
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: corrupt trace line ({error})") from None
+    return records
+
+
+def summarize_trace(records: Iterable[dict]) -> dict:
+    """Aggregate trace records per span name.
+
+    Returns ``{"spans": {name: {count, total, mean, max}}, "events":
+    {name: count}, "slowest": [(seconds, name, attrs), ...]}`` with the
+    slowest list capped at ten spans, longest first.
+    """
+    spans: dict[str, dict] = {}
+    events: dict[str, int] = {}
+    timed: list[tuple] = []
+    for record in records:
+        seconds = record.get("seconds")
+        name = record.get("name", "?")
+        if seconds is None:
+            events[name] = events.get(name, 0) + 1
+            continue
+        entry = spans.setdefault(name, {"count": 0, "total": 0.0, "max": 0.0})
+        entry["count"] += 1
+        entry["total"] += seconds
+        if seconds > entry["max"]:
+            entry["max"] = seconds
+        timed.append((seconds, name, record.get("attrs", {})))
+    for entry in spans.values():
+        entry["mean"] = entry["total"] / entry["count"]
+    timed.sort(key=lambda item: item[0], reverse=True)
+    return {"spans": spans, "events": events, "slowest": timed[:10]}

@@ -62,6 +62,7 @@ from multiprocessing.connection import wait as connection_wait
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import WorkerPoolError
+from repro.obs.metrics import resolve_metrics
 from repro.search.shm_interning import (
     EncodedExpansion,
     SharedStateStore,
@@ -159,16 +160,25 @@ class _Worker:
 
 
 class ProcessWorkerContext:
-    """One warm fork-based worker group bound to a single pure function."""
+    """One warm fork-based worker group bound to a single pure function.
+
+    ``metrics=`` accepts a :class:`repro.obs.MetricsRegistry`; ``None``
+    resolves to the process-wide registry at each :meth:`events` drain.
+    All measurement is coordinator-side — dispatch latency from the
+    assign timestamps the context already keeps, respawns from
+    :meth:`ensure_alive`, timeouts from the expiry path — so nothing
+    extra ever crosses the worker pipes.
+    """
 
     kind = "process"
 
-    def __init__(self, key: Any, fn: Callable, workers: int, mp_context) -> None:
+    def __init__(self, key: Any, fn: Callable, workers: int, mp_context, metrics=None) -> None:
         if workers < 1:
             raise WorkerPoolError("a worker context needs at least one worker")
         self.key = key
         self._fn = fn
         self._mp = mp_context
+        self._metrics = metrics
         self._workers: list[_Worker] = []
         self._next_task_id = 0
         self._backlog: deque[tuple[int, Any]] = deque()  # submitted, not dispatched
@@ -206,6 +216,8 @@ class ProcessWorkerContext:
                     self._backlog.appendleft(worker.current)
                 worker.discard()
                 self._workers[index] = _Worker(self._fn, self._mp, writer_slot=index + 1)
+        if dead_pids:
+            resolve_metrics(self._metrics).counter("pool_respawns_total").inc(len(dead_pids))
         return dead_pids
 
     def healthy(self) -> bool:
@@ -260,11 +272,15 @@ class ProcessWorkerContext:
         longer than ``task_timeout`` seconds has its worker killed and is
         reported with a ``"timeout: ..."`` error instead.
         """
+        registry = resolve_metrics(self._metrics)
+        record = registry if registry.enabled else None
         while self._pending:
             self.ensure_alive()
             self._dispatch()
             timed_out = self._expire(task_timeout)
             if timed_out is not None:
+                if record is not None:
+                    record.counter("pool_tasks_total", outcome="timeout").inc()
                 yield timed_out
                 continue
             ready = connection_wait(
@@ -279,6 +295,13 @@ class ProcessWorkerContext:
                 worker.current = None
                 if task_id in self._pending:
                     del self._pending[task_id]
+                    if record is not None:
+                        record.histogram("pool_dispatch_seconds").observe(
+                            time.monotonic() - worker.sent_at
+                        )
+                        record.counter(
+                            "pool_tasks_total", outcome="ok" if error is None else "error"
+                        ).inc()
                     yield task_id, value, error
 
     def _dispatch(self) -> None:
@@ -350,9 +373,10 @@ class SerialWorkerContext:
 
     kind = "serial"
 
-    def __init__(self, key: Any, fn: Callable) -> None:
+    def __init__(self, key: Any, fn: Callable, metrics=None) -> None:
         self.key = key
         self._fn = fn
+        self._metrics = metrics
         self._queue: deque[tuple[int, Any]] = deque()
         self._next_task_id = 0
         self._closed = False
@@ -395,12 +419,19 @@ class SerialWorkerContext:
         ``task_timeout`` cannot preempt in-process execution and is
         ignored (see the class docstring).
         """
+        registry = resolve_metrics(self._metrics)
+        record = registry if registry.enabled else None
         while self._queue:
             task_id, payload = self._queue.popleft()
+            started = time.monotonic() if record is not None else 0.0
             try:
-                yield task_id, self._fn(payload), None
-            except Exception as error:  # noqa: BLE001 - mirror the worker protocol
-                yield task_id, None, f"{type(error).__name__}: {error}"
+                value, error = self._fn(payload), None
+            except Exception as failure:  # noqa: BLE001 - mirror the worker protocol
+                value, error = None, f"{type(failure).__name__}: {failure}"
+            if record is not None:
+                record.histogram("pool_dispatch_seconds").observe(time.monotonic() - started)
+                record.counter("pool_tasks_total", outcome="ok" if error is None else "error").inc()
+            yield task_id, value, error
 
     def shutdown(self) -> None:
         """Refuse further submissions and drop queued tasks."""
@@ -519,13 +550,23 @@ class WorkerPool:
         use_processes: force (``True``) or forbid (``False``) process
             workers; default auto — processes exactly where the ``fork``
             start method exists and more than one worker is requested.
+        metrics: a :class:`repro.obs.MetricsRegistry` handed to every
+            context this pool creates; ``None`` (the default) resolves
+            to the process-wide registry per drain, so the pool is
+            uninstrumented unless one was installed.
     """
 
-    def __init__(self, workers: int | None = None, use_processes: bool | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        use_processes: bool | None = None,
+        metrics=None,
+    ) -> None:
         if workers is not None and workers < 1:
             raise WorkerPoolError("the default worker count must be positive")
         self._default_workers = workers or DEFAULT_POOL_WORKERS
         self._use_processes = use_processes
+        self._metrics = metrics
         self._contexts: dict = {}
         self._leases: dict = {}  # auto-keyed context -> outstanding backend leases
         self._stores: dict = {}  # context key -> SharedStateStore (same lifetime)
@@ -562,9 +603,11 @@ class WorkerPool:
         if self.uses_processes(count):
             import multiprocessing
 
-            created = ProcessWorkerContext(key, fn, count, multiprocessing.get_context("fork"))
+            created = ProcessWorkerContext(
+                key, fn, count, multiprocessing.get_context("fork"), metrics=self._metrics
+            )
         else:
-            created = SerialWorkerContext(key, fn)
+            created = SerialWorkerContext(key, fn, metrics=self._metrics)
         self._contexts[key] = created
         return created
 

@@ -41,6 +41,8 @@ from pathlib import Path
 from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.errors import SchedulerError
+from repro.obs.metrics import resolve_metrics
+from repro.obs.trace import get_tracer
 from repro.runtime.checkpoint import SweepCheckpoint, point_key
 from repro.runtime.pool import SerialWorkerContext, WorkerPool
 
@@ -96,6 +98,9 @@ class SweepScheduler:
             function (defaults to the measure callable's identity); pass
             a semantic key to share warm workers across scheduler
             instances running the same measure.
+        metrics: a :class:`repro.obs.MetricsRegistry`; ``None`` (the
+            default) resolves to the process-wide registry per sweep.
+            Counts memo-served vs freshly-run points and retries.
     """
 
     def __init__(
@@ -108,6 +113,7 @@ class SweepScheduler:
         checkpoint: SweepCheckpoint | str | Path | None = None,
         resume: bool = False,
         context_key=None,
+        metrics=None,
     ) -> None:
         if parallel < 1:
             raise SchedulerError("parallel must be positive")
@@ -124,6 +130,7 @@ class SweepScheduler:
         self._checkpoint = checkpoint
         self._resume = resume
         self._context_key = context_key
+        self._metrics = metrics
 
     @property
     def checkpoint(self) -> SweepCheckpoint | None:
@@ -163,6 +170,9 @@ class SweepScheduler:
         without running anything); freshly computed points follow as
         their workers deliver them.
         """
+        registry = resolve_metrics(self._metrics)
+        record = registry if registry.enabled else None
+        tracer = get_tracer()
         points = [dict(parameters) for parameters in grid]
         memo: dict[str, dict] = {}
         if self._checkpoint is not None:
@@ -174,6 +184,9 @@ class SweepScheduler:
         for index, parameters in enumerate(points):
             cached = memo.get(point_key(parameters))
             if cached is not None:
+                if record is not None:
+                    record.counter("sweep_points_total", source="memo").inc()
+                tracer.event("point", index=index, source="memo")
                 yield PointRecord(
                     index=index, parameters=parameters, measurements=cached, cached=True, attempts=0
                 )
@@ -198,6 +211,8 @@ class SweepScheduler:
                     continue  # stale completion from an abandoned earlier run
                 if error is not None:
                     if attempts[index] <= self._retries:
+                        if record is not None:
+                            record.counter("sweep_retries_total").inc()
                         attempts[index] += 1
                         task_index[context.submit(points[index])] = index
                         continue
@@ -207,6 +222,9 @@ class SweepScheduler:
                     )
                 if self._checkpoint is not None:
                     self._checkpoint.record(points[index], measurements)
+                if record is not None:
+                    record.counter("sweep_points_total", source="run").inc()
+                tracer.event("point", index=index, source="run")
                 yield PointRecord(
                     index=index,
                     parameters=points[index],

@@ -66,9 +66,12 @@ verdicts (reachability) therefore keep their three-valued contracts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import SearchError
+from repro.obs.metrics import resolve_metrics
+from repro.obs.trace import get_tracer
 from repro.search.frontier import make_frontier
 from repro.search.interning import InternTable
 
@@ -344,10 +347,36 @@ def _merge_key(table, operand_table, local_target: int, shared: bool) -> int | N
     return table.id_of(operand_table.state_of(local_target))
 
 
-class Engine:
-    """Generic bounded explorer of a successor relation (see module docs)."""
+def _record_exploration(registry, engine_kind: str, result: "SearchResult", seconds: float) -> None:
+    """Flush one completed exploration's boundary counters into ``registry``.
 
-    __slots__ = ("_successors", "_limits", "_strategy", "_heuristic", "_retention")
+    Called once per :meth:`Engine.explore`/:meth:`Engine.search` — the
+    hot loop itself is never instrumented; everything here is derived
+    from aggregates the result already carries.  A "duplicate" is an
+    edge whose target was already interned (including re-opens under
+    non-FIFO strategies).
+    """
+    registry.counter("engine_explorations_total", engine=engine_kind).inc()
+    registry.counter("engine_states_total", kind="interned").inc(result.state_count)
+    duplicates = result.edge_count - (result.state_count - 1)
+    if duplicates > 0:
+        registry.counter("engine_states_total", kind="duplicate").inc(duplicates)
+    registry.counter("engine_edges_total").inc(result.edge_count)
+    registry.gauge("engine_depth_reached").high_water(result.depth_reached)
+    registry.histogram("engine_explore_seconds", engine=engine_kind).observe(seconds)
+
+
+class Engine:
+    """Generic bounded explorer of a successor relation (see module docs).
+
+    ``metrics=`` accepts a :class:`repro.obs.MetricsRegistry`; ``None``
+    (the default) resolves to the process-wide registry at each call,
+    which is the no-op null registry unless the harness (or a caller)
+    installed one — so an uninstrumented exploration costs nothing.
+    Counters are flushed at exploration boundaries only, never per edge.
+    """
+
+    __slots__ = ("_successors", "_limits", "_strategy", "_heuristic", "_retention", "_metrics")
 
     def __init__(
         self,
@@ -357,6 +386,7 @@ class Engine:
         strategy: str = "bfs",
         heuristic: Callable[[Any, int], Any] | None = None,
         retention: str = RETAIN_FULL,
+        metrics=None,
     ) -> None:
         if retention not in RETENTION_MODES:
             raise SearchError(
@@ -369,6 +399,7 @@ class Engine:
         self._strategy = strategy
         self._heuristic = heuristic
         self._retention = retention
+        self._metrics = metrics
 
     @property
     def limits(self) -> SearchLimits:
@@ -397,6 +428,20 @@ class Engine:
         ``on_state`` is invoked with each newly discovered canonical
         state and its discovery depth (the initial state at depth 0).
         """
+        registry = resolve_metrics(self._metrics)
+        started = perf_counter()
+        with get_tracer().span("explore", engine="single", strategy=self._strategy):
+            result = self._explore(initial, on_state)
+        if registry.enabled:
+            _record_exploration(registry, "single", result, perf_counter() - started)
+        return result
+
+    def _explore(
+        self,
+        initial: Any,
+        on_state: Callable[[Any, int], None] | None,
+    ) -> SearchResult:
+        """The uninstrumented exploration loop behind :meth:`explore`."""
         keep_edges = self._retention == RETAIN_FULL
         keep_parents = self._retention != RETAIN_COUNTS
         result = SearchResult(initial=initial, retention=self._retention)
@@ -462,6 +507,20 @@ class Engine:
         is always retained so the witness can be reconstructed; under
         the ``"bfs"`` strategy it is a minimal-length witness.
         """
+        registry = resolve_metrics(self._metrics)
+        started = perf_counter()
+        with get_tracer().span("search", engine="single", strategy=self._strategy):
+            path, result = self._search(initial, predicate)
+        if registry.enabled:
+            _record_exploration(registry, "single", result, perf_counter() - started)
+        return path, result
+
+    def _search(
+        self,
+        initial: Any,
+        predicate: Callable[[Any], bool],
+    ) -> tuple[list | None, SearchResult]:
+        """The uninstrumented predicate-search loop behind :meth:`search`."""
         keep_edges = self._retention == RETAIN_FULL
         result = SearchResult(initial=initial, retention=self._retention)
         table = result.interning

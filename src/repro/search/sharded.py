@@ -63,9 +63,12 @@ import multiprocessing
 import os
 import weakref
 from collections import deque
+from time import perf_counter
 from typing import Any, Callable, Iterable
 
 from repro.errors import SearchError
+from repro.obs.metrics import resolve_metrics
+from repro.obs.trace import get_tracer
 from repro.search.engine import (
     RETAIN_COUNTS,
     RETAIN_FULL,
@@ -141,14 +144,20 @@ class ShardFrontiers:
     queue has drained it steals the tail half of the fullest remaining
     queue (the classic work-stealing split: the victim keeps the head it
     is about to process, the thief takes the colder tail).
+
+    ``steals`` counts the steal operations of this level; the engine
+    reads it after the backend drains the frontiers and flushes it into
+    the metrics registry (stealing happens coordinator-side for every
+    backend, so no counter crosses a process boundary).
     """
 
-    __slots__ = ("_queues",)
+    __slots__ = ("_queues", "steals")
 
     def __init__(self, shards: int) -> None:
         if shards < 1:
             raise SearchError("the number of shards must be positive")
         self._queues: list[deque] = [deque() for _ in range(shards)]
+        self.steals = 0
 
     @property
     def shards(self) -> int:
@@ -191,6 +200,7 @@ class ShardFrontiers:
 
     def _steal(self, victim: int, into: int) -> None:
         """Move the tail half (at least one entry) of ``victim`` to ``into``."""
+        self.steals += 1
         source = self._queues[victim]
         count = max(1, len(source) // 2)
         stolen = [source.pop() for _ in range(count)]
@@ -398,6 +408,23 @@ class ProcessExpansionBackend:
                 self.shared_store.destroy()
 
 
+def _flush_level(record, new_states: int, level_edges: int, replay_seconds: float) -> None:
+    """Flush one replayed level's counters into the registry.
+
+    Called at each level barrier (and before an early predicate/limit
+    return), so the folded ``engine_states_total``/``engine_edges_total``
+    counters reconcile exactly with the merged result — the E20 bench
+    gates that identity.  A "duplicate" is an edge whose target was
+    already interned.
+    """
+    record.counter("engine_states_total", kind="interned").inc(new_states)
+    duplicates = level_edges - new_states
+    if duplicates > 0:
+        record.counter("engine_states_total", kind="duplicate").inc(duplicates)
+    record.counter("engine_edges_total").inc(level_edges)
+    record.histogram("sharded_level_seconds", phase="replay").observe(replay_seconds)
+
+
 # -- the sharded engine ------------------------------------------------------------
 
 
@@ -455,6 +482,12 @@ class ShardedEngine:
             shipped to *external* node agents in their lease (the
             localhost launcher inherits the successor closure through
             fork and needs none).
+        metrics: a :class:`repro.obs.MetricsRegistry`; ``None`` (the
+            default) resolves to the process-wide registry per call —
+            the no-op null registry unless one was installed, so the
+            uninstrumented path costs nothing.  Per-level counters
+            (interned vs duplicate states, edges, steals, expand/replay
+            timings) are flushed at level barriers, never per edge.
 
     The expansion backend lives for the **engine's lifetime**: repeated
     :meth:`explore`/:meth:`search` calls reuse the same worker
@@ -478,6 +511,7 @@ class ShardedEngine:
         "_transport",
         "_context",
         "_distributed_instance",
+        "_metrics",
     )
 
     def __init__(
@@ -496,6 +530,7 @@ class ShardedEngine:
         nodes: int = 1,
         transport: Any = None,
         context: Any = None,
+        metrics=None,
     ) -> None:
         if retention not in RETENTION_MODES:
             raise SearchError(
@@ -526,6 +561,7 @@ class ShardedEngine:
         self._transport = transport
         self._context = context
         self._distributed_instance = None
+        self._metrics = metrics
 
     @property
     def limits(self) -> SearchLimits:
@@ -666,6 +702,7 @@ class ShardedEngine:
                 shared_interning=self._shared_interning,
                 transport=self._transport,
                 context=self._context,
+                metrics=self._metrics,
             )
         return self._distributed_instance
 
@@ -705,8 +742,18 @@ class ShardedEngine:
         """
         if self._distributed_active():
             return self._distributed().explore(initial, on_state=on_state)
-        partials, _ = self._run(initial, on_state=on_state)
-        return self._merged(partials, initial)
+        registry = resolve_metrics(self._metrics)
+        started = perf_counter()
+        with get_tracer().span("explore", engine="sharded", shards=self._shards):
+            partials, _ = self._run(initial, on_state=on_state)
+            merged = self._merged(partials, initial)
+        if registry.enabled:
+            registry.counter("engine_explorations_total", engine="sharded").inc()
+            registry.gauge("engine_depth_reached").high_water(merged.depth_reached)
+            registry.histogram("engine_explore_seconds", engine="sharded").observe(
+                perf_counter() - started
+            )
+        return merged
 
     def explore_shards(self, initial: Any) -> list[SearchResult]:
         """The per-shard partial results of an exploration (one per shard).
@@ -742,8 +789,17 @@ class ShardedEngine:
         """
         if self._distributed_active():
             return self._distributed().search(initial, predicate)
-        partials, hit = self._run(initial, predicate=predicate)
-        merged = self._merged(partials, initial)
+        registry = resolve_metrics(self._metrics)
+        started = perf_counter()
+        with get_tracer().span("search", engine="sharded", shards=self._shards):
+            partials, hit = self._run(initial, predicate=predicate)
+            merged = self._merged(partials, initial)
+        if registry.enabled:
+            registry.counter("engine_explorations_total", engine="sharded").inc()
+            registry.gauge("engine_depth_reached").high_water(merged.depth_reached)
+            registry.histogram("engine_explore_seconds", engine="sharded").observe(
+                perf_counter() - started
+            )
         if hit is None:
             return None, merged
         source, edge = hit
@@ -801,12 +857,20 @@ class ShardedEngine:
             partials = [
                 SearchResult(initial=initial, retention=self._retention) for _ in range(shards)
             ]
+        # Metrics are boundary-only: `record` is None on the disabled
+        # path, so the per-edge replay below never touches the registry
+        # and the per-level flushes cost a handful of dict probes.
+        registry = resolve_metrics(self._metrics)
+        record = registry if registry.enabled else None
+        tracer = get_tracer()
         owner: dict[int, int] = {}
         root_id, root, _ = table.intern(initial)
         root_shard = shard_of(root, shards)
         owner[root_id] = root_shard
         root_local, _, _ = partials[root_shard].interning.intern(root)
         partials[root_shard].depths[root_local] = 0
+        if record is not None:
+            record.counter("engine_states_total", kind="interned").inc()
         if predicate is not None and predicate(root):
             return partials, (root, None)
         if predicate is None and on_state is not None:
@@ -821,6 +885,9 @@ class ShardedEngine:
                     part.depth_reached = depth
             if depth >= limits.max_depth:
                 break
+            if record is not None:
+                record.counter("sharded_levels_total").inc()
+                record.gauge("engine_frontier_states").high_water(len(level))
             frontiers = ShardFrontiers(shards)
             if store is not None:
                 # Id-only frontier entries; a state the slab could not
@@ -833,7 +900,17 @@ class ShardedEngine:
             else:
                 for state_id in level:
                     frontiers.push(owner[state_id], (state_id, table.state_of(state_id)))
-            expansions = backend.expand(frontiers, self._batch_size)
+            expand_started = perf_counter() if record is not None else 0.0
+            with tracer.span("expand", depth=depth, frontier=len(level)):
+                expansions = backend.expand(frontiers, self._batch_size)
+            replay_started = perf_counter() if record is not None else 0.0
+            if record is not None:
+                record.histogram("sharded_level_seconds", phase="expand").observe(
+                    replay_started - expand_started
+                )
+                if frontiers.steals:
+                    record.counter("sharded_steals_total").inc(frontiers.steals)
+            edges_before = total_edges
             next_level: list[int] = []
             # Replay in discovery-id order == the order single-shard BFS
             # pops its FIFO frontier, so interning, parent links, limit
@@ -847,6 +924,13 @@ class ShardedEngine:
                     if keep_edges:
                         part.edges.append(edge)
                     if predicate is not None and predicate(edge.target):
+                        if record is not None:
+                            _flush_level(
+                                record,
+                                len(next_level),
+                                total_edges - edges_before,
+                                perf_counter() - replay_started,
+                            )
                         return partials, (source, edge)
                     target_id, target, is_new = table.intern(edge.target)
                     if is_new:
@@ -866,7 +950,21 @@ class ShardedEngine:
                         next_level.append(target_id)
                     if len(table) >= limits.max_configurations or total_edges >= limits.max_steps:
                         part.truncated = True
+                        if record is not None:
+                            _flush_level(
+                                record,
+                                len(next_level),
+                                total_edges - edges_before,
+                                perf_counter() - replay_started,
+                            )
                         return partials, None
+            if record is not None:
+                _flush_level(
+                    record,
+                    len(next_level),
+                    total_edges - edges_before,
+                    perf_counter() - replay_started,
+                )
             level = next_level
             depth += 1
         return partials, None

@@ -37,6 +37,8 @@ from typing import Callable, Iterable, Mapping
 
 from repro.dms.system import DMS
 from repro.errors import StoreKeyError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.runtime.checkpoint import point_key
 from repro.store.canonical import base_hash, key_digest, schema_hash, system_hash
 from repro.store.capture import DeltaSuccessors, Subgraph, SubgraphRecorder
@@ -138,10 +140,13 @@ def cached_compute(
     except (StoreKeyError, TypeError):
         return compute(None), outcome
     outcome.key = key
-    cached = resolved.load(key)
+    tracer = get_tracer()
+    cached = resolved.load(key, kind=KIND_RESULT)
     if cached is not None:
         outcome.served_from_cache = True
+        tracer.event("store", outcome="hit", kind=KIND_RESULT, graph=graph)
         return cached, outcome
+    tracer.event("store", outcome="miss", kind=KIND_RESULT, graph=graph)
     recorder = None
     successors: Callable | None = None
     delta: DeltaSuccessors | None = None
@@ -160,6 +165,13 @@ def cached_compute(
     if delta is not None:
         outcome.fresh_states = delta.fresh_states
         outcome.reused_states = delta.reused_states
+        registry = get_metrics()
+        if registry.enabled:
+            registry.counter("store_delta_states_total", kind="fresh").inc(delta.fresh_states)
+            registry.counter("store_delta_states_total", kind="reused").inc(delta.reused_states)
+        tracer.event(
+            "store_delta", graph=graph, fresh=delta.fresh_states, reused=delta.reused_states
+        )
     row = {
         "family": system.name,
         "system_hash": content,
@@ -172,7 +184,7 @@ def cached_compute(
         subgraph_parameters = {"payload": "subgraph", "graph": graph, "system": content}
         subgraph_key = key_digest(subgraph_parameters)
         recorded = recorder.subgraph
-        existing = resolved.load(subgraph_key)
+        existing = resolved.load(subgraph_key, kind=KIND_SUBGRAPH)
         if isinstance(existing, Subgraph):
             # Grow the memo monotonically: expansions are deterministic,
             # so the union is consistent by construction.

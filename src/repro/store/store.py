@@ -45,6 +45,7 @@ import time
 from pathlib import Path
 
 from repro.errors import StoreError
+from repro.obs.metrics import resolve_metrics
 
 __all__ = ["KIND_RESULT", "KIND_SUBGRAPH", "ResultStore"]
 
@@ -81,11 +82,26 @@ class ResultStore:
 
     Instances hold no open resources until used and survive ``fork``
     and pickling: the SQLite connection is opened lazily per process.
+
+    Besides the persistent per-entry hit counts in the index, the store
+    keeps **session counters** — per-kind hits/misses/saves and
+    self-repairs since this instance (in this process) was created —
+    surfaced by :meth:`stats` under ``"session"`` and mirrored into the
+    process-wide metrics registry as ``store_lookups_total``,
+    ``store_saves_total`` and ``store_repairs_total``.  Pickling/forking
+    resets them: a forked worker accumulates its own session.
     """
 
     def __init__(self, root: str | Path) -> None:
         self._root = Path(root)
         self._connections: dict[int, sqlite3.Connection] = {}
+        self._reset_session()
+
+    def _reset_session(self) -> None:
+        self._session_hits: dict[str, int] = {}
+        self._session_misses: dict[str, int] = {}
+        self._session_saves: dict[str, int] = {}
+        self._session_repairs = 0
 
     def __getstate__(self) -> dict:
         return {"root": str(self._root)}
@@ -93,6 +109,7 @@ class ResultStore:
     def __setstate__(self, state: dict) -> None:
         self._root = Path(state["root"])
         self._connections = {}
+        self._reset_session()
 
     @property
     def root(self) -> Path:
@@ -177,17 +194,25 @@ class ResultStore:
             ),
         )
         connection.commit()
+        self._session_saves[kind] = self._session_saves.get(kind, 0) + 1
+        registry = resolve_metrics(None)
+        if registry.enabled:
+            registry.counter("store_saves_total", kind=kind).inc()
 
-    def load(self, key: str):
+    def load(self, key: str, kind: str | None = None):
         """The payload stored under ``key``, or ``None`` on a miss.
 
         A stale row (missing blob) or a corrupt blob is self-repaired:
         the entry is discarded and the lookup reports a miss, so the
-        caller recomputes and re-saves.  Hits are counted.
+        caller recomputes and re-saves.  Hits are counted — persistently
+        per entry, and per kind in the session counters (``kind`` labels
+        a miss that has no row to read the kind from; a present row's
+        own kind wins).
         """
         connection = self._connection()
-        row = connection.execute("SELECT blob FROM entries WHERE key = ?", (key,)).fetchone()
+        row = connection.execute("SELECT blob, kind FROM entries WHERE key = ?", (key,)).fetchone()
         if row is None:
+            self._count_lookup(kind or "unknown", "miss")
             return None
         blob_path = self.blob_directory / row[0]
         try:
@@ -195,10 +220,24 @@ class ResultStore:
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError,
                 IndexError, MemoryError, ValueError):
             self.discard(key)
+            self._session_repairs += 1
+            registry = resolve_metrics(None)
+            if registry.enabled:
+                registry.counter("store_repairs_total").inc()
+            self._count_lookup(row[1], "miss")
             return None
         connection.execute("UPDATE entries SET hits = hits + 1 WHERE key = ?", (key,))
         connection.commit()
+        self._count_lookup(row[1], "hit")
         return payload
+
+    def _count_lookup(self, kind: str, outcome: str) -> None:
+        """Bump the session and registry counters for one lookup."""
+        target = self._session_hits if outcome == "hit" else self._session_misses
+        target[kind] = target.get(kind, 0) + 1
+        registry = resolve_metrics(None)
+        if registry.enabled:
+            registry.counter("store_lookups_total", kind=kind, outcome=outcome).inc()
 
     def discard(self, key: str) -> None:
         """Drop one entry (row and blob; missing pieces are fine)."""
@@ -235,7 +274,7 @@ class ResultStore:
             )
         ]
         for key in keys:
-            payload = self.load(key)
+            payload = self.load(key, kind=KIND_SUBGRAPH)
             if payload is not None:
                 return payload
         return None
@@ -262,7 +301,13 @@ class ResultStore:
     # -- introspection ---------------------------------------------------------
 
     def stats(self) -> dict:
-        """Aggregate statistics: entry counts per kind, hits, stored bytes."""
+        """Aggregate statistics: entry counts per kind, hits, stored bytes.
+
+        The ``"session"`` sub-dict holds this instance's in-process
+        per-kind lookup/save counters and self-repair count — what the
+        harness prints under ``--store-stats`` next to the persistent
+        totals.
+        """
         connection = self._connection()
         entries, size, hits = connection.execute(
             "SELECT COUNT(*), COALESCE(SUM(size), 0), COALESCE(SUM(hits), 0) FROM entries"
@@ -277,6 +322,12 @@ class ResultStore:
             "subgraphs": by_kind.get(KIND_SUBGRAPH, 0),
             "hits": hits,
             "bytes": size,
+            "session": {
+                "hits": dict(self._session_hits),
+                "misses": dict(self._session_misses),
+                "saves": dict(self._session_saves),
+                "repairs": self._session_repairs,
+            },
         }
 
     def keys(self) -> list[str]:

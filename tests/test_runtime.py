@@ -659,8 +659,9 @@ def test_cli_streams_checkpoints_and_rejects_unsupported_flags(tmp_path, capsys)
 
     checkpoint = tmp_path / "cli-e9.jsonl"
     assert main(["E9", "--parallel", "2", "--checkpoint", str(checkpoint), "--stream"]) == 0
-    output = capsys.readouterr().out
-    assert "(streaming)" in output and "[E9] point" in output
+    captured = capsys.readouterr()
+    # Per-point progress lines go to stderr; stdout stays pipeline-clean.
+    assert "(streaming)" in captured.out and "[E9] point" in captured.err
     assert checkpoint.exists()
     assert main(["E9", "--checkpoint", str(checkpoint), "--resume"]) == 0
     # Flags an experiment would silently ignore are rejected instead.
@@ -680,8 +681,9 @@ def test_stream_experiment_returns_the_rows_it_prints(capsys):
 
     rows = stream_experiment("E9", "convergence", experiment_e9_convergence, max_depth=3)
     assert rows == experiment_e9_convergence(max_depth=3)
-    output = capsys.readouterr().out
-    assert output.count("[E9] point") == len(rows)
+    captured = capsys.readouterr()
+    # Per-point progress lines go to stderr; stdout carries the header only.
+    assert captured.err.count("[E9] point") == len(rows)
 
 
 # -- explorer integration ------------------------------------------------------
