@@ -1,0 +1,108 @@
+"""E21 — the warm session facade vs cold per-request engine construction.
+
+Gates the point of the service layer's warmth (the service PR's
+acceptance criterion): repeated reachability queries served through one
+warm :class:`repro.api.Session` — pool, workers and the per-``(system,
+graph)`` query context forked once and reused — must be ≥ 2× faster
+than the cold baseline that builds a fresh session (and therefore a
+fresh pool, worker and context) for every request, which is exactly
+what a service without pooling would pay.
+
+Verdicts are compared against the inline library path on every query:
+``results_match`` is asserted **unconditionally** on every host — the
+warm isolated path may never trade correctness for latency.  The timing
+assertion only makes sense where forked workers exist and the pool
+machinery has CPUs to win back: it is skipped on hosts without the
+``fork`` start method, below 2 usable CPUs, or under
+``REPRO_BENCH_QUICK=1`` (tiny inputs are noise-dominated).  Timings and
+rows persist to ``benchmarks/results/BENCH_E21.json`` via the shared
+``run_once`` fixture.
+"""
+
+import os
+import time
+
+from repro.api import ExplorationOptions, Session, run_reachability
+from repro.casestudies.booking import booking_agency_system
+from repro.fol.parser import parse_query
+from repro.harness.reporting import print_experiment
+from repro.search import process_backend_available, usable_cpu_count
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+FORK = process_backend_available()
+CPUS = usable_cpu_count()
+
+_BOOKING = booking_agency_system()
+_CONDITION = parse_query("Exists x. BSubmitted(x)")
+
+
+def _signature(result) -> tuple:
+    """The verdict-relevant fields compared across execution paths."""
+    return (
+        result.reachable,
+        result.configurations_explored,
+        result.edges_explored,
+        result.depth,
+        result.bound,
+    )
+
+
+def warm_vs_cold_session(quick: bool) -> list[dict]:
+    """Repeated isolated queries: fresh session per request vs one warm one."""
+    # Small interactive queries are the service-shaped workload: the
+    # exploration is cheap, so per-request construction dominates the
+    # cold path — which is precisely what the warm session eliminates.
+    repeats = 3 if quick else 10
+    bound, options = 1, ExplorationOptions(max_depth=2)
+    expected = _signature(
+        run_reachability(_BOOKING, _CONDITION, bound=bound, options=options, store=False)
+    )
+    signatures = []
+
+    def query(session: Session) -> None:
+        result = session.run_reachability_isolated(
+            _BOOKING, _CONDITION, bound=bound, options=options
+        )
+        signatures.append(_signature(result))
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        with Session(store=False) as cold:
+            query(cold)  # pool + worker + context built and torn down per request
+    cold_seconds = time.perf_counter() - started
+
+    with Session(store=False) as warm:
+        query(warm)  # fork the warm context outside the timed window
+        signatures.pop()
+        started = time.perf_counter()
+        for _ in range(repeats):
+            query(warm)
+        warm_seconds = time.perf_counter() - started
+
+    results_match = all(signature == expected for signature in signatures)
+    return [
+        {
+            "mode": "cold (session per request)",
+            "repeats": repeats,
+            "seconds": round(cold_seconds, 4),
+            "speedup": 1.0,
+            "results_match": results_match,
+        },
+        {
+            "mode": "warm (one shared session)",
+            "repeats": repeats,
+            "seconds": round(warm_seconds, 4),
+            "speedup": round(cold_seconds / warm_seconds, 2) if warm_seconds else None,
+            "results_match": results_match,
+        },
+    ]
+
+
+def test_e21_warm_session_vs_cold_session(benchmark, run_once):
+    rows = run_once(benchmark, warm_vs_cold_session, QUICK)
+    print_experiment("E21", "Warm session facade vs per-request construction", rows)
+    for row in rows:
+        assert row["results_match"], row
+    if not QUICK and FORK and CPUS >= 2:
+        warm = rows[1]
+        assert warm["speedup"] >= 2.0, warm

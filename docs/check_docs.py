@@ -13,9 +13,10 @@ Three checks, all against the files as committed:
    stripped).
 3. **API docstring audit** — every public module, class, function,
    method and property of the packages in :data:`AUDITED_PACKAGES`
-   (currently ``repro.search``, ``repro.runtime``,
-   ``repro.distributed``, ``repro.store``, ``repro.fuzz`` and
-   ``repro.obs``) must carry a docstring.  A public name without one fails the job, so the engine
+   (currently ``repro.api``, ``repro.search``, ``repro.runtime``,
+   ``repro.distributed``, ``repro.service``, ``repro.store``,
+   ``repro.fuzz`` and ``repro.obs``) must carry a docstring.  A public
+   name without one fails the job, so the engine
    and runtime surface cannot silently grow undocumented API.
 
 Run locally with::
@@ -45,13 +46,16 @@ SNIPPET_FILES = (
     "docs/distributed.md",
     "docs/fuzzing.md",
     "docs/observability.md",
+    "docs/service.md",
 )
 
 # Packages whose public API must be fully documented.
 AUDITED_PACKAGES = (
+    "repro.api",
     "repro.search",
     "repro.runtime",
     "repro.distributed",
+    "repro.service",
     "repro.store",
     "repro.fuzz",
     "repro.obs",

@@ -13,15 +13,20 @@ A from-scratch Python implementation of the framework of
 * the nested-word encoding of b-bounded runs, its validity conditions and
   the MSO-FO -> MSONW translation (:mod:`repro.encoding`),
 * reachability and recency-bounded model checking (:mod:`repro.modelcheck`),
+* the unified facade — options, one query entry point, warm sessions
+  (:mod:`repro.api`) — and the HTTP verification service over it
+  (:mod:`repro.service`),
 * the Appendix D undecidability reductions (:mod:`repro.counter`),
 * the Appendix F model transformations (:mod:`repro.transforms`),
 * case studies, workload generators and the experiment harness
   (:mod:`repro.casestudies`, :mod:`repro.workloads`, :mod:`repro.harness`).
 """
 
+from repro.api import ExplorationOptions, Session, run_reachability
 from repro.database import DatabaseInstance, Fact, Schema, Substitution, VariableDatabase
 from repro.dms import DMS, Action, DMSBuilder
 from repro.modelcheck import (
+    ReachabilityResult,
     RecencyBoundedModelChecker,
     Verdict,
     check_recency_bounded,
@@ -37,10 +42,13 @@ __all__ = [
     "DMS",
     "DMSBuilder",
     "DatabaseInstance",
+    "ExplorationOptions",
     "Fact",
+    "ReachabilityResult",
     "RecencyBoundedModelChecker",
     "RecencyBoundedRun",
     "Schema",
+    "Session",
     "Substitution",
     "SymbolicLabel",
     "Verdict",
@@ -51,4 +59,5 @@ __all__ = [
     "concretize_word",
     "proposition_reachable",
     "proposition_reachable_bounded",
+    "run_reachability",
 ]

@@ -484,22 +484,26 @@ class DistributedEngine:
         self,
         initial: Any,
         predicate: Callable[[Any], bool],
+        on_state: Callable[[Any, int], None] | None = None,
     ) -> tuple[list | None, SearchResult]:
         """Search for a state satisfying ``predicate``.
 
         Same contract as :meth:`ShardedEngine.search
         <repro.search.sharded.ShardedEngine.search>`: the witness is the
         one single-shard BFS finds, reconstructed from the merged parent
-        map.
+        map.  ``on_state`` fires coordinator-side in global discovery
+        order for each newly interned state.
         """
-        return self._run_with_recovery(lambda: self._search_once(initial, predicate))
+        return self._run_with_recovery(
+            lambda: self._search_once(initial, predicate, on_state=on_state)
+        )
 
     def _explore_once(self, initial, on_state=None) -> SearchResult:
         run = self._run_levels(initial, on_state=on_state)
         return self._collect_merged(initial, run)
 
-    def _search_once(self, initial, predicate) -> tuple[list | None, SearchResult]:
-        run = self._run_levels(initial, predicate=predicate)
+    def _search_once(self, initial, predicate, on_state=None) -> tuple[list | None, SearchResult]:
+        run = self._run_levels(initial, predicate=predicate, on_state=on_state)
         merged = self._collect_merged(initial, run)
         if run["hit"] is None:
             return None, merged
@@ -618,11 +622,11 @@ class DistributedEngine:
             "truncated": False,
             "hit": None,
         }
+        if on_state is not None:
+            on_state(initial, 0)
         if predicate is not None and predicate(initial):
             run["hit"] = (initial, None)
             return run
-        if predicate is None and on_state is not None:
-            on_state(initial, 0)
 
         level: list[tuple[int, int]] = [(root_owner, root_local)]
         depth = 0
@@ -847,7 +851,7 @@ class DistributedEngine:
         news.sort()
         run["edges_total"] += count_cut + 1 if walk else 0
         run["states_total"] += len(news)
-        if predicate is None and on_state is not None:
+        if on_state is not None:
             for pos, _ in news:
                 on_state(walk[pos][1].target, depth + 1)
         if outcome is not None and outcome[0] == "hit":

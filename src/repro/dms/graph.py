@@ -296,16 +296,21 @@ class ConfigurationGraphExplorer:
         return ExplorationResult.from_search(search)
 
     def find_configuration(
-        self, predicate: Callable[[Configuration], bool]
+        self,
+        predicate: Callable[[Configuration], bool],
+        on_configuration: Callable[[Configuration, int], None] | None = None,
     ) -> tuple[ExtendedRun | None, ExplorationResult]:
         """Search for a configuration satisfying ``predicate``.
 
         Returns the witnessing extended run (or ``None``) together with the
         exploration statistics.  Under the default breadth-first strategy
         the witness has minimal length; it is reconstructed from the
-        engine's parent map.
+        engine's parent map.  ``on_configuration`` fires with each newly
+        discovered configuration and its depth, in discovery order.
         """
-        path, search = self._engine().search(initial_configuration(self._system), predicate)
+        path, search = self._engine().search(
+            initial_configuration(self._system), predicate, on_configuration
+        )
         result = ExplorationResult.from_search(search)
         if path is None:
             return None, result

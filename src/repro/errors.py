@@ -98,6 +98,23 @@ class StoreKeyError(StoreError):
     an unkeyable component such as a search heuristic)."""
 
 
+class SessionError(ReproError):
+    """The session facade (:class:`repro.api.Session`) was misused."""
+
+
+class QueryTimeoutError(SessionError):
+    """An isolated query outlived its wall-clock budget (its worker was
+    killed; the session stays healthy)."""
+
+
+class ServiceError(ReproError):
+    """The verification service was misconfigured or misused."""
+
+
+class AdmissionError(ServiceError):
+    """A request was rejected by admission control (service at capacity)."""
+
+
 class TransformError(ReproError):
     """A model transformation (Appendix F) cannot be applied."""
 

@@ -455,14 +455,25 @@ def experiment_e10_booking(max_depth: int = 5) -> list[dict]:
             "value": exploration.configuration_count,
         }
     )
-    offer_available = proposition_reachable_bounded(
-        system, _exists_state_query("OAvail"), bound=4, max_depth=max_depth
-    )
-    rows.append({"quantity": "an offer becomes available", "value": offer_available.found})
-    booking_drafting = proposition_reachable_bounded(
-        system, _exists_state_query("BDrafting"), bound=5, max_depth=max_depth + 1
-    )
-    rows.append({"quantity": "a booking reaches drafting", "value": booking_drafting.found})
+    # Both lifecycle queries share one warm facade session (the same
+    # surface the verification service holds for its whole lifespan).
+    from repro.api import ExplorationOptions, Session
+
+    with Session() as session:
+        offer_available = session.run_reachability(
+            system,
+            _exists_state_query("OAvail"),
+            bound=4,
+            options=ExplorationOptions(max_depth=max_depth),
+        )
+        rows.append({"quantity": "an offer becomes available", "value": offer_available.found})
+        booking_drafting = session.run_reachability(
+            system,
+            _exists_state_query("BDrafting"),
+            bound=5,
+            options=ExplorationOptions(max_depth=max_depth + 1),
+        )
+        rows.append({"quantity": "a booking reaches drafting", "value": booking_drafting.found})
     rows.append(
         {
             "quantity": "actions / relations in the model",

@@ -1,78 +1,44 @@
-"""Reachability analysis for DMSs.
+"""Reachability analysis for DMSs (legacy keyword surface).
 
 Propositional reachability (Example 4.2) asks whether some execution
 reaches an instance where a given proposition holds.  The problem is
-undecidable in general (Theorem 4.1); the library offers
+undecidable in general (Theorem 4.1); the library offers bounded-depth
+reachability in the unbounded semantics and in the b-bounded semantics,
+both returning three-valued
+:class:`~repro.modelcheck.result.ReachabilityResult`.
 
-* bounded-depth reachability in the unbounded semantics
-  (:func:`proposition_reachable`), and
-* bounded-depth reachability in the b-bounded semantics
-  (:func:`proposition_reachable_bounded`),
+.. deprecated::
+    The four functions of this module are thin shims over the unified
+    facade — :func:`repro.api.run_reachability` with
+    :class:`repro.api.ExplorationOptions` — which is where verdicts,
+    truncation semantics, witnesses and content-store keys are defined.
+    They remain supported (the whole test matrix runs through them) and
+    produce bit-identical results, but new code should call the facade:
+    ``bound=None`` replaces :func:`query_reachable`, an integer bound
+    replaces :func:`query_reachable_bounded`, and a proposition name as
+    the condition replaces the two ``proposition_*`` variants.  Warm
+    repeated querying (the HTTP service, experiment loops) should go
+    through :class:`repro.api.Session`.
 
-both returning three-valued :class:`~repro.modelcheck.result.ReachabilityResult`.
-
-All queries route through the unified exploration engine
-(:mod:`repro.search`).  The ``strategy`` argument selects the frontier
-(``"bfs"`` — the default, guaranteeing minimal witnesses — ``"dfs"`` or
-``"best-first"`` with a ``heuristic``); witnesses are reconstructed from
-the engine's parent map, so only one spanning-tree edge per discovered
-configuration is retained instead of the full edge list.
-
-Truncation contract: whenever the exploration is cut short by
-``max_configurations``/``max_steps`` — even exactly on the last
-generated successor — an unreached condition is reported
-:attr:`~repro.modelcheck.result.Verdict.UNKNOWN`, never
-:attr:`~repro.modelcheck.result.Verdict.FAILS`.
-
-Every entry point accepts ``pool=`` (a :class:`repro.runtime.WorkerPool`):
-for *sharded* queries (``shards`` or ``workers`` above 1) repeated calls
-over the same system then reuse warm expansion workers instead of
-forking a pool per call.  Single-shard queries expand in-process and
-ignore the pool.  ``shared_interning=`` selects id-only expansion
-traffic through a shared-memory state store
-(:mod:`repro.search.shm_interning`; default auto — on whenever worker
-processes expand and shared memory is available).  Verdicts are
-unaffected either way.
-
-``nodes=``/``transport=`` lift a query onto the two-level distributed
-engine (:mod:`repro.distributed`): with ``nodes > 1`` each node agent
-owns the intern table of its hash-partition (``shards``/``workers``
-then configure each node locally), the default transport forks a
-localhost TCP cluster, and a :class:`repro.distributed.Coordinator`
-reaches externally started agents.  Verdicts and witnesses stay
-bit-identical to the single-node query.
-
-``store=`` serves queries through the content-addressed result store
-(:mod:`repro.store`): pass a directory path or a
-:class:`repro.store.ResultStore` (``None`` consults the ``REPRO_STORE``
-environment variable, ``False`` disables the store).  A repeat query is
-answered in O(lookup) with a result bit-identical to the cold
-exploration — verdict, counts, depth and witness included.  Keys are
-content hashes of the system plus everything that determines the result
-(condition, limits, strategy, retention); sharding/worker/node knobs
-are excluded, since they never change results.  Single-shard queries
-additionally record their explored subgraph, so a later query over a
-*modified* system re-explores only what changed (delta verification).
-``best-first`` queries bypass the store — a heuristic callable has no
-content address.
+Everything documented here — the truncation contract (a cut-short
+exploration reports ``UNKNOWN``, never ``FAILS``), ``pool=`` lending
+warm expansion workers to sharded queries, ``shared_interning=``,
+``nodes=``/``transport=`` lifting a query onto the distributed engine,
+and ``store=`` serving repeat queries bit-identically from the
+content-addressed result store — holds unchanged; the semantics live in
+:mod:`repro.api.query`.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.database.instance import DatabaseInstance
-from repro.dms.graph import ConfigurationGraphExplorer, ExplorationLimits
-from repro.dms.semantics import enumerate_successors
+from repro.dms.graph import ExplorationLimits
 from repro.dms.system import DMS
-from repro.errors import ModelCheckingError
-from repro.fol.evaluator import evaluate_sentence
 from repro.fol.syntax import Query
-from repro.modelcheck.result import ReachabilityResult, Verdict
-from repro.recency.explorer import RecencyExplorationLimits, RecencyExplorer
-from repro.recency.semantics import enumerate_b_bounded_successors
+from repro.modelcheck.result import ReachabilityResult
+from repro.recency.explorer import RecencyExplorationLimits
 from repro.search import RETAIN_PARENTS
-from repro.store.service import cached_compute
 
 __all__ = [
     "query_reachable",
@@ -82,26 +48,19 @@ __all__ = [
 ]
 
 
-def _condition_key(condition: Query | str) -> str:
-    """The canonical key component of a reachability condition.
+def _options(limits, max_depth: int, **knobs):
+    """The facade options equivalent to one legacy keyword surface.
 
-    Proposition names and query renderings live in disjoint namespaces
-    (``p:``/``q:`` prefixes), so a proposition named like a query text
-    can never collide with that query.
+    The facade is imported lazily: this module is imported during
+    ``repro.modelcheck`` package initialisation, and :mod:`repro.api`
+    imports ``repro.modelcheck.result`` — a module-level import here
+    would deadlock whichever package initialises second.
     """
-    if isinstance(condition, str):
-        return f"p:{condition}"
-    return f"q:{condition}"
+    from repro.api.options import ExplorationOptions
 
-
-def _instance_predicate(condition: Query | str, system: DMS) -> Callable[[DatabaseInstance], bool]:
-    if isinstance(condition, str):
-        name = condition
-        system.schema.relation(name)
-        return lambda instance: instance.holds_proposition(name)
-    if not condition.is_sentence():
-        raise ModelCheckingError("reachability conditions must be boolean queries (sentences)")
-    return lambda instance: evaluate_sentence(condition, instance)
+    if limits is not None:
+        return ExplorationOptions.from_limits(limits, **knobs)
+    return ExplorationOptions(max_depth=max_depth, **knobs)
 
 
 def query_reachable(
@@ -123,76 +82,24 @@ def query_reachable(
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable (unbounded semantics)?
 
-    ``condition`` is either a boolean FOL(R) query or a proposition name.
-    The exploration is canonical (fresh values are the least unused
-    standard names) and bounded by ``max_depth``; ``strategy``,
-    ``retention`` and the ``shards``/``workers`` partitioning of the
-    sharded engine are passed through to the exploration.  Sharded
-    explorations return bit-identical verdicts and witnesses; a
-    truncated exploration (any shard) reports ``UNKNOWN``, never
-    ``FAILS``.  ``store`` serves repeat queries from the
-    content-addressed result store (see the module docs).
+    Shim over :func:`repro.api.run_reachability` with ``bound=None``
+    (see the module docs); results are bit-identical to the facade's.
     """
-    predicate = _instance_predicate(condition, system)
-    effective = limits or ExplorationLimits(max_depth=max_depth)
+    from repro.api.query import run_reachability
 
-    def compute(successors) -> ReachabilityResult:
-        explorer = ConfigurationGraphExplorer(
-            system,
-            effective,
-            strategy=strategy,
-            heuristic=heuristic,
-            retention=retention,
-            shards=shards,
-            workers=workers,
-            pool=pool,
-            shared_interning=shared_interning,
-            nodes=nodes,
-            transport=transport,
-            successors=successors,
-        )
-        witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
-        if witness is not None:
-            verdict = Verdict.HOLDS
-        elif stats.truncated or stats.depth_reached >= explorer.limits.max_depth:
-            verdict = Verdict.UNKNOWN
-        else:
-            verdict = Verdict.FAILS
-        return ReachabilityResult(
-            reachable=verdict,
-            witness=witness,
-            configurations_explored=stats.configuration_count,
-            edges_explored=stats.edge_count,
-            depth=explorer.limits.max_depth,
-            bound=None,
-        )
-
-    single_shard = shards == 1 and workers == 1 and nodes == 1
-    result, _ = cached_compute(
-        store=store,
-        system=system,
-        graph="dms",
-        parameters={
-            "payload": "reachability",
-            "condition": _condition_key(condition),
-            "max_depth": effective.max_depth,
-            "max_configurations": effective.max_configurations,
-            "max_steps": effective.max_steps,
-            "strategy": strategy,
-            "retention": retention,
-        },
-        compute=compute,
-        capture_base=(
-            (lambda configuration: enumerate_successors(system, configuration))
-            if single_shard else None
-        ),
-        enumerate_subset=(
-            (lambda configuration, actions: enumerate_successors(system, configuration, actions))
-            if single_shard else None
-        ),
-        cacheable=heuristic is None,
+    options = _options(
+        limits,
+        max_depth,
+        strategy=strategy,
+        heuristic=heuristic,
+        retention=retention,
+        shards=shards,
+        workers=workers,
+        shared_interning=shared_interning,
+        nodes=nodes,
+        transport=transport,
     )
-    return result
+    return run_reachability(system, condition, bound=None, options=options, pool=pool, store=store)
 
 
 def proposition_reachable(
@@ -212,7 +119,11 @@ def proposition_reachable(
     transport=None,
     store=None,
 ) -> ReachabilityResult:
-    """Propositional reachability (Example 4.2) in the unbounded semantics."""
+    """Propositional reachability (Example 4.2) in the unbounded semantics.
+
+    Shim over :func:`repro.api.run_reachability` (a proposition name is
+    a valid facade condition).
+    """
     return query_reachable(
         system,
         proposition,
@@ -251,76 +162,24 @@ def query_reachable_bounded(
 ) -> ReachabilityResult:
     """Is an instance satisfying ``condition`` reachable along a b-bounded run?
 
-    ``shards``/``workers`` select the sharded engine (bit-identical
-    results; any-shard truncation reports ``UNKNOWN``, never ``FAILS``).
-    ``store`` serves repeat queries from the content-addressed result
-    store (see the module docs).
+    Shim over :func:`repro.api.run_reachability` with an integer bound
+    (see the module docs); results are bit-identical to the facade's.
     """
-    predicate = _instance_predicate(condition, system)
-    effective = limits or RecencyExplorationLimits(max_depth=max_depth)
+    from repro.api.query import run_reachability
 
-    def compute(successors) -> ReachabilityResult:
-        explorer = RecencyExplorer(
-            system,
-            bound,
-            effective,
-            strategy=strategy,
-            heuristic=heuristic,
-            retention=retention,
-            shards=shards,
-            workers=workers,
-            pool=pool,
-            shared_interning=shared_interning,
-            nodes=nodes,
-            transport=transport,
-            successors=successors,
-        )
-        witness, stats = explorer.find_configuration(lambda conf: predicate(conf.instance))
-        if witness is not None:
-            verdict = Verdict.HOLDS
-        elif stats.truncated or stats.depth_reached >= explorer.limits.max_depth:
-            verdict = Verdict.UNKNOWN
-        else:
-            verdict = Verdict.FAILS
-        return ReachabilityResult(
-            reachable=verdict,
-            witness=witness,
-            configurations_explored=stats.configuration_count,
-            edges_explored=stats.edge_count,
-            depth=explorer.limits.max_depth,
-            bound=bound,
-        )
-
-    single_shard = shards == 1 and workers == 1 and nodes == 1
-    result, _ = cached_compute(
-        store=store,
-        system=system,
-        graph=f"recency:{bound}",
-        parameters={
-            "payload": "reachability",
-            "condition": _condition_key(condition),
-            "max_depth": effective.max_depth,
-            "max_configurations": effective.max_configurations,
-            "max_steps": effective.max_steps,
-            "strategy": strategy,
-            "retention": retention,
-        },
-        compute=compute,
-        capture_base=(
-            (lambda configuration: enumerate_b_bounded_successors(system, configuration, bound))
-            if single_shard else None
-        ),
-        enumerate_subset=(
-            (
-                lambda configuration, actions: enumerate_b_bounded_successors(
-                    system, configuration, bound, actions
-                )
-            )
-            if single_shard else None
-        ),
-        cacheable=heuristic is None,
+    options = _options(
+        limits,
+        max_depth,
+        strategy=strategy,
+        heuristic=heuristic,
+        retention=retention,
+        shards=shards,
+        workers=workers,
+        shared_interning=shared_interning,
+        nodes=nodes,
+        transport=transport,
     )
-    return result
+    return run_reachability(system, condition, bound=bound, options=options, pool=pool, store=store)
 
 
 def proposition_reachable_bounded(
@@ -341,7 +200,11 @@ def proposition_reachable_bounded(
     transport=None,
     store=None,
 ) -> ReachabilityResult:
-    """Propositional reachability restricted to b-bounded runs."""
+    """Propositional reachability restricted to b-bounded runs.
+
+    Shim over :func:`repro.api.run_reachability` (a proposition name is
+    a valid facade condition).
+    """
     return query_reachable_bounded(
         system,
         proposition,

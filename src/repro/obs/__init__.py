@@ -29,6 +29,7 @@ metric name catalogue and the span hierarchy.
 """
 
 from repro.obs.metrics import (
+    EXPOSITION_CONTENT_TYPE,
     NULL_REGISTRY,
     Counter,
     Gauge,
@@ -52,6 +53,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "EXPOSITION_CONTENT_TYPE",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "Counter",

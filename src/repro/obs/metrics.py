@@ -36,6 +36,7 @@ from typing import Any
 
 __all__ = [
     "Counter",
+    "EXPOSITION_CONTENT_TYPE",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -45,6 +46,10 @@ __all__ = [
     "resolve_metrics",
     "set_global_registry",
 ]
+
+#: The media type of :meth:`MetricsRegistry.exposition` output (what the
+#: service layer's ``/metrics`` endpoint declares).
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _label_key(labels: dict) -> tuple:

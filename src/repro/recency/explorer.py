@@ -293,17 +293,20 @@ class RecencyExplorer:
         return RecencyExplorationResult.from_search(self._bound, search)
 
     def find_configuration(
-        self, predicate: Callable[[RecencyConfiguration], bool]
+        self,
+        predicate: Callable[[RecencyConfiguration], bool],
+        on_configuration: Callable[[RecencyConfiguration, int], None] | None = None,
     ) -> tuple[RecencyBoundedRun | None, RecencyExplorationResult]:
         """Search for a configuration satisfying ``predicate``.
 
         Returns a witnessing b-bounded run prefix (or ``None``) plus
         exploration statistics.  Under the default breadth-first strategy
         the witness is minimal; it is reconstructed from the engine's
-        parent map.
+        parent map.  ``on_configuration`` fires with each newly
+        discovered configuration and its depth, in discovery order.
         """
         path, search = self._engine().search(
-            initial_recency_configuration(self._system), predicate
+            initial_recency_configuration(self._system), predicate, on_configuration
         )
         result = RecencyExplorationResult.from_search(self._bound, search)
         if path is None:

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 import weakref
 from collections import deque
@@ -571,6 +572,11 @@ class WorkerPool:
         self._leases: dict = {}  # auto-keyed context -> outstanding backend leases
         self._stores: dict = {}  # context key -> SharedStateStore (same lifetime)
         self._closed = False
+        # Registry mutations (context creation/upgrade, lease counting,
+        # release) are serialised so concurrent sessions may share one
+        # pool; reentrant because release() runs under _release_lease's
+        # hold, and a GC-triggered finalizer may fire mid-creation.
+        self._registry_lock = threading.RLock()
         self._finalizer = weakref.finalize(self, _shutdown_pool, self._contexts, self._stores)
 
     def uses_processes(self, workers: int | None = None) -> bool:
@@ -591,25 +597,26 @@ class WorkerPool:
         later request would fork (``fn`` must match the key's semantics,
         as always).
         """
-        if self._closed:
-            raise WorkerPoolError("the worker pool has been shut down")
-        count = workers or self._default_workers
-        existing = self._contexts.get(key)
-        if existing is not None:
-            if not (isinstance(existing, SerialWorkerContext) and self.uses_processes(count)):
-                existing.grow(count)
-                return existing
-            existing.shutdown()  # upgrade: replace the serial stand-in with real workers
-        if self.uses_processes(count):
-            import multiprocessing
+        with self._registry_lock:
+            if self._closed:
+                raise WorkerPoolError("the worker pool has been shut down")
+            count = workers or self._default_workers
+            existing = self._contexts.get(key)
+            if existing is not None:
+                if not (isinstance(existing, SerialWorkerContext) and self.uses_processes(count)):
+                    existing.grow(count)
+                    return existing
+                existing.shutdown()  # upgrade: replace the serial stand-in with real workers
+            if self.uses_processes(count):
+                import multiprocessing
 
-            created = ProcessWorkerContext(
-                key, fn, count, multiprocessing.get_context("fork"), metrics=self._metrics
-            )
-        else:
-            created = SerialWorkerContext(key, fn, metrics=self._metrics)
-        self._contexts[key] = created
-        return created
+                created = ProcessWorkerContext(
+                    key, fn, count, multiprocessing.get_context("fork"), metrics=self._metrics
+                )
+            else:
+                created = SerialWorkerContext(key, fn, metrics=self._metrics)
+            self._contexts[key] = created
+            return created
 
     def expansion_backend(
         self,
@@ -642,21 +649,22 @@ class WorkerPool:
         """
         auto = key is None
         context_key = ("expand", id(successors)) if auto else key
-        store = self._store_for(context_key, workers)
-        backend = PooledExpansionBackend(
-            self.context(
-                context_key,
-                _expansion_fn(successors, store.name if store is not None else None),
-                workers,
-            ),
-            store=store if shared_interning is not False else None,
-        )
-        if auto:
-            # Auto contexts are lease-counted: several backends over the
-            # same closure share one context, torn down when the last
-            # lease is dropped (by close() or by garbage collection).
-            self._leases[context_key] = self._leases.get(context_key, 0) + 1
-            backend._finalizer = weakref.finalize(backend, self._release_lease, context_key)
+        with self._registry_lock:
+            store = self._store_for(context_key, workers)
+            backend = PooledExpansionBackend(
+                self.context(
+                    context_key,
+                    _expansion_fn(successors, store.name if store is not None else None),
+                    workers,
+                ),
+                store=store if shared_interning is not False else None,
+            )
+            if auto:
+                # Auto contexts are lease-counted: several backends over the
+                # same closure share one context, torn down when the last
+                # lease is dropped (by close() or by garbage collection).
+                self._leases[context_key] = self._leases.get(context_key, 0) + 1
+                backend._finalizer = weakref.finalize(backend, self._release_lease, context_key)
         return backend
 
     def _store_for(self, context_key: Any, workers: int | None) -> SharedStateStore | None:
@@ -725,9 +733,10 @@ class WorkerPool:
         leased with it) is unlinked after the workers stop.  Returns
         whether a context was released; tolerant of unknown keys.
         """
-        self._leases.pop(key, None)
-        context = self._contexts.pop(key, None)
-        store = self._stores.pop(key, None)
+        with self._registry_lock:
+            self._leases.pop(key, None)
+            context = self._contexts.pop(key, None)
+            store = self._stores.pop(key, None)
         if context is not None:
             context.shutdown()
         if store is not None:
@@ -736,13 +745,14 @@ class WorkerPool:
 
     def _release_lease(self, key: Any) -> None:
         """Drop one auto-key lease; tear the context down on the last one."""
-        outstanding = self._leases.get(key)
-        if outstanding is None:
-            return  # context already force-released or shut down
-        if outstanding > 1:
-            self._leases[key] = outstanding - 1
-        else:
-            self.release(key)
+        with self._registry_lock:
+            outstanding = self._leases.get(key)
+            if outstanding is None:
+                return  # context already force-released or shut down
+            if outstanding > 1:
+                self._leases[key] = outstanding - 1
+                return
+        self.release(key)
 
     def _context_of(self, key: Any):
         context = self._contexts.get(key)

@@ -497,6 +497,7 @@ class Engine:
         self,
         initial: Any,
         predicate: Callable[[Any], bool],
+        on_state: Callable[[Any, int], None] | None = None,
     ) -> tuple[list | None, SearchResult]:
         """Search for a state satisfying ``predicate``.
 
@@ -506,11 +507,16 @@ class Engine:
         satisfying state was found within the limits).  The parent map
         is always retained so the witness can be reconstructed; under
         the ``"bfs"`` strategy it is a minimal-length witness.
+
+        ``on_state`` is invoked with each newly discovered canonical
+        state and its discovery depth, exactly as under :meth:`explore`
+        (the state satisfying the predicate terminates the search before
+        it is interned, so it never fires the callback).
         """
         registry = resolve_metrics(self._metrics)
         started = perf_counter()
         with get_tracer().span("search", engine="single", strategy=self._strategy):
-            path, result = self._search(initial, predicate)
+            path, result = self._search(initial, predicate, on_state)
         if registry.enabled:
             _record_exploration(registry, "single", result, perf_counter() - started)
         return path, result
@@ -519,6 +525,7 @@ class Engine:
         self,
         initial: Any,
         predicate: Callable[[Any], bool],
+        on_state: Callable[[Any, int], None] | None = None,
     ) -> tuple[list | None, SearchResult]:
         """The uninstrumented predicate-search loop behind :meth:`search`."""
         keep_edges = self._retention == RETAIN_FULL
@@ -526,6 +533,8 @@ class Engine:
         table = result.interning
         root_id, root, _ = table.intern(initial)
         result.initial = root
+        if on_state:
+            on_state(root, 0)
         if predicate(root):
             return [], result
         frontier = make_frontier(self._strategy, self._heuristic)
@@ -555,6 +564,8 @@ class Engine:
                 if is_new:
                     depths[target_id] = depth + 1
                     result.parents[target_id] = (state_id, edge)
+                    if on_state:
+                        on_state(target, depth + 1)
                     frontier.push(target_id, depth + 1, target)
                 elif depth + 1 < depths[target_id]:
                     depths[target_id] = depth + 1

@@ -779,6 +779,7 @@ class ShardedEngine:
         self,
         initial: Any,
         predicate: Callable[[Any], bool],
+        on_state: Callable[[Any, int], None] | None = None,
     ) -> tuple[list | None, SearchResult]:
         """Search for a state satisfying ``predicate``.
 
@@ -786,13 +787,15 @@ class ShardedEngine:
         ``(witness_path, merged_result)``; the parent map is maintained
         in every retention mode, and the breadth-first replay makes the
         witness minimal and identical to the single-shard one.
+        ``on_state`` fires in global discovery order for each newly
+        interned state, exactly as the single-shard engine fires it.
         """
         if self._distributed_active():
-            return self._distributed().search(initial, predicate)
+            return self._distributed().search(initial, predicate, on_state=on_state)
         registry = resolve_metrics(self._metrics)
         started = perf_counter()
         with get_tracer().span("search", engine="sharded", shards=self._shards):
-            partials, hit = self._run(initial, predicate=predicate)
+            partials, hit = self._run(initial, predicate=predicate, on_state=on_state)
             merged = self._merged(partials, initial)
         if registry.enabled:
             registry.counter("engine_explorations_total", engine="sharded").inc()
@@ -871,10 +874,10 @@ class ShardedEngine:
         partials[root_shard].depths[root_local] = 0
         if record is not None:
             record.counter("engine_states_total", kind="interned").inc()
+        if on_state is not None:
+            on_state(root, 0)
         if predicate is not None and predicate(root):
             return partials, (root, None)
-        if predicate is None and on_state is not None:
-            on_state(root, 0)
         total_edges = 0
         level = [root_id]
         depth = 0
@@ -945,7 +948,7 @@ class ShardedEngine:
                                 source_local if source_local is not None else -1,
                                 edge,
                             )
-                        if predicate is None and on_state is not None:
+                        if on_state is not None:
                             on_state(target, depth + 1)
                         next_level.append(target_id)
                     if len(table) >= limits.max_configurations or total_edges >= limits.max_steps:

@@ -1,0 +1,35 @@
+"""Verification as a service: streaming queries over the warm runtime.
+
+This package lifts the library's verification entry points onto an HTTP
+surface without adding a hard dependency: the application
+(:mod:`repro.service.app`) is written against the plain ASGI protocol
+(:mod:`repro.service.asgi`), so building and testing it needs only the
+standard library, while *serving* it over real sockets uses any ASGI
+server — install the ``repro[service]`` extra for ``uvicorn`` and run
+``python -m repro.service``.
+
+One warm :class:`~repro.service.sessions.SessionManager` lives for the
+app's whole lifespan.  It owns a :class:`repro.api.Session`, whose
+worker pool keys warm query engines by case study and successor
+function; concurrent requests over the same system share those engines,
+and per-request isolation (worker-killing timeouts) comes from the
+session's pooled execution path.  Reachability and convergence queries
+stream progress as Server-Sent Events (``ready`` → ``progress`` →
+``final``); admission control sheds load with 429 instead of queueing.
+
+See ``docs/service.md`` for the endpoint reference, the SSE contract
+and deployment recipes.
+"""
+
+from repro.service.app import ServiceConfig, create_app, result_payload
+from repro.service.sessions import DEFAULT_CASE_STUDIES, SessionManager
+from repro.service.testing import AsgiClient
+
+__all__ = [
+    "AsgiClient",
+    "DEFAULT_CASE_STUDIES",
+    "ServiceConfig",
+    "SessionManager",
+    "create_app",
+    "result_payload",
+]

@@ -1,0 +1,241 @@
+"""A minimal ASGI toolkit for the verification service.
+
+The service targets the plain `ASGI 3.0`_ protocol rather than a web
+framework: the container this library supports ships no ``fastapi`` or
+``starlette``, and the hard dependency rule is that everything —
+including the full service test suite — must run on the standard
+library alone.  This module provides the few pieces the service needs:
+
+* :class:`Request` / :class:`Response` — one HTTP exchange, with JSON
+  helpers;
+* :func:`sse_event` — one Server-Sent-Events frame
+  (``event: <name>\\ndata: <json>\\n\\n``);
+* :class:`App` — an ASGI application with exact-path routing, lifespan
+  startup/shutdown hooks and uniform JSON error rendering.
+
+Any ASGI server (``uvicorn`` via the ``repro[service]`` extra) can
+serve an :class:`App`; the in-process test client
+(:mod:`repro.service.testing`) drives it with no server and no sockets.
+
+.. _ASGI 3.0: https://asgi.readthedocs.io/en/latest/specs/main.html
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from typing import AsyncIterator, Awaitable, Callable
+from urllib.parse import parse_qs
+
+from repro.errors import AdmissionError, QueryTimeoutError, ReproError, ServiceError
+
+__all__ = ["App", "Request", "Response", "json_response", "sse_event"]
+
+
+def sse_event(event: str, data) -> bytes:
+    """One Server-Sent-Events frame: ``event: <name>`` + JSON ``data`` line."""
+    return f"event: {event}\ndata: {json.dumps(data, sort_keys=True)}\n\n".encode("utf-8")
+
+
+class Request:
+    """One HTTP request: the ASGI scope plus the fully received body."""
+
+    def __init__(self, scope: dict, body: bytes) -> None:
+        self.scope = scope
+        self.body = body
+
+    @property
+    def method(self) -> str:
+        """The request method (upper-case)."""
+        return self.scope["method"]
+
+    @property
+    def path(self) -> str:
+        """The request path."""
+        return self.scope["path"]
+
+    @property
+    def query(self) -> dict[str, str]:
+        """Query-string parameters (last value wins)."""
+        raw = self.scope.get("query_string", b"").decode("utf-8")
+        return {key: values[-1] for key, values in parse_qs(raw).items()}
+
+    def json(self) -> dict:
+        """The request body parsed as a JSON object.
+
+        Raises:
+            ServiceError: on an empty body, malformed JSON or a non-object
+                payload (rendered as HTTP 400 by :class:`App`).
+        """
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"request body is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+
+class Response:
+    """One HTTP response: status, headers and a body (bytes or a stream).
+
+    A bytes body is sent as one ASGI message; an async-iterator body is
+    streamed chunk by chunk (the SSE endpoints), with ``more_body``
+    cleared on the final message.
+    """
+
+    def __init__(
+        self,
+        status: int = 200,
+        *,
+        body: bytes | AsyncIterator[bytes] = b"",
+        content_type: str = "application/json",
+        headers: list[tuple[str, str]] | None = None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.headers = [("content-type", content_type)] + list(headers or [])
+
+    async def send(self, send: Callable[[dict], Awaitable[None]]) -> None:
+        """Emit this response as ASGI ``http.response.*`` messages."""
+        await send(
+            {
+                "type": "http.response.start",
+                "status": self.status,
+                "headers": [
+                    (name.encode("latin-1"), value.encode("latin-1"))
+                    for name, value in self.headers
+                ],
+            }
+        )
+        if isinstance(self.body, bytes):
+            await send({"type": "http.response.body", "body": self.body, "more_body": False})
+            return
+        async for chunk in self.body:
+            await send({"type": "http.response.body", "body": chunk, "more_body": True})
+        await send({"type": "http.response.body", "body": b"", "more_body": False})
+
+
+def json_response(
+    payload, status: int = 200, *, headers: list[tuple[str, str]] | None = None
+) -> Response:
+    """A ``Response`` carrying ``payload`` as sorted-key JSON."""
+    return Response(
+        status,
+        body=json.dumps(payload, sort_keys=True).encode("utf-8"),
+        headers=headers,
+    )
+
+
+def _error_response(error: BaseException) -> Response:
+    """The uniform JSON rendering of a handler failure.
+
+    Library errors map to meaningful statuses — admission rejections to
+    429 (with ``Retry-After``), query timeouts to 504, other
+    :class:`~repro.errors.ReproError` misuse to 400 — and anything else
+    to a 500 carrying the exception type.
+    """
+    if isinstance(error, AdmissionError):
+        return json_response(
+            {"error": str(error), "kind": "admission"},
+            status=429,
+            headers=[("retry-after", "1")],
+        )
+    if isinstance(error, QueryTimeoutError):
+        return json_response({"error": str(error), "kind": "timeout"}, status=504)
+    if isinstance(error, ReproError):
+        return json_response(
+            {"error": str(error), "kind": type(error).__name__}, status=400
+        )
+    traceback.print_exception(error)
+    return json_response(
+        {"error": str(error), "kind": type(error).__name__}, status=500
+    )
+
+
+class App:
+    """An ASGI application with exact-path routes and lifespan hooks.
+
+    Routes are registered with :meth:`route` under ``(method, path)``;
+    there are no path parameters (the service API does not need them).
+    ``on_startup``/``on_shutdown`` callables run inside the lifespan
+    protocol — a served app warms its sessions before the first request
+    and tears them down when the server exits; the test client drives
+    the same protocol in-process.
+    """
+
+    def __init__(self) -> None:
+        self._routes: dict[tuple[str, str], Callable[[Request], Awaitable[Response]]] = {}
+        self._on_startup: list[Callable[[], None]] = []
+        self._on_shutdown: list[Callable[[], None]] = []
+        self.state: dict = {}
+
+    def route(self, method: str, path: str):
+        """Decorator registering an async handler under ``(method, path)``."""
+
+        def register(handler: Callable[[Request], Awaitable[Response]]):
+            self._routes[(method.upper(), path)] = handler
+            return handler
+
+        return register
+
+    def on_startup(self, hook: Callable[[], None]):
+        """Register a synchronous lifespan-startup hook (returns it)."""
+        self._on_startup.append(hook)
+        return hook
+
+    def on_shutdown(self, hook: Callable[[], None]):
+        """Register a synchronous lifespan-shutdown hook (returns it)."""
+        self._on_shutdown.append(hook)
+        return hook
+
+    async def __call__(self, scope: dict, receive, send) -> None:
+        """The ASGI entry point (``lifespan`` and ``http`` scopes)."""
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":
+            raise ServiceError(f"unsupported ASGI scope type {scope['type']!r}")
+        await self._http(scope, receive, send)
+
+    async def _lifespan(self, receive, send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                try:
+                    for hook in self._on_startup:
+                        hook()
+                except Exception as error:  # noqa: BLE001 - report through the protocol
+                    await send({"type": "lifespan.startup.failed", "message": str(error)})
+                    return
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                try:
+                    for hook in self._on_shutdown:
+                        hook()
+                except Exception as error:  # noqa: BLE001 - report through the protocol
+                    await send({"type": "lifespan.shutdown.failed", "message": str(error)})
+                    return
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    async def _http(self, scope: dict, receive, send) -> None:
+        body = b""
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                return
+            body += message.get("body", b"")
+            if not message.get("more_body"):
+                break
+        handler = self._routes.get((scope["method"].upper(), scope["path"]))
+        if handler is None:
+            response = json_response({"error": f"no route for {scope['path']}"}, status=404)
+        else:
+            try:
+                response = await handler(Request(scope, body))
+            except Exception as error:  # noqa: BLE001 - uniform JSON error rendering
+                response = _error_response(error)
+        await response.send(send)

@@ -1,0 +1,87 @@
+"""Command-line entry point: serve the verification service.
+
+``python -m repro.service`` builds the app and hands it to ``uvicorn``.
+The server is the only piece that needs a third-party package — the
+``repro[service]`` extra — so its absence is reported as a clean,
+actionable error instead of a bare import traceback.  ``--check``
+exercises the app in-process (lifespan + a health request) and exits;
+it needs no extra dependencies at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.service.app import ServiceConfig, create_app
+
+__all__ = ["main"]
+
+
+def _load_uvicorn():
+    """Import uvicorn, translating absence into an actionable message."""
+    try:
+        import uvicorn
+    except ImportError as error:
+        raise ImportError(
+            "serving over HTTP needs an ASGI server; install the service extra "
+            "with: pip install 'repro[service]' (or just uvicorn). "
+            "The app itself has no extra dependencies — use "
+            "repro.service.testing.AsgiClient for in-process use."
+        ) from error
+    return uvicorn
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the service CLI; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve reachability/convergence verification over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8000, help="bind port")
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        help="admission-control capacity (429 beyond it)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-request wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory (default: the REPRO_STORE environment variable)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="start the app in-process, hit /healthz, print the reply and exit",
+    )
+    args = parser.parse_args(argv)
+
+    config = ServiceConfig(
+        max_concurrent=args.max_concurrent,
+        default_timeout=args.timeout,
+        store=args.store,
+    )
+    if args.check:
+        from repro.service.testing import AsgiClient
+
+        with AsgiClient(create_app(config)) as client:
+            reply = client.get("/healthz")
+            print(json.dumps(reply.json(), indent=2, sort_keys=True))
+            return 0 if reply.status == 200 else 1
+
+    uvicorn = _load_uvicorn()
+    uvicorn.run(create_app(config), host=args.host, port=args.port)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

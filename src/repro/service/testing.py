@@ -1,0 +1,204 @@
+"""In-process driving of the service app — no server, no sockets.
+
+:class:`AsgiClient` runs an ASGI application on a private asyncio loop
+in a background thread and exchanges protocol messages with it
+directly: the lifespan protocol is driven on entry/exit (so the app's
+warm session really starts and stops), and each :meth:`request` is one
+complete ``http`` scope.  Because every request is submitted to the
+loop with ``run_coroutine_threadsafe``, many test threads can issue
+requests concurrently — which is how the admission-control and
+concurrent-session tests exercise the service without a network.
+
+The client buffers complete responses; :meth:`ClientResponse.events`
+parses an SSE body back into ``(event, data)`` pairs in arrival order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.errors import ServiceError
+
+__all__ = ["AsgiClient", "ClientResponse"]
+
+
+class ClientResponse:
+    """One buffered HTTP response (status, headers, whole body)."""
+
+    def __init__(self, status: int, headers: list[tuple[str, str]], body: bytes) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def header(self, name: str) -> str | None:
+        """The first header value under ``name`` (case-insensitive)."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return None
+
+    def json(self):
+        """The body parsed as JSON."""
+        return json.loads(self.body)
+
+    def events(self) -> list[tuple[str, dict]]:
+        """The body parsed as SSE frames: ``(event, data)`` in order."""
+        events = []
+        for frame in self.body.decode("utf-8").split("\n\n"):
+            if not frame.strip():
+                continue
+            event, data = None, None
+            for line in frame.splitlines():
+                if line.startswith("event: "):
+                    event = line[len("event: "):]
+                elif line.startswith("data: "):
+                    data = json.loads(line[len("data: "):])
+            if event is not None:
+                events.append((event, data))
+        return events
+
+
+class AsgiClient:
+    """Drive an ASGI app in-process (see the module docs).
+
+    Use as a context manager: entry runs lifespan startup (the app's
+    warm session comes up), exit runs lifespan shutdown.  Requests may
+    be issued from any thread while the client is open.
+    """
+
+    def __init__(self, app) -> None:
+        self._app = app
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever, daemon=True)
+        self._lifespan_tx: asyncio.Queue | None = None
+        self._lifespan_done: asyncio.Queue | None = None
+        self._lifespan_task = None
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the loop thread and run the app's lifespan startup."""
+        if self._started:
+            return
+        self._thread.start()
+
+        async def setup():
+            self._lifespan_tx = asyncio.Queue()
+            self._lifespan_done = asyncio.Queue()
+            self._lifespan_task = asyncio.ensure_future(
+                self._app(
+                    {"type": "lifespan", "asgi": {"version": "3.0"}},
+                    self._lifespan_tx.get,
+                    self._lifespan_done.put,
+                )
+            )
+            await self._lifespan_tx.put({"type": "lifespan.startup"})
+            return await self._lifespan_done.get()
+
+        reply = asyncio.run_coroutine_threadsafe(setup(), self._loop).result(timeout=60)
+        if reply["type"] != "lifespan.startup.complete":
+            self.close()
+            raise ServiceError(f"app startup failed: {reply.get('message', reply['type'])}")
+        self._started = True
+
+    def close(self) -> None:
+        """Run lifespan shutdown and stop the loop thread (idempotent)."""
+        if self._thread.is_alive():
+            if self._lifespan_task is not None:
+
+                async def teardown():
+                    await self._lifespan_tx.put({"type": "lifespan.shutdown"})
+                    await self._lifespan_done.get()
+                    await self._lifespan_task
+
+                try:
+                    asyncio.run_coroutine_threadsafe(teardown(), self._loop).result(timeout=60)
+                except Exception:  # noqa: BLE001 - teardown is best-effort
+                    pass
+                self._lifespan_task = None
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+        self._started = False
+
+    def __enter__(self) -> "AsgiClient":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- requests ---------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        json_body=None,
+        timeout: float = 300.0,
+    ) -> ClientResponse:
+        """Issue one request; blocks until the full response arrived.
+
+        ``json_body`` (when given) is serialised as the request body.
+        Thread-safe: concurrent callers each run their own ``http``
+        scope on the shared loop.
+        """
+        if not self._started:
+            raise ServiceError("the client is not started (use it as a context manager)")
+        body = b"" if json_body is None else json.dumps(json_body).encode("utf-8")
+        query = ""
+        if "?" in path:
+            path, query = path.split("?", 1)
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": path.encode("utf-8"),
+            "query_string": query.encode("utf-8"),
+            "headers": [(b"content-type", b"application/json")] if body else [],
+            "client": ("testclient", 0),
+            "server": ("testserver", 80),
+            "scheme": "http",
+        }
+
+        async def exchange() -> ClientResponse:
+            requests = [{"type": "http.request", "body": body, "more_body": False}]
+
+            async def receive():
+                if requests:
+                    return requests.pop(0)
+                return {"type": "http.disconnect"}
+
+            status = 0
+            headers: list[tuple[str, str]] = []
+            chunks: list[bytes] = []
+
+            async def send(message: dict) -> None:
+                nonlocal status, headers
+                if message["type"] == "http.response.start":
+                    status = message["status"]
+                    headers = [
+                        (name.decode("latin-1"), value.decode("latin-1"))
+                        for name, value in message.get("headers", [])
+                    ]
+                elif message["type"] == "http.response.body":
+                    chunks.append(message.get("body", b""))
+
+            await self._app(scope, receive, send)
+            return ClientResponse(status, headers, b"".join(chunks))
+
+        return asyncio.run_coroutine_threadsafe(exchange(), self._loop).result(timeout=timeout)
+
+    def get(self, path: str, **kwargs) -> ClientResponse:
+        """``request("GET", path)``."""
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path: str, **kwargs) -> ClientResponse:
+        """``request("POST", path)``."""
+        return self.request("POST", path, **kwargs)
