@@ -54,6 +54,11 @@ CORRECTNESS_FLAGS = (
     "oracle_agrees",
     "overhead_ok",
     "counters_reconcile",
+    "verdicts_match",
+    "metrics_reconcile",
+    "healthy_after_chaos",
+    "throughput_ok",
+    "p99_ok",
 )
 
 REGENERATE_HINT = (

@@ -15,7 +15,8 @@ Three checks, all against the files as committed:
    method and property of the packages in :data:`AUDITED_PACKAGES`
    (currently ``repro.api``, ``repro.search``, ``repro.runtime``,
    ``repro.distributed``, ``repro.service``, ``repro.store``,
-   ``repro.fuzz`` and ``repro.obs``) must carry a docstring.  A public
+   ``repro.fuzz``, ``repro.obs`` and ``repro.loadgen``) must carry a
+   docstring.  A public
    name without one fails the job, so the engine
    and runtime surface cannot silently grow undocumented API.
 
@@ -59,6 +60,7 @@ AUDITED_PACKAGES = (
     "repro.store",
     "repro.fuzz",
     "repro.obs",
+    "repro.loadgen",
 )
 
 FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)

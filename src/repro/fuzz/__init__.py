@@ -52,6 +52,7 @@ from repro.fuzz.serialize import (
     system_to_json,
 )
 from repro.fuzz.shrink import shrink_candidates, shrink_instance
+from repro.fuzz.vocabulary import VocabularyEntry, corpus_vocabulary
 
 __all__ = [
     "TIERS",
@@ -79,4 +80,6 @@ __all__ = [
     "sample_entries",
     "ReplayOutcome",
     "replay_entry",
+    "VocabularyEntry",
+    "corpus_vocabulary",
 ]

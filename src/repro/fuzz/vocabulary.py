@@ -1,0 +1,87 @@
+"""The corpus as a servable query vocabulary.
+
+The load generator (:mod:`repro.loadgen`) replays user sessions against
+the service, and its request vocabulary should cover more than the four
+hand-written case studies — the fuzz corpus already holds a graded set
+of seeded, verdict-recorded systems.  :func:`corpus_vocabulary` adapts
+corpus entries into the ``{name: factory}`` shape the service's
+case-study registry accepts, so a loadgen app can serve
+``fuzz-smoke-<hash16>`` alongside ``booking``.
+
+Each :class:`VocabularyEntry` carries everything a traffic script needs
+to issue a meaningful query: the servable name, a system factory (the
+deserialized system, cached — factories are called per service
+instance), the rendered FOL(R) condition text (round-trippable through
+:func:`repro.fol.parser.parse_query`), and the instance's recorded
+``bound``/``depth`` so replayed queries stay within the cost envelope
+the corpus tier graded them into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.fuzz.corpus import corpus_root, iter_entries, load_instance
+from repro.fuzz.serialize import render_query
+
+__all__ = ["VocabularyEntry", "corpus_vocabulary"]
+
+_NAME_PREFIX = "fuzz"
+
+
+@dataclass(frozen=True)
+class VocabularyEntry:
+    """One servable query shape sourced from a corpus entry.
+
+    Attributes:
+        name: the servable case-study name (``fuzz-<tier>-<hash16>``).
+        factory: zero-argument callable returning the entry's system.
+        condition: the instance's condition as FOL(R) query text.
+        bound: the recency bound the instance was graded with.
+        depth: the exploration depth budget recorded for the instance.
+        tier: the corpus tier the entry came from.
+    """
+
+    name: str
+    factory: Callable[[], object]
+    condition: str
+    bound: int
+    depth: int
+    tier: str
+
+
+def corpus_vocabulary(
+    root: Path | None = None,
+    tier: str | None = None,
+    limit: int | None = None,
+) -> list[VocabularyEntry]:
+    """Load corpus entries as vocabulary, sorted by servable name.
+
+    ``root``/``tier`` select the corpus slice exactly as
+    :func:`repro.fuzz.corpus.iter_entries` does; ``limit`` keeps only
+    the first N entries after sorting (deterministic, independent of
+    directory enumeration order).  Each entry's system is deserialized
+    once, here, and the factory returns the cached object — matching
+    how the built-in case-study factories behave under the service's
+    own caching.
+    """
+    entries: list[VocabularyEntry] = []
+    for path in iter_entries(corpus_root(root), tier):
+        instance, document = load_instance(path)
+        system = instance.system
+        entries.append(
+            VocabularyEntry(
+                name=f"{_NAME_PREFIX}-{instance.tier}-{path.stem}",
+                factory=lambda system=system: system,
+                condition=render_query(instance.condition),
+                bound=int(document["bound"]),
+                depth=int(document["depth"]),
+                tier=instance.tier,
+            )
+        )
+    entries.sort(key=lambda entry: entry.name)
+    if limit is not None:
+        entries = entries[:limit]
+    return entries

@@ -78,7 +78,7 @@ __all__ = ["main"]
 # rejected instead of silently ignored.
 _PARALLEL_AWARE = ("E9", "E13", "E14")
 _CHECKPOINT_AWARE = ("E9",)
-_QUICK_AWARE = ("E13", "E14", "E19")
+_QUICK_AWARE = ("E13", "E14", "E19", "E22")
 _NODES_AWARE = ("E14",)
 _STORE_AWARE = ("E9",)
 
@@ -140,6 +140,8 @@ def _runner(identifier: str, options: argparse.Namespace, smoke: bool, transport
         )
     if identifier == "E19":
         return lambda: experiments.experiment_e19_fuzz_corpus(quick=options.quick or smoke)
+    if identifier == "E22":
+        return lambda: experiments.experiment_e22_loadgen(quick=options.quick or smoke)
     return experiments.EXPERIMENTS[identifier][1]
 
 
@@ -153,7 +155,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         nargs="?",
         default="all",
-        help="experiment id (E1..E14, E19) or 'all' (default)",
+        help="experiment id (E1..E14, E19, E22) or 'all' (default)",
     )
     parser.add_argument(
         "--parallel", type=int, default=1,
@@ -225,7 +227,7 @@ def main(argv: list[str] | None = None) -> int:
     identifiers = list(TITLES) if requested == "all" else [requested]
     unknown = [identifier for identifier in identifiers if identifier not in TITLES]
     if unknown:
-        parser.error(f"unknown experiment {unknown[0]!r}; expected E1..E14, E19 or 'all'")
+        parser.error(f"unknown experiment {unknown[0]!r}; expected E1..E14, E19, E22 or 'all'")
     # Reject options the requested experiment would silently ignore
     # ('all' applies each option to the experiments that understand it).
     if requested != "all":

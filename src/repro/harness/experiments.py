@@ -928,6 +928,59 @@ def experiment_e19_fuzz_corpus(quick: bool = True, corpus: str | None = None) ->
     return rows
 
 
+def experiment_e22_loadgen(quick: bool = True, seed: int = 0) -> list:
+    """E22: seeded traffic replay over the service with soak invariants.
+
+    Generates seeded user sessions (:mod:`repro.loadgen`), replays them
+    closed-loop and open-loop against an in-process service instance,
+    and audits the soak invariants.  Every row carries
+    ``verdicts_match``/``metrics_reconcile``/``healthy_after_chaos``; a
+    ``False`` anywhere means the service drifted from the library,
+    miscounted traffic, or came out of the run unhealthy.
+    """
+    from repro.loadgen import (
+        check_invariants,
+        generate_sessions,
+        run_closed_loop,
+        run_open_loop,
+    )
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service.app import ServiceConfig, create_app
+    from repro.service.testing import AsgiClient
+
+    users = 4 if quick else 8
+    requests = 3 if quick else 6
+    rows = []
+    for mode, driver in (("closed", run_closed_loop), ("open", run_open_loop)):
+        scripts = generate_sessions(seed, users, requests_per_user=requests)
+        metrics = MetricsRegistry()
+        config = ServiceConfig(max_concurrent=4, store=False, metrics=metrics)
+        with AsgiClient(create_app(config)) as client:
+            if mode == "open":
+                report = driver(client, scripts, think_scale=0.5)
+            else:
+                report = driver(client, scripts, think_scale=0.0)
+            audit = check_invariants(report, client=client, metrics=metrics)
+        rows.append(
+            {
+                "mode": f"{mode}-loop replay",
+                "users": users,
+                "sent": report.sent,
+                "ok": report.count("ok"),
+                "rejected": report.count("rejected"),
+                "errors": report.count("error"),
+                "throughput": round(report.throughput, 2),
+                "p50_latency": report.latency.quantile(0.5),
+                "p99_latency": report.latency.quantile(0.99),
+                "checked_verdicts": audit.checked_verdicts,
+                "verdicts_match": audit.verdicts_match,
+                "metrics_reconcile": audit.metrics_reconcile,
+                "healthy_after_chaos": audit.healthy_after_chaos,
+            }
+        )
+    return rows
+
+
 EXPERIMENTS: dict = {
     "E1": ("Figure 1 run replay", experiment_e1_figure1_run),
     "E2": ("Recency bound of the Figure 1 run", experiment_e2_recency_bound),
@@ -944,6 +997,7 @@ EXPERIMENTS: dict = {
     "E13": ("Unified engine vs seed explorer", lambda: experiment_e13_engine(quick=True)),
     "E14": ("Sharded exploration vs single-shard engine", lambda: experiment_e14_sharded(quick=True)),
     "E19": ("Differential fuzzing oracle and corpus replay", lambda: experiment_e19_fuzz_corpus(quick=True)),
+    "E22": ("Traffic replay over the service with soak invariants", lambda: experiment_e22_loadgen(quick=True)),
 }
 
 

@@ -1,0 +1,354 @@
+"""Replay drivers: scripted sessions against the in-process service.
+
+Two load models over the same scripts:
+
+* :func:`run_closed_loop` — each user is a thread issuing its requests
+  sequentially (think time between them, next request only after the
+  previous response), with a linear concurrency ramp across users and
+  an optional soak ``duration`` under which each session loops until
+  the deadline.  Closed loops self-limit: a slow service slows its own
+  offered load.
+* :func:`run_open_loop` — requests fire at their *scheduled* times
+  regardless of completion (each issue on its own thread), so offered
+  load does not adapt to service latency; this is the model that
+  exposes queueing collapse and admission-control behaviour.
+
+Every exchange becomes a :class:`RequestOutcome` (status, class,
+latency, SSE time-to-``ready``/time-to-``final``, the verdict payload
+for parity checking), and a run folds into a :class:`LoadReport` whose
+latency distributions are :class:`~repro.loadgen.sketch.QuantileSketch`
+values.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.loadgen.script import PlannedRequest, SessionScript
+from repro.loadgen.sketch import QuantileSketch
+from repro.service.testing import AsgiClient
+
+__all__ = ["RequestOutcome", "LoadReport", "run_closed_loop", "run_open_loop"]
+
+#: Quantiles every report exposes.
+_REPORT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What one replayed request did.
+
+    Attributes:
+        user: issuing user's index.
+        index: position within the user's session.
+        endpoint: ``"reachability"`` or ``"convergence"``.
+        stream: whether the SSE form was requested.
+        payload: the request body as sent (parity checks re-derive the
+            query from it).
+        status: HTTP status (0 when the exchange itself failed).
+        outcome: ``"ok"`` | ``"rejected"`` | ``"error"``.
+        error: error kind for non-ok outcomes (exception/event kind).
+        latency: request wall-clock seconds (start to completion).
+        time_to_ready: seconds to the SSE ``ready`` event (streams).
+        time_to_final: seconds to the terminal SSE event (streams).
+        result: the verdict payload of successful requests.
+    """
+
+    user: int
+    index: int
+    endpoint: str
+    stream: bool
+    payload: dict
+    status: int
+    outcome: str
+    error: str | None = None
+    latency: float = 0.0
+    time_to_ready: float | None = None
+    time_to_final: float | None = None
+    result: dict | None = None
+
+    @property
+    def counted(self) -> bool:
+        """Whether the service's request counter saw this exchange.
+
+        Precondition failures (HTTP 400) and transport failures happen
+        before admission, so ``service_requests_total`` never counts
+        them; everything else lands in exactly one outcome series.
+        """
+        return self.status not in (0, 400)
+
+    def as_json(self) -> dict:
+        """The outcome as a JSON-ready dict."""
+        return {
+            "user": self.user,
+            "index": self.index,
+            "endpoint": self.endpoint,
+            "stream": self.stream,
+            "status": self.status,
+            "outcome": self.outcome,
+            "error": self.error,
+            "latency": self.latency,
+            "time_to_ready": self.time_to_ready,
+            "time_to_final": self.time_to_final,
+        }
+
+
+@dataclass
+class LoadReport:
+    """The folded result of one replay run.
+
+    Attributes:
+        outcomes: every request outcome, in completion order.
+        duration: wall-clock seconds the run took.
+        latency: sketch over all counted requests' latencies.
+        time_to_ready: sketch over SSE time-to-``ready`` seconds.
+        time_to_final: sketch over SSE time-to-terminal seconds.
+    """
+
+    outcomes: tuple[RequestOutcome, ...]
+    duration: float
+    latency: QuantileSketch = field(default_factory=QuantileSketch)
+    time_to_ready: QuantileSketch = field(default_factory=QuantileSketch)
+    time_to_final: QuantileSketch = field(default_factory=QuantileSketch)
+
+    @classmethod
+    def collect(cls, outcomes: list[RequestOutcome], duration: float) -> "LoadReport":
+        """Fold raw outcomes into a report (sketches populated here)."""
+        report = cls(outcomes=tuple(outcomes), duration=duration)
+        for outcome in outcomes:
+            if outcome.counted:
+                report.latency.observe(outcome.latency)
+            if outcome.time_to_ready is not None:
+                report.time_to_ready.observe(outcome.time_to_ready)
+            if outcome.time_to_final is not None:
+                report.time_to_final.observe(outcome.time_to_final)
+        return report
+
+    def count(self, outcome: str) -> int:
+        """How many requests ended in ``outcome`` (ok/rejected/error)."""
+        return sum(1 for entry in self.outcomes if entry.outcome == outcome)
+
+    @property
+    def sent(self) -> int:
+        """Requests issued."""
+        return len(self.outcomes)
+
+    @property
+    def throughput(self) -> float:
+        """Successful requests per second over the run."""
+        return self.count("ok") / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of issued requests that ended in ``error``."""
+        return self.count("error") / self.sent if self.sent else 0.0
+
+    def status_counts(self) -> dict[int, int]:
+        """Requests per HTTP status."""
+        counts: dict[int, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    def as_json(self) -> dict:
+        """The report as a JSON-ready dict (sketches as snapshots)."""
+        return {
+            "sent": self.sent,
+            "duration": self.duration,
+            "throughput": self.throughput,
+            "error_rate": self.error_rate,
+            "outcomes": {name: self.count(name) for name in ("ok", "rejected", "error")},
+            "status_counts": {str(status): n for status, n in sorted(self.status_counts().items())},
+            "latency": self.latency.snapshot(),
+            "time_to_ready": self.time_to_ready.snapshot(),
+            "time_to_final": self.time_to_final.snapshot(),
+        }
+
+
+def _issue(client: AsgiClient, planned: PlannedRequest) -> RequestOutcome:
+    """Run one planned request to completion and classify it."""
+    base = {
+        "user": planned.user,
+        "index": planned.index,
+        "endpoint": planned.endpoint,
+        "stream": planned.stream,
+        "payload": planned.payload,
+    }
+    try:
+        if planned.stream:
+            return _issue_stream(client, planned, base)
+        response = client.request("POST", planned.path, json_body=planned.payload)
+    except Exception as error:  # noqa: BLE001 - a dead exchange is an outcome
+        return RequestOutcome(**base, status=0, outcome="error", error=type(error).__name__)
+    latency = response.timing.latency if response.timing else 0.0
+    if response.status == 200:
+        return RequestOutcome(
+            **base, status=200, outcome="ok", latency=latency, result=response.json()
+        )
+    return _error_outcome(base, response.status, response.body, latency)
+
+
+def _issue_stream(client: AsgiClient, planned: PlannedRequest, base: dict) -> RequestOutcome:
+    response = client.stream("POST", planned.path, json_body=planned.payload)
+    started = response.timing.started
+    ready_at = None
+    terminal: tuple[str, dict | None] | None = None
+    terminal_at = None
+    for position, (event, data) in enumerate(response.events()):
+        if event == "ready" and ready_at is None:
+            ready_at = response.event_time(position)
+        elif event in ("final", "error"):
+            terminal = (event, data)
+            terminal_at = response.event_time(position)
+    latency = response.timing.latency
+    if response.status != 200:
+        return _error_outcome(base, response.status, b"", latency)
+    time_to_ready = ready_at - started if ready_at is not None else None
+    time_to_final = terminal_at - started if terminal_at is not None else None
+    if terminal is None:
+        return RequestOutcome(
+            **base,
+            status=200,
+            outcome="error",
+            error="MissingTerminalEvent",
+            latency=latency,
+            time_to_ready=time_to_ready,
+        )
+    event, data = terminal
+    if event == "error":
+        return RequestOutcome(
+            **base,
+            status=200,
+            outcome="error",
+            error=(data or {}).get("kind", "error"),
+            latency=latency,
+            time_to_ready=time_to_ready,
+            time_to_final=time_to_final,
+        )
+    return RequestOutcome(
+        **base,
+        status=200,
+        outcome="ok",
+        latency=latency,
+        time_to_ready=time_to_ready,
+        time_to_final=time_to_final,
+        result=data,
+    )
+
+
+def _error_outcome(base: dict, status: int, body: bytes, latency: float) -> RequestOutcome:
+    kind = f"http-{status}"
+    try:
+        document = json.loads(body)
+        kind = document.get("kind", kind)
+    except Exception:  # noqa: BLE001 - error bodies may not be JSON
+        pass
+    outcome = "rejected" if status == 429 else "error"
+    return RequestOutcome(**base, status=status, outcome=outcome, error=kind, latency=latency)
+
+
+def _user_delay(ramp: float, user: int, users: int) -> float:
+    """The linear ramp delay before a user's first request."""
+    if ramp <= 0 or users <= 1:
+        return 0.0
+    return ramp * user / users
+
+
+def run_closed_loop(
+    client: AsgiClient,
+    scripts: list[SessionScript],
+    *,
+    ramp: float = 0.0,
+    think_scale: float = 1.0,
+    duration: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> LoadReport:
+    """Replay scripts closed-loop: one thread per user, requests in series.
+
+    ``ramp`` spreads user starts linearly over that many seconds;
+    ``think_scale`` multiplies scripted think times (0 = as fast as
+    responses return); with ``duration`` each session loops over its
+    script until the deadline (a soak), otherwise each script runs
+    exactly once.  ``clock``/``sleep`` are injectable for tests.
+    """
+    outcomes: list[RequestOutcome] = []
+    guard = threading.Lock()
+    started = clock()
+    deadline = started + duration if duration is not None else None
+
+    def run_user(script: SessionScript) -> None:
+        delay = _user_delay(ramp, script.user, len(scripts))
+        if delay:
+            sleep(delay)
+        while True:
+            for planned in script.requests:
+                if deadline is not None and clock() >= deadline:
+                    return
+                if planned.think and think_scale > 0:
+                    sleep(planned.think * think_scale)
+                result = _issue(client, planned)
+                with guard:
+                    outcomes.append(result)
+            if deadline is None:
+                return
+
+    threads = [
+        threading.Thread(target=run_user, args=(script,), daemon=True) for script in scripts
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return LoadReport.collect(outcomes, clock() - started)
+
+
+def run_open_loop(
+    client: AsgiClient,
+    scripts: list[SessionScript],
+    *,
+    ramp: float = 0.0,
+    think_scale: float = 1.0,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> LoadReport:
+    """Replay scripts open-loop: every request fires at its scheduled time.
+
+    The schedule is fixed up front — user start (ramp) plus cumulative
+    scaled think times — and each request is issued on its own thread
+    when its moment arrives, whether or not earlier requests finished.
+    Offered load therefore ignores service latency, which is what
+    drives the service into admission control under saturation.
+    """
+    schedule: list[tuple[float, PlannedRequest]] = []
+    for script in scripts:
+        at = _user_delay(ramp, script.user, len(scripts))
+        for planned in script.requests:
+            at += planned.think * think_scale
+            schedule.append((at, planned))
+    schedule.sort(key=lambda entry: (entry[0], entry[1].user, entry[1].index))
+
+    outcomes: list[RequestOutcome] = []
+    guard = threading.Lock()
+    started = clock()
+
+    def fire(planned: PlannedRequest) -> None:
+        result = _issue(client, planned)
+        with guard:
+            outcomes.append(result)
+
+    threads: list[threading.Thread] = []
+    for at, planned in schedule:
+        remaining = at - (clock() - started)
+        if remaining > 0:
+            sleep(remaining)
+        thread = threading.Thread(target=fire, args=(planned,), daemon=True)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    return LoadReport.collect(outcomes, clock() - started)

@@ -1,0 +1,193 @@
+"""Seeded user sessions and their replayable JSONL traces.
+
+A "user" is a deterministic sequence of service requests: each drawn
+from the template vocabulary, aimed at ``/v1/reachability`` or
+``/v1/convergence``, as plain JSON or as an SSE stream, separated by
+exponentially distributed think times.  :func:`generate_sessions`
+derives every user's stream from its own string-seeded
+:class:`random.Random` (PYTHONHASHSEED-independent), so a ``(seed,
+users, knobs)`` tuple always produces the same scripts — and the same
+bytes once serialized.
+
+Traces are JSONL, one planned request per line with sorted keys and
+compact separators: :func:`write_trace` / :func:`read_trace` round-trip
+them exactly, which is what lets a recorded workload be replayed (and
+byte-compared across interpreter versions) by ``python -m repro.loadgen
+--replay``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.loadgen.vocabulary import QueryTemplate, builtin_templates
+
+__all__ = [
+    "PlannedRequest",
+    "SessionScript",
+    "generate_sessions",
+    "trace_lines",
+    "write_trace",
+    "read_trace",
+]
+
+#: Bounds shipped with generated convergence requests (kept short: each
+#: bound is one full exploration).
+_CONVERGENCE_BOUNDS = (0, 1, 2)
+
+#: Think times are rounded to microseconds so float formatting can never
+#: differ between interpreters.
+_THINK_DIGITS = 6
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One scripted request of one user.
+
+    Attributes:
+        user: the issuing user's index.
+        index: position within the user's session.
+        endpoint: ``"reachability"`` or ``"convergence"``.
+        stream: request the SSE form instead of the JSON form.
+        think: seconds the user idles *before* issuing this request.
+        payload: the request body (already carries ``stream`` when set).
+    """
+
+    user: int
+    index: int
+    endpoint: str
+    stream: bool
+    think: float
+    payload: dict
+
+    @property
+    def path(self) -> str:
+        """The service path this request targets."""
+        return f"/v1/{self.endpoint}"
+
+    def as_json(self) -> dict:
+        """The trace-line form (stable key order comes from the dump)."""
+        return {
+            "user": self.user,
+            "index": self.index,
+            "endpoint": self.endpoint,
+            "stream": self.stream,
+            "think": self.think,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_json(cls, document: dict) -> "PlannedRequest":
+        """Rebuild a planned request from its trace line."""
+        return cls(
+            user=int(document["user"]),
+            index=int(document["index"]),
+            endpoint=str(document["endpoint"]),
+            stream=bool(document["stream"]),
+            think=float(document["think"]),
+            payload=dict(document["payload"]),
+        )
+
+
+@dataclass(frozen=True)
+class SessionScript:
+    """One user's complete scripted session, in issue order."""
+
+    user: int
+    requests: tuple[PlannedRequest, ...]
+
+
+def generate_sessions(
+    seed: int,
+    users: int,
+    requests_per_user: int = 6,
+    templates: tuple[QueryTemplate, ...] | None = None,
+    stream_ratio: float = 0.4,
+    convergence_ratio: float = 0.15,
+    think_mean: float = 0.02,
+) -> list[SessionScript]:
+    """Deterministic session scripts for ``users`` seeded users.
+
+    Each user owns the generator ``Random(f"repro-loadgen:{seed}:{u}")``
+    — string seeding hashes with SHA-512, so scripts are identical
+    across processes and interpreter versions regardless of
+    ``PYTHONHASHSEED``.  Per request the user draws a template, an
+    endpoint (``convergence`` with probability ``convergence_ratio``),
+    the SSE form with probability ``stream_ratio``, and an
+    exponentially distributed think time with mean ``think_mean``
+    seconds (rounded to microseconds for stable serialization).
+    """
+    if users < 1:
+        raise ReproError("users must be positive")
+    if requests_per_user < 1:
+        raise ReproError("requests_per_user must be positive")
+    vocabulary = tuple(templates) if templates is not None else builtin_templates()
+    if not vocabulary:
+        raise ReproError("the template vocabulary is empty")
+    scripts: list[SessionScript] = []
+    for user in range(users):
+        rng = random.Random(f"repro-loadgen:{seed}:{user}")
+        planned: list[PlannedRequest] = []
+        for index in range(requests_per_user):
+            template = vocabulary[rng.randrange(len(vocabulary))]
+            convergence = rng.random() < convergence_ratio
+            stream = rng.random() < stream_ratio
+            think = round(rng.expovariate(1.0 / think_mean), _THINK_DIGITS)
+            payload = template.payload()
+            if convergence:
+                payload.pop("bound", None)
+                payload["bounds"] = list(_CONVERGENCE_BOUNDS)
+            if stream:
+                payload["stream"] = True
+            planned.append(
+                PlannedRequest(
+                    user=user,
+                    index=index,
+                    endpoint="convergence" if convergence else "reachability",
+                    stream=stream,
+                    think=think,
+                    payload=payload,
+                )
+            )
+        scripts.append(SessionScript(user=user, requests=tuple(planned)))
+    return scripts
+
+
+def trace_lines(scripts: list[SessionScript]) -> list[str]:
+    """The scripts as canonical JSONL lines (sorted keys, compact).
+
+    This is the byte-determinism surface: identical scripts always
+    render to identical lines.
+    """
+    return [
+        json.dumps(request.as_json(), sort_keys=True, separators=(",", ":"))
+        for script in scripts
+        for request in script.requests
+    ]
+
+
+def write_trace(scripts: list[SessionScript], path: Path) -> Path:
+    """Serialize scripts to a JSONL trace file (one request per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(trace_lines(scripts)) + "\n")
+    return path
+
+
+def read_trace(path: Path) -> list[SessionScript]:
+    """Rebuild session scripts from a JSONL trace file."""
+    by_user: dict[int, list[PlannedRequest]] = {}
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        request = PlannedRequest.from_json(json.loads(line))
+        by_user.setdefault(request.user, []).append(request)
+    scripts = []
+    for user in sorted(by_user):
+        requests = sorted(by_user[user], key=lambda request: request.index)
+        scripts.append(SessionScript(user=user, requests=tuple(requests)))
+    return scripts

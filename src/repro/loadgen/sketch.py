@@ -1,0 +1,156 @@
+"""A small mergeable quantile sketch for latency distributions.
+
+Per-request latencies need quantiles (p50/p99) without keeping every
+observation, and per-user driver threads each record into their own
+sketch, so the structure must merge.  :class:`QuantileSketch` is a
+log-bucketed counting sketch (the DDSketch idea, dependency-free):
+values land in geometric buckets ``[gamma**i, gamma**(i+1))`` with
+``gamma = (1 + rel) / (1 - rel)``, so any reported quantile is within
+relative error ``rel`` of an exact rank statistic.  Bucket counts are
+integers, which makes :meth:`merge` **exactly** associative and
+commutative — the property the hypothesis suite pins down — while
+``count``/``min``/``max`` stay exact and quantiles are clamped into the
+observed ``[min, max]`` range.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+
+__all__ = ["QuantileSketch"]
+
+#: Values at or below this floor share the lowest bucket (latencies are
+#: non-negative; an exact zero still updates ``min`` exactly).
+_FLOOR = 1e-9
+
+
+class QuantileSketch:
+    """Quantiles over non-negative observations in bounded space.
+
+    Args:
+        relative_error: the quantile-value accuracy guarantee (default
+            1% — about 700 buckets span nanoseconds to hours).
+    """
+
+    __slots__ = ("relative_error", "_gamma", "_log_gamma", "count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self, relative_error: float = 0.01) -> None:
+        if not 0.0 < relative_error < 1.0:
+            raise ReproError("relative_error must be in (0, 1)")
+        self.relative_error = relative_error
+        self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
+        self._log_gamma = math.log(self._gamma)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+        self.buckets: dict[int, int] = {}
+
+    # -- recording ---------------------------------------------------------------
+
+    def _index(self, value: float) -> int:
+        return math.floor(math.log(max(value, _FLOOR)) / self._log_gamma)
+
+    def observe(self, value: float) -> None:
+        """Record one observation (negative values are rejected)."""
+        if value < 0:
+            raise ReproError(f"the sketch records non-negative values, got {value}")
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        index = self._index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    # -- querying ----------------------------------------------------------------
+
+    def quantile(self, q: float) -> float | None:
+        """The value at quantile ``q`` in [0, 1] (``None`` when empty).
+
+        Walks the buckets in value order to the observation with rank
+        ``ceil(q * count)`` and returns that bucket's log-midpoint,
+        clamped into ``[min, max]`` — so results are monotone in ``q``
+        and never stray outside the observed range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                value = self._gamma ** (index + 0.5)
+                return min(max(value, self.minimum), self.maximum)
+        return self.maximum  # unreachable: bucket counts sum to count
+
+    def quantiles(self, qs: tuple[float, ...] = (0.5, 0.9, 0.99)) -> dict[str, float | None]:
+        """Several quantiles at once, keyed ``p50``-style for reports."""
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
+
+    def mean(self) -> float:
+        """Average observation (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    # -- merging / serialization -------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """A new sketch holding both inputs' observations.
+
+        Bucket counts, counts and min/max combine exactly, so merging
+        is associative and commutative regardless of grouping — per-user
+        sketches can fold in any order.
+        """
+        if other.relative_error != self.relative_error:
+            raise ReproError(
+                "cannot merge sketches with different relative errors "
+                f"({self.relative_error} vs {other.relative_error})"
+            )
+        merged = QuantileSketch(self.relative_error)
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        for source in (self, other):
+            if source.minimum is not None:
+                merged.minimum = (
+                    source.minimum
+                    if merged.minimum is None
+                    else min(merged.minimum, source.minimum)
+                )
+            if source.maximum is not None:
+                merged.maximum = (
+                    source.maximum
+                    if merged.maximum is None
+                    else max(merged.maximum, source.maximum)
+                )
+            for index, bucket_count in source.buckets.items():
+                merged.buckets[index] = merged.buckets.get(index, 0) + bucket_count
+        return merged
+
+    def snapshot(self) -> dict:
+        """A JSON-ready dump: summary stats, quantiles and raw buckets."""
+        return {
+            "relative_error": self.relative_error,
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean(),
+            "min": self.minimum,
+            "max": self.maximum,
+            "quantiles": self.quantiles(),
+            "buckets": {str(index): count for index, count in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "QuantileSketch":
+        """Rebuild a sketch from :meth:`snapshot` output."""
+        sketch = cls(snapshot["relative_error"])
+        sketch.count = int(snapshot["count"])
+        sketch.total = float(snapshot["sum"])
+        sketch.minimum = snapshot["min"]
+        sketch.maximum = snapshot["max"]
+        sketch.buckets = {int(index): int(count) for index, count in snapshot["buckets"].items()}
+        return sketch

@@ -1,0 +1,136 @@
+"""What replayed users ask for: the query-template vocabulary.
+
+A traffic script draws every request from a vocabulary of
+:class:`QueryTemplate` values — one per (case study, condition, cost
+envelope) shape.  :func:`builtin_templates` covers the paper's §6 case
+studies (the anchor workloads: booking lifecycle predicates, the
+Example 3.1 system, student enrolment, warehouse orders), and
+:func:`vocabulary_templates` optionally extends them with fuzz-corpus
+instances via :func:`repro.fuzz.corpus_vocabulary`, so sustained load
+exercises generated systems alongside the hand-written ones.
+
+The service resolves systems by name, so corpus-backed templates come
+with :func:`vocabulary_case_studies` — the ``{name: factory}`` registry
+(defaults plus corpus factories) the loadgen app must be configured
+with for those names to resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.fuzz.vocabulary import corpus_vocabulary
+from repro.service.sessions import DEFAULT_CASE_STUDIES
+
+__all__ = [
+    "QueryTemplate",
+    "builtin_templates",
+    "vocabulary_templates",
+    "vocabulary_case_studies",
+]
+
+#: Cap on the exploration depth a corpus-derived template may request —
+#: corpus tiers grade instance cost, but replayed traffic should stay
+#: interactive even for the odd expensive entry.
+_CORPUS_DEPTH_CAP = 4
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One drawable request shape.
+
+    Attributes:
+        case_study: the servable system name the request targets.
+        condition: FOL(R) query text (``None`` when ``proposition`` is
+            used instead — exactly one is set).
+        proposition: a proposition name, the other condition form.
+        bound: recency bound for reachability requests (``None`` =
+            unbounded semantics).
+        max_depth: exploration depth budget shipped with the payload.
+        source: provenance tag (``"builtin"`` or ``"corpus"``).
+    """
+
+    case_study: str
+    condition: str | None
+    proposition: str | None
+    bound: int | None
+    max_depth: int
+    source: str = "builtin"
+
+    def payload(self) -> dict:
+        """The base request payload (endpoint knobs added by the script)."""
+        body: dict = {"case_study": self.case_study, "max_depth": self.max_depth}
+        if self.condition is not None:
+            body["condition"] = self.condition
+        else:
+            body["proposition"] = self.proposition
+        if self.bound is not None:
+            body["bound"] = self.bound
+        return body
+
+
+def builtin_templates() -> tuple[QueryTemplate, ...]:
+    """Templates over the four §6 case studies (cheap, mixed verdicts)."""
+    return (
+        QueryTemplate("booking", "Exists x. BSubmitted(x)", None, 2, 4),
+        QueryTemplate("booking", "Exists x. BAccepted(x)", None, 2, 4),
+        QueryTemplate("booking", None, "open", 1, 3),
+        QueryTemplate("example31", "Exists x. R(x)", None, 1, 3),
+        QueryTemplate("example31", "Exists x. Q(x)", None, 2, 3),
+        QueryTemplate("example31", None, "p", None, 2),
+        QueryTemplate("students", "Exists x. Graduated(x)", None, 2, 4),
+        QueryTemplate("students", "Exists x. Dropped(x)", None, 1, 3),
+        QueryTemplate("warehouse", "Exists x. TBO(x)", None, 1, 3),
+        QueryTemplate("warehouse", None, "open", 2, 3),
+    )
+
+
+def vocabulary_templates(
+    corpus: Path | None = None,
+    tier: str | None = None,
+    limit: int | None = None,
+    include_corpus: bool = False,
+) -> tuple[QueryTemplate, ...]:
+    """The full template vocabulary: builtins, plus corpus entries.
+
+    With ``include_corpus`` the fuzz corpus slice selected by
+    ``corpus``/``tier``/``limit`` is appended as ``source="corpus"``
+    templates (depths capped at 4 to keep replay interactive); serve
+    them with the registry from :func:`vocabulary_case_studies` called
+    with the same arguments.
+    """
+    templates = list(builtin_templates())
+    if include_corpus:
+        for entry in corpus_vocabulary(corpus, tier, limit):
+            templates.append(
+                QueryTemplate(
+                    case_study=entry.name,
+                    condition=entry.condition,
+                    proposition=None,
+                    bound=entry.bound,
+                    max_depth=min(entry.depth, _CORPUS_DEPTH_CAP),
+                    source="corpus",
+                )
+            )
+    return tuple(templates)
+
+
+def vocabulary_case_studies(
+    corpus: Path | None = None,
+    tier: str | None = None,
+    limit: int | None = None,
+    include_corpus: bool = False,
+) -> Mapping[str, Callable[[], object]]:
+    """The ``{name: factory}`` registry serving a template vocabulary.
+
+    The default case studies plus, under ``include_corpus``, one factory
+    per corpus entry (same slice arguments as
+    :func:`vocabulary_templates`, so names line up).
+    """
+    registry: dict[str, Callable[[], object]] = dict(DEFAULT_CASE_STUDIES)
+    if include_corpus:
+        for entry in corpus_vocabulary(corpus, tier, limit):
+            registry[entry.name] = entry.factory
+    return registry

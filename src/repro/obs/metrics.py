@@ -150,6 +150,20 @@ class Histogram:
         """Average observation (0.0 before any observation)."""
         return self.total / self.count if self.count else 0.0
 
+    def summary(self) -> dict:
+        """The distribution as a plain dict (count/sum/mean/min/max).
+
+        The shape load reports and JSON dumps use; ``min``/``max`` are
+        ``None`` before any observation.
+        """
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean(),
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
 
 def _format_labels(labels: tuple) -> str:
     """Render a label tuple as ``{k="v",...}`` (empty string when unlabelled)."""

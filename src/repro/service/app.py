@@ -68,6 +68,9 @@ class ServiceConfig:
             to the process-wide registry).
         progress_every: emit a ``progress`` event at least every this
             many discovered configurations (depth changes always emit).
+        clock: monotonic clock consulted by the streaming deadline path
+            (the :class:`~repro.obs.ProgressReporter` idiom) — inject a
+            fake to test timeout behaviour without real waiting.
     """
 
     max_concurrent: int = 8
@@ -77,6 +80,7 @@ class ServiceConfig:
     case_studies: Mapping | None = None
     metrics: object = None
     progress_every: int = 500
+    clock: Callable[[], float] = time.monotonic
 
 
 def result_payload(result: ReachabilityResult) -> dict:
@@ -102,22 +106,25 @@ def _timeout_of(payload: Mapping, config: ServiceConfig) -> float | None:
 
 
 def _deadline_on_state(
-    timeout: float | None, progress_every: int, emit: Callable[[str, dict], None]
+    timeout: float | None,
+    progress_every: int,
+    emit: Callable[[str, dict], None],
+    clock: Callable[[], float] = time.monotonic,
 ):
     """A progress callback enforcing a cooperative streaming deadline.
 
     Streaming queries run inline (their engine lives in this process),
-    so the wall-clock budget is checked on each discovered
-    configuration; blowing it raises
+    so the wall-clock budget (measured on ``clock``) is checked on each
+    discovered configuration; blowing it raises
     :class:`~repro.errors.QueryTimeoutError`, which the stream reports
     as an ``error`` event.
     """
-    deadline = time.monotonic() + timeout if timeout is not None else None
+    deadline = clock() + timeout if timeout is not None else None
     state = {"depth": -1, "count": 0}
 
     def on_state(configuration, depth: int) -> None:
         state["count"] += 1
-        if deadline is not None and time.monotonic() > deadline:
+        if deadline is not None and clock() > deadline:
             raise QueryTimeoutError(
                 f"streaming query exceeded its {timeout}s budget"
             )
@@ -250,7 +257,9 @@ def create_app(config: ServiceConfig | None = None) -> App:
                         condition,
                         bound=bound,
                         options=options,
-                        on_state=_deadline_on_state(timeout, config.progress_every, emit),
+                        on_state=_deadline_on_state(
+                            timeout, config.progress_every, emit, config.clock
+                        ),
                     )
                     registry.counter("service_requests_total", outcome="ok").inc()
                     emit("final", result_payload(result))

@@ -6,11 +6,23 @@ directly: the lifespan protocol is driven on entry/exit (so the app's
 warm session really starts and stops), and each :meth:`request` is one
 complete ``http`` scope.  Because every request is submitted to the
 loop with ``run_coroutine_threadsafe``, many test threads can issue
-requests concurrently — which is how the admission-control and
-concurrent-session tests exercise the service without a network.
+requests concurrently — which is how the admission-control, concurrent
+-session and load-generation (:mod:`repro.loadgen`) tests exercise the
+service without a network.
 
-The client buffers complete responses; :meth:`ClientResponse.events`
-parses an SSE body back into ``(event, data)`` pairs in arrival order.
+Two consumption styles:
+
+* :meth:`AsgiClient.request` buffers the complete response;
+  :meth:`ClientResponse.events` parses an SSE body back into
+  ``(event, data)`` pairs in arrival order.
+* :meth:`AsgiClient.stream` yields SSE events **incrementally** through
+  a bounded queue: the app's ``send`` awaits queue capacity, so a slow
+  consumer applies backpressure to the stream instead of letting the
+  client buffer it unboundedly.
+
+Every exchange records a :class:`RequestTiming` — request start, first
+body byte, completion — which is what the load generator's latency
+sketches are fed from.
 """
 
 from __future__ import annotations
@@ -18,19 +30,113 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
+from typing import Callable, Iterator
 
 from repro.errors import ServiceError
 
-__all__ = ["AsgiClient", "ClientResponse"]
+__all__ = [
+    "AsgiClient",
+    "ClientResponse",
+    "RequestTiming",
+    "SSEParser",
+    "StreamingResponse",
+]
+
+
+class RequestTiming:
+    """Wall-clock marks of one request, from the client's point of view.
+
+    All marks come from the client's monotonic clock (injectable on the
+    :class:`AsgiClient` for deterministic tests): ``started`` when the
+    request coroutine was submitted, ``first_byte`` when the first
+    non-empty body chunk arrived, ``completed`` when the final body
+    message (or, for streams, the last consumed event) was seen.
+    """
+
+    __slots__ = ("started", "first_byte", "completed")
+
+    def __init__(self, started: float) -> None:
+        self.started = started
+        self.first_byte: float | None = None
+        self.completed: float | None = None
+
+    @property
+    def latency(self) -> float:
+        """Seconds from start to completion (0.0 while still running)."""
+        if self.completed is None:
+            return 0.0
+        return self.completed - self.started
+
+    @property
+    def time_to_first_byte(self) -> float | None:
+        """Seconds from start to the first body byte (``None`` if none arrived)."""
+        if self.first_byte is None:
+            return None
+        return self.first_byte - self.started
+
+
+class SSEParser:
+    """Incremental Server-Sent-Events parser over arbitrary byte chunks.
+
+    The wire format is frames of ``event: <name>\\ndata: <json>\\n\\n``,
+    but chunk boundaries are wherever the transport cut them — possibly
+    mid-line, mid-frame or even mid-UTF-8-sequence.  :meth:`feed`
+    buffers partial frames across calls and returns only the events
+    whose terminating blank line has arrived, so feeding the same bytes
+    in any chunking yields the same event sequence.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = b""
+
+    def feed(self, chunk: bytes) -> list[tuple[str, dict | None]]:
+        """Consume one chunk; return the events completed by it."""
+        self._buffer += chunk
+        events: list[tuple[str, dict | None]] = []
+        while True:
+            frame, separator, rest = self._buffer.partition(b"\n\n")
+            if not separator:
+                return events
+            self._buffer = rest
+            parsed = self._parse_frame(frame)
+            if parsed is not None:
+                events.append(parsed)
+
+    @staticmethod
+    def _parse_frame(frame: bytes) -> tuple[str, dict | None] | None:
+        if not frame.strip():
+            return None
+        event, data = None, None
+        for line in frame.decode("utf-8").splitlines():
+            if line.startswith("event: "):
+                event = line[len("event: "):]
+            elif line.startswith("data: "):
+                data = json.loads(line[len("data: "):])
+        if event is None:
+            return None
+        return (event, data)
+
+    @property
+    def pending(self) -> bytes:
+        """Bytes buffered towards a frame that has not terminated yet."""
+        return self._buffer
 
 
 class ClientResponse:
-    """One buffered HTTP response (status, headers, whole body)."""
+    """One buffered HTTP response (status, headers, whole body, timing)."""
 
-    def __init__(self, status: int, headers: list[tuple[str, str]], body: bytes) -> None:
+    def __init__(
+        self,
+        status: int,
+        headers: list[tuple[str, str]],
+        body: bytes,
+        timing: RequestTiming | None = None,
+    ) -> None:
         self.status = status
         self.headers = headers
         self.body = body
+        self.timing = timing
 
     def header(self, name: str) -> str | None:
         """The first header value under ``name`` (case-insensitive)."""
@@ -46,19 +152,57 @@ class ClientResponse:
 
     def events(self) -> list[tuple[str, dict]]:
         """The body parsed as SSE frames: ``(event, data)`` in order."""
-        events = []
-        for frame in self.body.decode("utf-8").split("\n\n"):
-            if not frame.strip():
-                continue
-            event, data = None, None
-            for line in frame.splitlines():
-                if line.startswith("event: "):
-                    event = line[len("event: "):]
-                elif line.startswith("data: "):
-                    data = json.loads(line[len("data: "):])
-            if event is not None:
-                events.append((event, data))
-        return events
+        return SSEParser().feed(self.body)
+
+
+class StreamingResponse:
+    """An in-flight SSE response consumed event by event.
+
+    Yielded by :meth:`AsgiClient.stream` once the response head arrived.
+    :meth:`events` pulls parsed events off the bounded chunk queue;
+    ``event_times`` records each event's **arrival** mark (the chunk's
+    receive time on the loop thread, not the consumption time), which is
+    what time-to-``ready``/time-to-``final`` measurements need.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        headers: list[tuple[str, str]],
+        timing: RequestTiming,
+        puller: Callable[[], tuple[float, bytes] | None],
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self.timing = timing
+        self.event_times: list[float] = []
+        self._puller = puller
+        self._parser = SSEParser()
+
+    def header(self, name: str) -> str | None:
+        """The first header value under ``name`` (case-insensitive)."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return None
+
+    def events(self) -> Iterator[tuple[str, dict | None]]:
+        """Yield ``(event, data)`` pairs as their frames arrive."""
+        while True:
+            pulled = self._puller()
+            if pulled is None:
+                return
+            arrived, chunk = pulled
+            for event in self._parser.feed(chunk):
+                self.event_times.append(arrived)
+                yield event
+
+    def event_time(self, index: int) -> float | None:
+        """Arrival mark of the ``index``-th consumed event (``None`` if unseen)."""
+        if 0 <= index < len(self.event_times):
+            return self.event_times[index]
+        return None
 
 
 class AsgiClient:
@@ -66,11 +210,14 @@ class AsgiClient:
 
     Use as a context manager: entry runs lifespan startup (the app's
     warm session comes up), exit runs lifespan shutdown.  Requests may
-    be issued from any thread while the client is open.
+    be issued from any thread while the client is open.  ``clock`` is
+    the monotonic clock request timings are stamped with — injectable
+    so timing-sensitive tests can drive it deterministically.
     """
 
-    def __init__(self, app) -> None:
+    def __init__(self, app, *, clock: Callable[[], float] = time.monotonic) -> None:
         self._app = app
+        self._clock = clock
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(target=self._loop.run_forever, daemon=True)
         self._lifespan_tx: asyncio.Queue | None = None
@@ -133,27 +280,11 @@ class AsgiClient:
 
     # -- requests ---------------------------------------------------------------
 
-    def request(
-        self,
-        method: str,
-        path: str,
-        *,
-        json_body=None,
-        timeout: float = 300.0,
-    ) -> ClientResponse:
-        """Issue one request; blocks until the full response arrived.
-
-        ``json_body`` (when given) is serialised as the request body.
-        Thread-safe: concurrent callers each run their own ``http``
-        scope on the shared loop.
-        """
-        if not self._started:
-            raise ServiceError("the client is not started (use it as a context manager)")
-        body = b"" if json_body is None else json.dumps(json_body).encode("utf-8")
+    def _scope(self, method: str, path: str, body: bytes) -> dict:
         query = ""
         if "?" in path:
             path, query = path.split("?", 1)
-        scope = {
+        return {
             "type": "http",
             "asgi": {"version": "3.0"},
             "http_version": "1.1",
@@ -166,6 +297,27 @@ class AsgiClient:
             "server": ("testserver", 80),
             "scheme": "http",
         }
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        json_body=None,
+        timeout: float = 300.0,
+    ) -> ClientResponse:
+        """Issue one request; blocks until the full response arrived.
+
+        ``json_body`` (when given) is serialised as the request body.
+        Thread-safe: concurrent callers each run their own ``http``
+        scope on the shared loop.  The returned response carries its
+        :class:`RequestTiming`.
+        """
+        if not self._started:
+            raise ServiceError("the client is not started (use it as a context manager)")
+        body = b"" if json_body is None else json.dumps(json_body).encode("utf-8")
+        scope = self._scope(method, path, body)
+        timing = RequestTiming(self._clock())
 
         async def exchange() -> ClientResponse:
             requests = [{"type": "http.request", "body": body, "more_body": False}]
@@ -188,12 +340,106 @@ class AsgiClient:
                         for name, value in message.get("headers", [])
                     ]
                 elif message["type"] == "http.response.body":
-                    chunks.append(message.get("body", b""))
+                    chunk = message.get("body", b"")
+                    if chunk and timing.first_byte is None:
+                        timing.first_byte = self._clock()
+                    chunks.append(chunk)
 
             await self._app(scope, receive, send)
-            return ClientResponse(status, headers, b"".join(chunks))
+            timing.completed = self._clock()
+            return ClientResponse(status, headers, b"".join(chunks), timing)
 
         return asyncio.run_coroutine_threadsafe(exchange(), self._loop).result(timeout=timeout)
+
+    def stream(
+        self,
+        method: str,
+        path: str,
+        *,
+        json_body=None,
+        max_buffered: int = 64,
+        timeout: float = 300.0,
+    ) -> StreamingResponse:
+        """Issue one request and consume its body incrementally.
+
+        Returns as soon as the response head arrived.  Body chunks cross
+        from the loop thread through a queue bounded at ``max_buffered``
+        chunks: when the consumer falls behind, the app's ``send`` call
+        awaits capacity — backpressure instead of unbounded buffering.
+        Iterate :meth:`StreamingResponse.events` to drain the stream
+        (the exchange finishes when the terminal event's chunk arrives).
+        """
+        if not self._started:
+            raise ServiceError("the client is not started (use it as a context manager)")
+        if max_buffered < 1:
+            raise ServiceError("max_buffered must be positive")
+        body = b"" if json_body is None else json.dumps(json_body).encode("utf-8")
+        scope = self._scope(method, path, body)
+        timing = RequestTiming(self._clock())
+        head: "asyncio.Future" = asyncio.run_coroutine_threadsafe(
+            self._stream_exchange(scope, body, timing, max_buffered), self._loop
+        ).result(timeout=timeout)
+        status, headers, queue, done = head
+
+        def pull() -> tuple[float, bytes] | None:
+            pulled = asyncio.run_coroutine_threadsafe(queue.get(), self._loop).result(
+                timeout=timeout
+            )
+            if pulled is None:
+                timing.completed = self._clock()
+                done.result(timeout=timeout)  # surface app-side exceptions
+                return None
+            return pulled
+
+        return StreamingResponse(status, headers, timing, pull)
+
+    async def _stream_exchange(self, scope, body, timing, max_buffered):
+        """Start one streaming exchange; resolve at the response head."""
+        queue: asyncio.Queue = asyncio.Queue(maxsize=max_buffered)
+        head: asyncio.Future = asyncio.get_running_loop().create_future()
+        requests = [{"type": "http.request", "body": body, "more_body": False}]
+
+        async def receive():
+            if requests:
+                return requests.pop(0)
+            return {"type": "http.disconnect"}
+
+        state = {"status": 0, "headers": []}
+
+        async def send(message: dict) -> None:
+            if message["type"] == "http.response.start":
+                state["status"] = message["status"]
+                state["headers"] = [
+                    (name.decode("latin-1"), value.decode("latin-1"))
+                    for name, value in message.get("headers", [])
+                ]
+                if not head.done():
+                    head.set_result(None)
+            elif message["type"] == "http.response.body":
+                chunk = message.get("body", b"")
+                if chunk:
+                    if timing.first_byte is None:
+                        timing.first_byte = self._clock()
+                    # The bounded put is the backpressure point: a full
+                    # queue suspends the app's stream until the consumer
+                    # drains a chunk.
+                    await queue.put((self._clock(), chunk))
+                if not message.get("more_body"):
+                    await queue.put(None)
+
+        async def run() -> None:
+            try:
+                await self._app(scope, receive, send)
+            except BaseException:
+                await queue.put(None)
+                raise
+            finally:
+                if not head.done():
+                    head.set_result(None)
+
+        done = asyncio.run_coroutine_threadsafe(run(), self._loop)
+        await head
+        return (state["status"], state["headers"], queue, done)
 
     def get(self, path: str, **kwargs) -> ClientResponse:
         """``request("GET", path)``."""

@@ -17,6 +17,7 @@ dependency.  Covers the service contracts:
 
 from __future__ import annotations
 
+import itertools
 import threading
 
 import pytest
@@ -27,6 +28,7 @@ from repro.fol.parser import parse_query
 from repro.obs.metrics import EXPOSITION_CONTENT_TYPE, MetricsRegistry
 from repro.search import process_backend_available
 from repro.service import AsgiClient, ServiceConfig, create_app, result_payload
+from repro.service.testing import SSEParser
 
 needs_fork = pytest.mark.skipif(
     not process_backend_available(), reason="fork start method unavailable"
@@ -109,10 +111,18 @@ def test_streaming_reachability_event_ordering(client):
     assert events[-1][1] == expected_payload()
 
 
-def test_streaming_timeout_reports_error_event(client):
-    reply = client.post(
-        "/v1/reachability", json_body={**QUERY, "stream": True, "timeout": 0.0}
+def test_streaming_timeout_reports_error_event():
+    # An injected clock advancing 5 "seconds" per reading makes the
+    # deadline check deterministic: the budget blows on the exploration's
+    # early state callbacks, with no real waiting and no flaky margins.
+    ticks = itertools.count(step=5.0)
+    config = ServiceConfig(
+        store=False, metrics=MetricsRegistry(), clock=lambda: float(next(ticks))
     )
+    with AsgiClient(create_app(config)) as fake_clock_client:
+        reply = fake_clock_client.post(
+            "/v1/reachability", json_body={**QUERY, "stream": True, "timeout": 10.0}
+        )
     kinds = [kind for kind, _ in reply.events()]
     assert kinds[0] == "ready"
     assert kinds[-1] == "error"
@@ -156,6 +166,77 @@ def test_eight_concurrent_requests_share_the_warm_session(client):
     assert all(reply.status == 200 for reply in replies.values())
     assert all(reply.json() == expected for reply in replies.values())
     assert client.get("/healthz").json()["active_requests"] == 0
+
+
+# -- client plumbing: SSE parser, timing, bounded streaming --------------------
+
+
+def test_sse_parser_handles_frames_split_across_chunk_boundaries():
+    frames = (
+        'event: ready\ndata: {"a": 1}\n\n'
+        'event: progress\ndata: {"depth": 0}\n\n'
+        'event: final\ndata: {"verdict": "holds"}\n\n'
+    ).encode("utf-8")
+    expected = SSEParser().feed(frames)
+    assert [kind for kind, _ in expected] == ["ready", "progress", "final"]
+    # Any chunking — byte-by-byte, mid-line, mid-separator — parses to
+    # the identical event sequence.
+    for size in (1, 2, 3, 7, 11, len(frames) - 1):
+        parser = SSEParser()
+        events = []
+        for start in range(0, len(frames), size):
+            events.extend(parser.feed(frames[start : start + size]))
+        assert events == expected, f"chunk size {size}"
+        assert parser.pending == b""
+    # A trailing partial frame stays buffered until its blank line lands.
+    parser = SSEParser()
+    assert parser.feed(b"event: ready\ndata: {") == []
+    assert parser.pending
+    assert parser.feed(b'"a": 1}\n\n') == [("ready", {"a": 1})]
+
+
+def test_per_request_timing_is_recorded(client):
+    reply = client.get("/healthz")
+    timing = reply.timing
+    assert timing is not None
+    assert timing.completed is not None
+    assert timing.latency >= 0
+    assert timing.time_to_first_byte is not None
+    assert timing.started <= timing.first_byte <= timing.completed
+
+
+def test_streaming_client_yields_events_incrementally(client):
+    streamed = client.stream(
+        "POST", "/v1/reachability", json_body={**QUERY, "stream": True}
+    )
+    assert streamed.status == 200
+    assert streamed.header("content-type") == "text/event-stream"
+    events = list(streamed.events())
+    kinds = [kind for kind, _ in events]
+    assert kinds[0] == "ready"
+    assert kinds[-1] == "final"
+    # Arrival marks exist for every event and never decrease.
+    assert len(streamed.event_times) == len(events)
+    assert streamed.event_times == sorted(streamed.event_times)
+    assert streamed.event_time(0) <= streamed.event_time(len(events) - 1)
+    assert streamed.timing.completed is not None
+    assert streamed.event_time(len(events)) is None
+
+
+def test_streaming_client_bounded_queue_applies_backpressure(client):
+    # A single-chunk buffer cannot absorb the stream ahead of the
+    # consumer: the producer must block on the queue, yet a (slow)
+    # consumer still drains every event and the exchange completes.
+    streamed = client.stream(
+        "POST",
+        "/v1/reachability",
+        json_body={**QUERY, "stream": True},
+        max_buffered=1,
+    )
+    kinds = [kind for kind, _ in streamed.events()]
+    assert kinds[0] == "ready"
+    assert kinds[-1] == "final"
+    assert kinds.count("final") == 1
 
 
 # -- admission control ---------------------------------------------------------
